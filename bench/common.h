@@ -1,0 +1,89 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the rows/series of one paper figure or table.
+// Defaults are scaled down so the whole bench suite runs in minutes on a
+// laptop; pass --full for paper-scale parameters. EXPERIMENTS.md records
+// paper-vs-measured values for both settings.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "schemes/scheme.h"
+#include "sim/time.h"
+#include "stats/table.h"
+
+namespace halfback::bench {
+
+/// Command-line options shared by the bench binaries.
+struct Options {
+  bool full = false;          ///< paper-scale parameters
+  std::uint64_t seed = 1;
+  unsigned threads = 0;       ///< 0 = hardware concurrency
+  int pairs = -1;             ///< ensemble size override (-1 = default)
+  double duration_s = -1.0;   ///< workload duration override
+  int replications = 1;       ///< independent seeds per sweep cell
+  std::string csv_dir;        ///< write result tables as CSV here
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--full") {
+      opt.full = true;
+    } else if (const char* v = value("--seed=")) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--pairs=")) {
+      opt.pairs = std::atoi(v);
+    } else if (const char* v = value("--duration=")) {
+      opt.duration_s = std::atof(v);
+    } else if (const char* v = value("--reps=")) {
+      opt.replications = std::atoi(v);
+    } else if (const char* v = value("--csv=")) {
+      opt.csv_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--full] [--seed=N] [--threads=N] [--pairs=N] "
+          "[--duration=SECONDS] [--reps=N] [--csv=DIR]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void print_header(const char* figure, const char* description,
+                         const Options& opt) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode: %s, seed: %llu\n", opt.full ? "FULL (paper scale)" : "quick",
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("==================================================================\n\n");
+}
+
+inline const char* display(schemes::Scheme s) {
+  return schemes::info(s).display_name;
+}
+
+/// Write `table` as <csv_dir>/<name>.csv when --csv was given.
+inline void maybe_write_csv(const Options& opt, const char* name,
+                            const stats::Table& table) {
+  if (opt.csv_dir.empty()) return;
+  const std::string path = opt.csv_dir + "/" + name + ".csv";
+  if (table.write_csv(path)) std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace halfback::bench

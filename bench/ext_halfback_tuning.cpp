@@ -1,0 +1,117 @@
+// Extension bench: the two Halfback refinements the paper proposes but
+// does not evaluate —
+//   * §4.2.4: an initial burst (a TCP-10-style window) before the Pacing
+//     Phase, to fix the small-flow region where TCP-Cache/TCP-10 win;
+//   * §5: tuning the proactive bandwidth ("two retransmissions for every
+//     three ACKs" instead of one per ACK).
+#include <cstdio>
+
+#include "common.h"
+#include "exp/emulab.h"
+#include "exp/parallel.h"
+#include "stats/table.h"
+
+using namespace halfback;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  schemes::HalfbackConfig config;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Extension: Halfback tuning",
+                      "initial-burst refinement and ROPR bandwidth ratio", opt);
+
+  std::vector<Variant> variants;
+  variants.push_back({"halfback (paper)", {}});
+  {
+    schemes::HalfbackConfig c;
+    c.initial_burst_segments = 10;
+    variants.push_back({"+10-segment initial burst", c});
+  }
+  {
+    schemes::HalfbackConfig c;
+    c.copies_per_ack = 2.0 / 3.0;
+    variants.push_back({"2 copies per 3 ACKs", c});
+  }
+  {
+    schemes::HalfbackConfig c;
+    c.copies_per_ack = 0.5;
+    variants.push_back({"1 copy per 2 ACKs", c});
+  }
+
+  // Part 1: small-flow FCT (the §4.2.4 motivation) on an idle path.
+  std::printf("(a) FCT by flow size on an idle path (ms)\n");
+  const std::vector<std::uint64_t> sizes_kb{5, 15, 30, 60, 100};
+  std::vector<std::string> header{"variant"};
+  for (std::uint64_t kb : sizes_kb) header.push_back(std::to_string(kb) + "KB");
+  stats::Table small{header};
+  for (const Variant& v : variants) {
+    std::vector<std::string> row{v.name};
+    for (std::uint64_t kb : sizes_kb) {
+      exp::EmulabRunner::Config config;
+      config.seed = opt.seed;
+      config.halfback_config = v.config;
+      exp::EmulabRunner runner{config};
+      exp::WorkloadPart part{schemes::Scheme::halfback,
+                             {{sim::Time::zero(), kb * 1000}},
+                             exp::FlowRole::primary};
+      exp::RunResult run = runner.run({part});
+      row.push_back(stats::Table::num(run.mean_fct_ms(exp::FlowRole::primary), 0));
+    }
+    small.add_row(row);
+  }
+  small.print();
+
+  // Part 2: overhead and FCT under a 45% all-short workload — the ratio
+  // trades proactive bandwidth against recovery speed (§5's open
+  // question).
+  std::printf("\n(b) 100 KB flows at 45%% utilization: overhead vs latency\n");
+  const double duration_s = opt.duration_s > 0 ? opt.duration_s : 40.0;
+  sim::Random rng{opt.seed * 3};
+  workload::ScheduleConfig sc;
+  sc.duration = sim::Time::seconds(duration_s);
+  sc.bottleneck = sim::DataRate::megabits_per_second(15);
+  sc.target_utilization = 0.45;
+  auto schedule = workload::make_schedule(workload::FlowSizeDist::fixed(100'000), sc, rng);
+
+  stats::Table load{{"variant", "mean FCT (ms)", "median (ms)",
+                     "proactive retx/flow", "timeouts/flow"}};
+  std::vector<std::vector<std::string>> rows(variants.size());
+  exp::parallel_for(
+      variants.size(),
+      [&](std::size_t i) {
+        exp::EmulabRunner::Config config;
+        config.seed = opt.seed;
+        config.halfback_config = variants[i].config;
+        exp::EmulabRunner runner{config};
+        exp::RunResult run = runner.run(
+            {exp::WorkloadPart{schemes::Scheme::halfback, schedule,
+                               exp::FlowRole::primary}});
+        stats::Summary fct = run.fct_ms(exp::FlowRole::primary);
+        stats::Summary proactive =
+            run.metric(exp::FlowRole::primary, [](const exp::FlowResult& f) {
+              return static_cast<double>(f.record.proactive_retx);
+            });
+        stats::Summary timeouts =
+            run.metric(exp::FlowRole::primary, [](const exp::FlowResult& f) {
+              return static_cast<double>(f.record.timeouts);
+            });
+        rows[i] = {variants[i].name, stats::Table::num(fct.mean(), 0),
+                   stats::Table::num(fct.median(), 0),
+                   stats::Table::num(proactive.mean(), 1),
+                   stats::Table::num(timeouts.mean(), 2)};
+      },
+      opt.threads);
+  for (auto& row : rows) load.add_row(std::move(row));
+  load.print();
+  std::printf(
+      "\nThe ratio dial trades proactive bandwidth (copies/flow) against\n"
+      "timeout exposure — the \"interesting open question\" of §5.\n");
+  return 0;
+}

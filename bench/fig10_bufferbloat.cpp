@@ -1,0 +1,102 @@
+// Fig. 10 — effect of router buffer size (bufferbloat, §4.2.3): mean FCT
+// (a) and number of normal retransmissions (b) of short flows sharing the
+// bottleneck with one background TCP flow, short flows every ~10 s.
+#include <cstdio>
+
+#include "common.h"
+#include "exp/emulab.h"
+#include "exp/parallel.h"
+#include "stats/table.h"
+
+using namespace halfback;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 10", "FCT and retransmissions vs router buffer size",
+                      opt);
+
+  const std::vector<std::uint64_t> buffers_kb = {10,  25,  50,  75,  115,
+                                                 150, 200, 300, 450, 600};
+  const double duration_s =
+      opt.duration_s > 0 ? opt.duration_s : (opt.full ? 600.0 : 60.0);
+  const auto schemes_list = schemes::evaluation_set();
+
+  struct Cell {
+    double mean_fct_ms = 0.0;
+    double mean_retx = 0.0;
+  };
+  std::vector<Cell> cells(buffers_kb.size() * schemes_list.size());
+
+  // Short flows: exponential interarrival, mean 10 s. One shared schedule.
+  sim::Random rng{opt.seed * 11};
+  workload::ScheduleConfig sc;
+  sc.duration = sim::Time::seconds(duration_s);
+  sc.bottleneck = sim::DataRate::megabits_per_second(15);
+  // 100 KB / 10 s over 15 Mbps ~ 0.4% utilization from shorts.
+  sc.target_utilization = 100e3 / 10.0 / sc.bottleneck.bytes_per_second();
+  auto shorts = workload::make_schedule(workload::FlowSizeDist::fixed(100'000), sc, rng);
+
+  // Background: one TCP flow big enough to outlive the run, with a bulk
+  // receive window large enough to fill even the 600 KB buffer (this is
+  // what produces the bufferbloat: short flows keep the 141 KB default).
+  const auto bg_bytes = static_cast<std::uint64_t>(
+      sc.bottleneck.bytes_per_second() * duration_s * 1.2);
+  std::vector<workload::FlowArrival> background{{sim::Time::zero(), bg_bytes}};
+  transport::SenderConfig bulk_config;
+  bulk_config.receive_window_segments = 1000;  // ~1.4 MB
+
+  exp::parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        const std::size_t bi = i / schemes_list.size();
+        const schemes::Scheme scheme = schemes_list[i % schemes_list.size()];
+        exp::EmulabRunner::Config config;
+        config.seed = opt.seed;
+        config.dumbbell.bottleneck_buffer_bytes = buffers_kb[bi] * 1000;
+        exp::EmulabRunner runner{config};
+        exp::WorkloadPart bg{schemes::Scheme::tcp, background,
+                             exp::FlowRole::background, bulk_config};
+        exp::RunResult run = runner.run(
+            {exp::WorkloadPart{scheme, shorts, exp::FlowRole::primary}, bg});
+        Cell cell;
+        cell.mean_fct_ms = run.mean_fct_ms(exp::FlowRole::primary);
+        stats::Summary retx =
+            run.metric(exp::FlowRole::primary, [](const exp::FlowResult& f) {
+              return static_cast<double>(f.record.normal_retx);
+            });
+        cell.mean_retx = retx.empty() ? 0.0 : retx.mean();
+        cells[i] = cell;
+      },
+      opt.threads);
+
+  std::printf("(a) mean flow completion time (ms)\n");
+  std::vector<std::string> header{"buffer KB"};
+  for (schemes::Scheme s : schemes_list) header.push_back(bench::display(s));
+  stats::Table fct_table{header};
+  for (std::size_t bi = 0; bi < buffers_kb.size(); ++bi) {
+    std::vector<std::string> row{std::to_string(buffers_kb[bi])};
+    for (std::size_t si = 0; si < schemes_list.size(); ++si) {
+      row.push_back(stats::Table::num(cells[bi * schemes_list.size() + si].mean_fct_ms, 0));
+    }
+    fct_table.add_row(row);
+  }
+  fct_table.print();
+  bench::maybe_write_csv(opt, "fig10_fct_vs_buffer", fct_table);
+
+  std::printf("\n(b) mean number of normal retransmissions per flow\n");
+  stats::Table retx_table{header};
+  for (std::size_t bi = 0; bi < buffers_kb.size(); ++bi) {
+    std::vector<std::string> row{std::to_string(buffers_kb[bi])};
+    for (std::size_t si = 0; si < schemes_list.size(); ++si) {
+      row.push_back(stats::Table::num(cells[bi * schemes_list.size() + si].mean_retx, 1));
+    }
+    retx_table.add_row(row);
+  }
+  retx_table.print();
+  bench::maybe_write_csv(opt, "fig10_retx_vs_buffer", retx_table);
+  std::printf(
+      "\npaper anchors: paced schemes' FCT rises only ~500 ms from small to "
+      "600 KB buffers vs TCP's ~1 s; at small buffers Halfback ~10%% of "
+      "JumpStart's retransmissions and up to 45%% lower FCT\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// queue throughput, link forwarding, and end-to-end flow simulation cost.
+// These bound how large the figure campaigns can be scaled.
+#include <benchmark/benchmark.h>
+
+#include "exp/emulab.h"
+#include "net/topology.h"
+#include "transport/receiver.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "transport/agent.h"
+
+namespace {
+
+using namespace halfback;
+using namespace halfback::sim::literals;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule(sim::Time::microseconds(i % 1000), [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(simulator.schedule(sim::Time::microseconds(i), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_LinkForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    net::Network network{simulator};
+    net::NodeId a = network.add_node();
+    net::NodeId b = network.add_node();
+    net::LinkConfig link;
+    link.rate = sim::DataRate::gigabits_per_second(10);
+    link.delay = 1_ms;
+    network.connect(a, b, link);
+    network.compute_routes();
+    network.node(b).set_local_handler([](net::Packet) {});
+    for (int i = 0; i < 1000; ++i) {
+      net::Packet p;
+      p.type = net::PacketType::data;
+      p.src = a;
+      p.dst = b;
+      p.size_bytes = 1500;
+      network.node(a).send(p);
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkForwarding);
+
+void BM_FlowSimulation(benchmark::State& state) {
+  const auto scheme = static_cast<schemes::Scheme>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    net::Network network{simulator};
+    net::DumbbellConfig dc;
+    dc.sender_count = 1;
+    dc.receiver_count = 1;
+    net::Dumbbell dumbbell = net::build_dumbbell(network, dc);
+    transport::TransportAgent sender_agent{simulator, network, dumbbell.senders[0]};
+    transport::TransportAgent receiver_agent{simulator, network, dumbbell.receivers[0]};
+    schemes::SchemeContext context;
+    auto sender = schemes::make_sender(scheme, context, simulator,
+                                       network.node(dumbbell.senders[0]),
+                                       dumbbell.receivers[0], 1, 100'000);
+    sender_agent.start_flow(std::move(sender));
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetLabel(schemes::name(scheme));
+}
+BENCHMARK(BM_FlowSimulation)
+    ->Arg(static_cast<int>(schemes::Scheme::tcp))
+    ->Arg(static_cast<int>(schemes::Scheme::jumpstart))
+    ->Arg(static_cast<int>(schemes::Scheme::halfback));
+
+void BM_ScoreboardAckProcessing(benchmark::State& state) {
+  using namespace halfback::transport;
+  for (auto _ : state) {
+    Scoreboard sb{97};
+    std::uint64_t uid = 1;
+    for (std::uint32_t s = 0; s < 97; ++s) {
+      sb.on_sent(s, uid++, sim::Time::milliseconds(1), false);
+    }
+    // ACK stream with a SACK hole pattern, plus loss detection per ACK.
+    for (std::uint32_t cum = 0; cum < 97; cum += 2) {
+      sb.apply_ack(cum, {{cum + 2, cum + 4}});
+      benchmark::DoNotOptimize(sb.detect_losses(3));
+      benchmark::DoNotOptimize(sb.pipe());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 48);
+}
+BENCHMARK(BM_ScoreboardAckProcessing);
+
+void BM_ReceiverReassembly(benchmark::State& state) {
+  using namespace halfback::transport;
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    net::Network network{simulator};
+    net::NodeId a = network.add_node();
+    net::NodeId b = network.add_node();
+    net::LinkConfig link;
+    link.rate = sim::DataRate::gigabits_per_second(10);
+    link.delay = sim::Time::microseconds(10);
+    network.connect(a, b, link);
+    network.compute_routes();
+    network.node(a).set_local_handler([](net::Packet) {});
+    Receiver receiver{simulator, network.node(b), a, 1};
+    network.node(b).set_local_handler(
+        [&receiver](net::Packet p) { receiver.on_packet(p); });
+    // Out-of-order arrival pattern stressing SACK-run bookkeeping.
+    for (std::uint32_t s = 0; s < 500; ++s) {
+      net::Packet p;
+      p.flow = 1;
+      p.type = net::PacketType::data;
+      p.src = a;
+      p.dst = b;
+      p.seq = (s % 2 == 0) ? s : 500 + s;
+      p.total_segments = 1500;
+      p.size_bytes = 1500;
+      p.uid = s + 1;
+      network.node(a).send(p);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(receiver.stats().unique_segments);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_ReceiverReassembly);
+
+void BM_UtilizationSweepCell(benchmark::State& state) {
+  // The cost of one sweep cell (a full EmulabRunner run) — what bounds the
+  // figure campaigns.
+  for (auto _ : state) {
+    exp::EmulabRunner::Config config;
+    exp::EmulabRunner runner{config};
+    sim::Random rng{1};
+    workload::ScheduleConfig sc;
+    sc.target_utilization = 0.5;
+    sc.duration = sim::Time::seconds(5);
+    auto schedule =
+        workload::make_schedule(workload::FlowSizeDist::fixed(100'000), sc, rng);
+    exp::RunResult run = runner.run(
+        {exp::WorkloadPart{schemes::Scheme::halfback, schedule,
+                           exp::FlowRole::primary}});
+    benchmark::DoNotOptimize(run.flows.size());
+  }
+}
+BENCHMARK(BM_UtilizationSweepCell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

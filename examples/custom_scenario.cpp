@@ -1,0 +1,167 @@
+// Custom scenario runner: a small CLI over the library so you can explore
+// any (scheme, path, flow) combination without writing code.
+//
+//   $ ./examples/custom_scenario scheme=halfback bytes=200000 rtt_ms=80 \
+//         rate_mbps=10 buffer_kb=64 loss=0.01 flows=5 trace=1
+//
+// Every key is optional; defaults reproduce the paper's Emulab bottleneck.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/topology.h"
+#include "net/tracer.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "transport/agent.h"
+
+using namespace halfback;
+
+namespace {
+
+struct Args {
+  schemes::Scheme scheme = schemes::Scheme::halfback;
+  std::uint64_t bytes = 100'000;
+  double rtt_ms = 60;
+  double rate_mbps = 15;
+  std::uint64_t buffer_kb = 115;
+  double loss = 0.0;
+  int flows = 1;
+  double gap_ms = 200;  ///< interval between flow starts
+  std::uint64_t seed = 1;
+  bool trace = false;
+  std::string queue = "droptail";
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "expected key=value, got '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "scheme") {
+      auto parsed = schemes::parse_scheme(value);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown scheme '%s'; known:", value.c_str());
+        for (const auto& info : schemes::all_schemes()) {
+          std::fprintf(stderr, " %s", info.name);
+        }
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      a.scheme = *parsed;
+    } else if (key == "bytes") {
+      a.bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rtt_ms") {
+      a.rtt_ms = std::atof(value.c_str());
+    } else if (key == "rate_mbps") {
+      a.rate_mbps = std::atof(value.c_str());
+    } else if (key == "buffer_kb") {
+      a.buffer_kb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "loss") {
+      a.loss = std::atof(value.c_str());
+    } else if (key == "flows") {
+      a.flows = std::atoi(value.c_str());
+    } else if (key == "gap_ms") {
+      a.gap_ms = std::atof(value.c_str());
+    } else if (key == "seed") {
+      a.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "trace") {
+      a.trace = value != "0";
+    } else if (key == "queue") {
+      a.queue = value;
+    } else {
+      std::fprintf(stderr, "unknown key '%s'\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse(argc, argv);
+
+  sim::Simulator simulator{args.seed};
+  net::Network network{simulator};
+  net::DumbbellConfig topo;
+  topo.sender_count = 1;
+  topo.receiver_count = 1;
+  topo.bottleneck_rate = sim::DataRate::megabits_per_second(args.rate_mbps);
+  topo.rtt = sim::Time::milliseconds(args.rtt_ms);
+  topo.bottleneck_buffer_bytes = args.buffer_kb * 1000;
+  if (args.queue == "red") topo.bottleneck_queue = net::QueueKind::red;
+  if (args.queue == "codel") topo.bottleneck_queue = net::QueueKind::codel;
+  net::Dumbbell dumbbell = net::build_dumbbell(network, topo);
+
+  transport::TransportAgent sender_host{simulator, network, dumbbell.senders[0]};
+  transport::TransportAgent receiver_host{simulator, network, dumbbell.receivers[0]};
+
+  net::PacketTracer tracer{simulator};
+  std::uint32_t bottleneck_drops = 0;
+  dumbbell.bottleneck_forward->queue().set_drop_callback(
+      [&](const net::Packet& p) {
+        if (p.type == net::PacketType::data) ++bottleneck_drops;
+      });
+  if (args.trace) {
+    tracer.tap_queue(*dumbbell.bottleneck_forward, "bottleneck");
+    tracer.tap_node(network.node(dumbbell.receivers[0]), "receiver");
+  }
+  if (args.loss > 0) {
+    // Random loss on the bottleneck via a Bernoulli packet filter.
+    auto rng = std::make_shared<sim::Random>(args.seed * 13);
+    dumbbell.bottleneck_forward->set_packet_filter(
+        [rng, p = args.loss](const net::Packet&) { return !rng->bernoulli(p); });
+  }
+
+  schemes::SchemeContext context;
+  std::vector<transport::SenderBase*> flows;
+  for (int i = 0; i < args.flows; ++i) {
+    simulator.schedule_at(sim::Time::milliseconds(args.gap_ms * i), [&, i] {
+      auto sender = schemes::make_sender(
+          args.scheme, context, simulator, network.node(dumbbell.senders[0]),
+          dumbbell.receivers[0], static_cast<net::FlowId>(i + 1), args.bytes);
+      flows.push_back(&sender_host.start_flow(std::move(sender)));
+    });
+  }
+  simulator.run_until(sim::Time::seconds(300));
+
+  if (args.trace) std::fputs(tracer.timeline().c_str(), stdout);
+
+  std::printf("\nscenario: %s, %d x %llu B, %.0f Mbps / %.0f ms RTT, %llu KB %s buffer, loss %.3f\n",
+              schemes::name(args.scheme), args.flows,
+              static_cast<unsigned long long>(args.bytes), args.rate_mbps,
+              args.rtt_ms, static_cast<unsigned long long>(args.buffer_kb),
+              args.queue.c_str(), args.loss);
+  stats::Summary fct;
+  std::uint32_t retx = 0, proactive = 0, timeouts = 0;
+  int completed = 0;
+  for (transport::SenderBase* flow : flows) {
+    const transport::FlowRecord& r = flow->record();
+    if (flow->complete()) {
+      ++completed;
+      fct.add(r.fct().to_ms());
+    }
+    retx += r.normal_retx;
+    proactive += r.proactive_retx;
+    timeouts += r.timeouts;
+  }
+  std::printf("completed %d/%d flows\n", completed, args.flows);
+  if (!fct.empty()) {
+    std::printf("FCT: mean %.1f ms, median %.1f ms, max %.1f ms\n", fct.mean(),
+                fct.median(), fct.max());
+  }
+  std::printf("normal retx %u, proactive retx %u, timeouts %u, bottleneck drops %u\n",
+              retx, proactive, timeouts, bottleneck_drops);
+  std::printf("simulated %llu events\n",
+              static_cast<unsigned long long>(simulator.events_executed()));
+  return completed == args.flows ? 0 : 1;
+}

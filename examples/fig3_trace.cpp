@@ -1,0 +1,76 @@
+// Fig. 3 walkthrough (§3.4): a 10-segment Halfback flow, packet by packet,
+// with segment 9's first transmission forcibly dropped — reproducing the
+// paper's worked example of ROPR recovering a loss before TCP's machinery
+// would even have detected it.
+//
+// Demonstrates the PacketTracer (taps on the bottleneck queue and the
+// receiving host) and the Link packet-filter fault-injection hook.
+#include <cstdio>
+
+#include "net/topology.h"
+#include "net/tracer.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "transport/agent.h"
+
+using namespace halfback;
+
+int main() {
+  sim::Simulator simulator{7};
+  net::Network network{simulator};
+  net::DumbbellConfig topo;
+  topo.sender_count = 1;
+  topo.receiver_count = 1;
+  net::Dumbbell dumbbell = net::build_dumbbell(network, topo);
+
+  transport::TransportAgent sender_host{simulator, network, dumbbell.senders[0]};
+  transport::TransportAgent receiver_host{simulator, network, dumbbell.receivers[0]};
+
+  // Observe everything that reaches the receiver and everything the
+  // bottleneck discards. Taps chain in front of the agents' handlers.
+  net::PacketTracer tracer{simulator};
+  tracer.tap_node(network.node(dumbbell.receivers[0]), "receiver");
+  tracer.tap_queue(*dumbbell.bottleneck_forward, "bottleneck");
+
+  // Force the loss the paper's example narrates: the first copy of
+  // segment index 8 (the paper's "packet 9") vanishes at the bottleneck.
+  bool dropped = false;
+  dumbbell.bottleneck_forward->set_packet_filter([&](const net::Packet& p) {
+    if (!dropped && p.type == net::PacketType::data && p.seq == 8 && !p.is_retx) {
+      dropped = true;
+      std::printf("    (fault injection: dropping first copy of segment 8)\n");
+      return false;
+    }
+    return true;
+  });
+
+  schemes::SchemeContext context;
+  auto sender = schemes::make_sender(schemes::Scheme::halfback, context, simulator,
+                                     network.node(dumbbell.senders[0]),
+                                     dumbbell.receivers[0], /*flow=*/1,
+                                     10 * net::kSegmentPayloadBytes);
+  std::printf("starting a 10-segment Halfback flow (Fig. 3 walkthrough)\n");
+  transport::SenderBase& flow = sender_host.start_flow(std::move(sender));
+
+  simulator.run();
+
+  std::printf("\nwire timeline at the receiver:\n%s", tracer.timeline().c_str());
+
+  const transport::FlowRecord& record = flow.record();
+  std::printf("\nflow complete at %.2f ms (%.1f RTTs)\n",
+              record.completion_time.to_ms(), record.rtts_used());
+  std::printf("proactive (ROPR) retransmissions: %u — the reverse-order sweep\n",
+              record.proactive_retx);
+  std::printf("normal retransmissions: %u, timeouts: %u\n", record.normal_retx,
+              record.timeouts);
+  transport::Receiver* rx = receiver_host.receiver(1);
+  if (rx != nullptr) {
+    std::printf("receiver saw %u duplicate segments (ROPR copies of data that "
+                "had already arrived)\n",
+                rx->stats().duplicate_segments);
+  }
+  std::printf(
+      "\nAs in the paper's example: the lost tail segment was recovered by a\n"
+      "proactive reverse-order copy, before any timeout or dupACK detection.\n");
+  return 0;
+}

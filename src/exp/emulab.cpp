@@ -1,0 +1,137 @@
+#include "exp/emulab.h"
+
+#include <algorithm>
+
+namespace halfback::exp {
+
+double RunResult::mean_fct_ms(FlowRole role) const {
+  stats::Summary s = fct_ms(role);
+  return s.empty() ? 0.0 : s.mean();
+}
+
+stats::Summary RunResult::fct_ms(FlowRole role, bool include_censored) const {
+  stats::Summary s;
+  for (const FlowResult& f : flows) {
+    if (f.role != role) continue;
+    if (f.finished) {
+      s.add(f.record.fct().to_ms());
+    } else if (include_censored) {
+      s.add(f.censored_fct.to_ms());
+    }
+  }
+  return s;
+}
+
+stats::Summary RunResult::metric(FlowRole role,
+                                 double (*extract)(const FlowResult&)) const {
+  stats::Summary s;
+  for (const FlowResult& f : flows) {
+    if (f.role == role) s.add(extract(f));
+  }
+  return s;
+}
+
+std::size_t RunResult::finished_count(FlowRole role) const {
+  std::size_t n = 0;
+  for (const FlowResult& f : flows) n += (f.role == role && f.finished) ? 1 : 0;
+  return n;
+}
+
+std::size_t RunResult::unfinished_count(FlowRole role) const {
+  std::size_t n = 0;
+  for (const FlowResult& f : flows) n += (f.role == role && !f.finished) ? 1 : 0;
+  return n;
+}
+
+RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
+  sim::Simulator simulator{config_.seed};
+  net::Network network{simulator};
+  net::Dumbbell dumbbell = net::build_dumbbell(network, config_.dumbbell);
+
+  std::vector<std::unique_ptr<transport::TransportAgent>> agents;
+  for (net::NodeId id : dumbbell.senders) {
+    agents.push_back(std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  for (net::NodeId id : dumbbell.receivers) {
+    agents.push_back(std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  const std::size_t sender_count = dumbbell.senders.size();
+
+  // Per-flow bottleneck loss accounting (data direction).
+  std::unordered_map<net::FlowId, std::uint32_t> drops;
+  dumbbell.bottleneck_forward->queue().set_drop_callback(
+      [&drops](const net::Packet& p) {
+        if (p.type == net::PacketType::data) ++drops[p.flow];
+      });
+
+  schemes::SchemeContext base_context;
+  base_context.sender_config = config_.sender_config;
+  base_context.halfback_config = config_.halfback_config;
+
+  struct LiveFlow {
+    transport::SenderBase* sender = nullptr;
+    FlowRole role = FlowRole::primary;
+  };
+  std::unordered_map<net::FlowId, LiveFlow> live;
+  net::FlowId next_flow = 1;
+  std::size_t next_pair = 0;
+  sim::Time last_arrival;
+
+  // One context per part (they share the path cache through base_context's
+  // copy only if created here; TCP-Cache parts share within a part).
+  std::vector<schemes::SchemeContext> contexts;
+  contexts.reserve(parts.size());
+  for (const WorkloadPart& part : parts) {
+    schemes::SchemeContext context = base_context;
+    if (part.sender_config.has_value()) context.sender_config = *part.sender_config;
+    contexts.push_back(std::move(context));
+  }
+
+  for (std::size_t part_index = 0; part_index < parts.size(); ++part_index) {
+    const WorkloadPart& part = parts[part_index];
+    schemes::SchemeContext& context = contexts[part_index];
+    for (const workload::FlowArrival& arrival : part.schedule) {
+      last_arrival = std::max(last_arrival, arrival.at);
+      const net::FlowId flow = next_flow++;
+      const std::size_t pair = next_pair++ % sender_count;
+      const schemes::Scheme scheme = part.scheme;
+      const FlowRole role = part.role;
+      const std::uint64_t bytes = arrival.bytes;
+      simulator.schedule_at(arrival.at, [&, &context = context, flow, pair, scheme, role,
+                                         bytes] {
+        auto sender = schemes::make_sender(
+            scheme, context, simulator, network.node(dumbbell.senders[pair]),
+            dumbbell.receivers[pair], flow, bytes);
+        transport::SenderBase& ref =
+            agents[pair]->start_flow(std::move(sender));
+        live[flow] = LiveFlow{&ref, role};
+      });
+    }
+  }
+
+  simulator.run_until(last_arrival + config_.drain);
+
+  RunResult result;
+  result.sim_end = simulator.now();
+  for (auto& [flow, live_flow] : live) {
+    FlowResult fr;
+    fr.record = live_flow.sender->record();
+    fr.role = live_flow.role;
+    fr.finished = live_flow.sender->complete();
+    if (!fr.finished) fr.censored_fct = simulator.now() - fr.record.start_time;
+    auto it = drops.find(flow);
+    if (it != drops.end()) fr.bottleneck_drops = it->second;
+    result.flows.push_back(std::move(fr));
+  }
+  std::sort(result.flows.begin(), result.flows.end(),
+            [](const FlowResult& a, const FlowResult& b) {
+              return a.record.start_time < b.record.start_time;
+            });
+  result.bottleneck_drops_total =
+      dumbbell.bottleneck_forward->queue().stats().dropped_packets;
+  result.bottleneck_utilization =
+      dumbbell.bottleneck_forward->utilization(simulator.now());
+  return result;
+}
+
+}  // namespace halfback::exp

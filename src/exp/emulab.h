@@ -1,0 +1,87 @@
+// The Emulab experiment runner: replays flow schedules over the Fig. 4
+// dumbbell and collects per-flow results. Shared by Figs. 10-17.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "transport/agent.h"
+#include "workload/flow_schedule.h"
+
+namespace halfback::exp {
+
+/// Role a flow plays in a mixed workload.
+enum class FlowRole : std::uint8_t { primary, competing, background };
+
+/// One flow's outcome, with network-side loss accounting.
+struct FlowResult {
+  transport::FlowRecord record;
+  FlowRole role = FlowRole::primary;
+  std::uint32_t bottleneck_drops = 0;  ///< this flow's data packets dropped
+  bool finished = false;
+  sim::Time censored_fct;  ///< elapsed time at sim end for unfinished flows
+};
+
+/// Aggregated outcome of one run.
+struct RunResult {
+  std::vector<FlowResult> flows;
+  std::uint64_t bottleneck_drops_total = 0;
+  double bottleneck_utilization = 0.0;
+  sim::Time sim_end;
+
+  /// Mean FCT in ms over finished flows of `role`; unfinished flows are
+  /// included at their censored (elapsed) time so collapse shows up
+  /// instead of being silently excluded.
+  double mean_fct_ms(FlowRole role) const;
+  stats::Summary fct_ms(FlowRole role, bool include_censored = true) const;
+  stats::Summary metric(FlowRole role, double (*extract)(const FlowResult&)) const;
+  std::size_t finished_count(FlowRole role) const;
+  std::size_t unfinished_count(FlowRole role) const;
+};
+
+/// One scheduled workload component: a schedule of flows, all using one
+/// scheme, tagged with a role.
+struct WorkloadPart {
+  schemes::Scheme scheme;
+  std::vector<workload::FlowArrival> schedule;
+  FlowRole role = FlowRole::primary;
+  /// Overrides the runner's sender config for this part's flows — e.g.
+  /// bulk background flows advertise a large receive window so they can
+  /// fill big router buffers (the §4.2.3 bufferbloat experiments), while
+  /// short flows keep the 141 KB Windows-XP default.
+  std::optional<transport::SenderConfig> sender_config;
+};
+
+/// Builds a fresh dumbbell simulation and replays workload parts on it.
+///
+/// Flows are assigned to sender/receiver host pairs round-robin; every run
+/// is deterministic given the seed and schedules.
+class EmulabRunner {
+ public:
+  struct Config {
+    net::DumbbellConfig dumbbell;
+    std::uint64_t seed = 1;
+    transport::SenderConfig sender_config;
+    schemes::HalfbackConfig halfback_config;
+    /// Extra simulated time after the last arrival before declaring
+    /// unfinished flows censored.
+    sim::Time drain = sim::Time::seconds(30);
+  };
+
+  explicit EmulabRunner(Config config) : config_{std::move(config)} {}
+
+  /// Run all parts on one fresh network.
+  RunResult run(const std::vector<WorkloadPart>& parts);
+
+ private:
+  Config config_;
+};
+
+}  // namespace halfback::exp

@@ -1,0 +1,52 @@
+// Home access network evaluation (§4.2.2, Fig. 9): clients behind four
+// residential access profiles fetch 100 KB flows from 170 wide-area
+// servers. Halfback vs TCP.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exp/planetlab.h"
+
+namespace halfback::exp {
+
+/// An access-link profile standing in for one of the paper's measured home
+/// connections (provider-level parameters; see DESIGN.md substitutions).
+struct HomeNetProfile {
+  const char* name;
+  sim::DataRate downlink;
+  sim::DataRate uplink;
+  double loss_rate;            ///< wireless residual loss
+  std::uint64_t buffer_bytes;  ///< access-router buffer (DSL = bloated)
+};
+
+/// The four §4.2.2 profiles.
+std::span<const HomeNetProfile> home_profiles();
+
+struct HomeNetConfig {
+  int server_count = 170;
+  std::uint64_t flow_bytes = 100'000;
+  std::uint64_t seed = 7;
+  transport::SenderConfig sender_config;
+  sim::Time per_trial_timeout = sim::Time::seconds(120);
+  unsigned threads = 0;
+};
+
+/// Runs one scheme against every server through one access profile.
+class HomeNetEnv {
+ public:
+  explicit HomeNetEnv(HomeNetConfig config);
+
+  /// Wide-area RTTs to the simulated servers (shared across profiles and
+  /// schemes).
+  const std::vector<sim::Time>& server_rtts() const { return server_rtts_; }
+
+  std::vector<TrialResult> run(schemes::Scheme scheme,
+                               const HomeNetProfile& profile) const;
+
+ private:
+  HomeNetConfig config_;
+  std::vector<sim::Time> server_rtts_;
+};
+
+}  // namespace halfback::exp

@@ -1,0 +1,42 @@
+// Tiny parallel-for over independent simulations.
+//
+// Each task builds and runs its own Simulator, so tasks share nothing; the
+// only coordination is the work index.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace halfback::exp {
+
+/// Run `fn(i)` for i in [0, count) on up to `threads` workers (defaults to
+/// hardware concurrency). `fn` must only touch data owned by index i.
+inline void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                         unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 4;
+  n = static_cast<unsigned>(std::min<std::size_t>(n, count));
+  if (n <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace halfback::exp

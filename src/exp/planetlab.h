@@ -1,0 +1,69 @@
+// Synthetic wide-area path ensemble standing in for the paper's PlanetLab
+// campaign (§4.2.1): 2.6 K sender/receiver pairs across five continents,
+// RTTs 0.2-400 ms, 100 KB flows.
+//
+// Substitution (see DESIGN.md): each pair becomes an AccessPath topology
+// whose RTT, bottleneck bandwidth, buffer depth and background traffic are
+// drawn from documented distributions. What the PlanetLab figures measure
+// is how each scheme behaves across heterogeneous paths — in particular
+// that the aggressive paced start overruns the slowest ~quarter of paths —
+// and the ensemble is calibrated so that roughly 25% of trials see loss,
+// matching §4.2.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "schemes/scheme.h"
+#include "transport/sender.h"
+
+namespace halfback::exp {
+
+/// One sampled wide-area path.
+struct PathSample {
+  sim::Time rtt;
+  sim::DataRate bottleneck;
+  std::uint64_t buffer_bytes = 0;
+  double random_loss = 0.0;       ///< residual wireless/overload loss
+  bool cross_traffic = false;     ///< a competing TCP flow shares the path
+};
+
+/// Outcome of one (path, scheme) trial.
+struct TrialResult {
+  transport::FlowRecord record;
+  sim::Time path_rtt;
+  bool finished = false;
+  bool saw_loss = false;  ///< any retransmission or drop observed
+};
+
+struct PlanetLabConfig {
+  int pair_count = 2600;
+  std::uint64_t flow_bytes = 100'000;
+  std::uint64_t seed = 42;
+  transport::SenderConfig sender_config;
+  sim::Time per_trial_timeout = sim::Time::seconds(120);
+  unsigned threads = 0;
+};
+
+/// The ensemble: paths are generated once from the seed, then every scheme
+/// runs over the *same* paths (fresh simulator per trial).
+class PlanetLabEnv {
+ public:
+  explicit PlanetLabEnv(PlanetLabConfig config);
+
+  const std::vector<PathSample>& paths() const { return paths_; }
+
+  /// Run one scheme across all paths.
+  std::vector<TrialResult> run(schemes::Scheme scheme) const;
+
+  /// Run a single trial (exposed for tests).
+  TrialResult run_one(schemes::Scheme scheme, const PathSample& path,
+                      std::uint64_t trial_seed) const;
+
+ private:
+  PlanetLabConfig config_;
+  std::vector<PathSample> paths_;
+};
+
+}  // namespace halfback::exp

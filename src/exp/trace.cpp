@@ -1,0 +1,140 @@
+#include "exp/trace.h"
+
+#include <memory>
+
+#include "transport/tcp_sender.h"
+
+namespace halfback::exp {
+
+const char* to_string(TraceScenario scenario) {
+  switch (scenario) {
+    case TraceScenario::optimal: return "optimal";
+    case TraceScenario::halfback: return "halfback";
+    case TraceScenario::single_tcp: return "single-tcp";
+    case TraceScenario::two_tcp_halves: return "two-tcp-halves";
+  }
+  return "?";
+}
+
+std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenario) {
+  sim::Simulator simulator{config.seed};
+  net::Network network{simulator};
+  net::DumbbellConfig dc = config.dumbbell;
+  dc.sender_count = std::max(dc.sender_count, 3);
+  dc.receiver_count = std::max(dc.receiver_count, 3);
+  net::Dumbbell dumbbell = net::build_dumbbell(network, dc);
+
+  std::vector<std::unique_ptr<transport::TransportAgent>> server_agents;
+  std::vector<std::unique_ptr<transport::TransportAgent>> client_agents;
+  for (net::NodeId id : dumbbell.senders) {
+    server_agents.push_back(
+        std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  for (net::NodeId id : dumbbell.receivers) {
+    client_agents.push_back(
+        std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+
+  schemes::SchemeContext context;
+  context.sender_config = config.sender_config;
+  context.halfback_config = config.halfback_config;
+
+  struct Tracked {
+    std::string label;
+    net::FlowId flow;
+    std::size_t pair;
+    stats::TimeSeries series;
+    std::uint32_t seen_segments = 0;
+    transport::SenderBase* sender = nullptr;
+  };
+  std::vector<std::unique_ptr<Tracked>> tracked;
+
+  auto start_flow = [&](const std::string& label, schemes::Scheme scheme,
+                        std::uint64_t bytes, std::size_t pair, sim::Time at,
+                        std::uint32_t burst_window) {
+    auto t = std::make_unique<Tracked>(
+        Tracked{label, static_cast<net::FlowId>(tracked.size() + 1), pair,
+                stats::TimeSeries{config.bucket}, 0, nullptr});
+    Tracked* raw = t.get();
+    tracked.push_back(std::move(t));
+    simulator.schedule_at(at, [&, raw, scheme, bytes, burst_window] {
+      std::unique_ptr<transport::SenderBase> sender;
+      if (burst_window > 0) {
+        // "Optimal": the whole flow leaves in one immediate burst (an ICW
+        // covering the flow), the best a sender-side scheme could do.
+        transport::SenderConfig sc = config.sender_config;
+        sc.initial_window = burst_window;
+        sender = std::make_unique<transport::TcpSender>(
+            simulator, network.node(dumbbell.senders[raw->pair]),
+            dumbbell.receivers[raw->pair], raw->flow, bytes, sc, "optimal");
+      } else {
+        sender = schemes::make_sender(scheme, context, simulator,
+                                      network.node(dumbbell.senders[raw->pair]),
+                                      dumbbell.receivers[raw->pair], raw->flow, bytes);
+      }
+      raw->sender = &server_agents[raw->pair]->start_flow(std::move(sender));
+    });
+  };
+
+  // Background TCP flow on pair 0 from t=0.
+  start_flow("background", schemes::Scheme::tcp, config.background_bytes, 0,
+             sim::Time::zero(), 0);
+
+  switch (scenario) {
+    case TraceScenario::optimal:
+      start_flow("short-optimal", schemes::Scheme::tcp, config.short_bytes, 1,
+                 config.short_start, /*burst_window=*/97);
+      break;
+    case TraceScenario::halfback:
+      start_flow("short-halfback", schemes::Scheme::halfback, config.short_bytes, 1,
+                 config.short_start, 0);
+      break;
+    case TraceScenario::single_tcp:
+      start_flow("short-tcp", schemes::Scheme::tcp, config.short_bytes, 1,
+                 config.short_start, 0);
+      break;
+    case TraceScenario::two_tcp_halves:
+      start_flow("short-tcp-1", schemes::Scheme::tcp, config.short_bytes / 2, 1,
+                 config.short_start, 0);
+      start_flow("short-tcp-2", schemes::Scheme::tcp, config.short_bytes / 2, 2,
+                 config.short_start, 0);
+      break;
+  }
+
+  // Sample receiver progress every bucket.
+  std::function<void()> sample = [&] {
+    for (auto& t : tracked) {
+      transport::Receiver* r = client_agents[t->pair]->receiver(t->flow);
+      if (r == nullptr) continue;
+      const std::uint32_t now_segments = r->stats().unique_segments;
+      if (now_segments > t->seen_segments) {
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(now_segments - t->seen_segments) *
+            net::kSegmentPayloadBytes;
+        // Attribute to the bucket that just ended.
+        t->series.add_bytes(simulator.now() - config.bucket, bytes);
+        t->seen_segments = now_segments;
+      }
+    }
+    if (simulator.now() < config.duration) {
+      simulator.schedule(config.bucket, sample);
+    }
+  };
+  simulator.schedule(config.bucket, sample);
+
+  simulator.run_until(config.duration);
+
+  std::vector<FlowTrace> out;
+  for (auto& t : tracked) {
+    FlowTrace ft;
+    ft.label = t->label;
+    ft.throughput = t->series.throughput();
+    if (t->sender != nullptr && t->sender->complete()) {
+      ft.completion = t->sender->record().completion_time;
+    }
+    out.push_back(std::move(ft));
+  }
+  return out;
+}
+
+}  // namespace halfback::exp

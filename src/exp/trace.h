@@ -1,0 +1,45 @@
+// Throughput-over-time traces (§4.3.4, Fig. 15): how a newly arriving
+// short flow disturbs a saturated background TCP flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/emulab.h"
+#include "stats/time_series.h"
+
+namespace halfback::exp {
+
+/// The four Fig. 15 panels.
+enum class TraceScenario {
+  optimal,        ///< (a) short flow delivered as one immediate burst
+  halfback,       ///< (b) short flow runs Halfback
+  single_tcp,     ///< (c) short flow runs TCP
+  two_tcp_halves  ///< (d) two TCP flows, each with half the bytes
+};
+
+const char* to_string(TraceScenario scenario);
+
+struct TraceConfig {
+  net::DumbbellConfig dumbbell;
+  std::uint64_t seed = 1;
+  transport::SenderConfig sender_config;
+  schemes::HalfbackConfig halfback_config;
+  std::uint64_t short_bytes = 100'000;
+  std::uint64_t background_bytes = 20'000'000;
+  sim::Time short_start = sim::Time::seconds(1);  ///< after bg reaches full rate
+  sim::Time bucket = sim::Time::milliseconds(60); ///< the paper's 60 ms bins
+  sim::Time duration = sim::Time::seconds(4);
+};
+
+/// Per-flow throughput series, sampled at the receiver (unique bytes
+/// delivered per bucket — "successfully transmitted packets").
+struct FlowTrace {
+  std::string label;
+  std::vector<stats::TimeSeries::Sample> throughput;
+  sim::Time completion;  ///< zero if the flow did not finish
+};
+
+std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenario);
+
+}  // namespace halfback::exp

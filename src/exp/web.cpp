@@ -1,0 +1,138 @@
+#include "exp/web.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace halfback::exp {
+
+namespace {
+
+/// Live state of one in-flight page request.
+struct PageState {
+  const workload::WebPage* page = nullptr;
+  std::size_t pair = 0;
+  std::size_t next_object = 0;
+  std::size_t completed_objects = 0;
+  PageResult result;
+};
+
+}  // namespace
+
+double WebRunOutcome::mean_response_s() const {
+  if (pages.empty()) return 0.0;
+  double total = 0.0;
+  for (const PageResult& p : pages) total += p.response_time().to_seconds();
+  return total / static_cast<double>(pages.size());
+}
+
+std::size_t WebRunOutcome::unfinished_pages() const {
+  std::size_t n = 0;
+  for (const PageResult& p : pages) n += p.finished ? 0 : 1;
+  return n;
+}
+
+WebRunOutcome WebRunner::run(schemes::Scheme scheme,
+                             const workload::WebsiteCatalog& catalog,
+                             const std::vector<workload::WebRequest>& requests) {
+  sim::Simulator simulator{config_.seed};
+  net::Network network{simulator};
+  net::Dumbbell dumbbell = net::build_dumbbell(network, config_.dumbbell);
+
+  std::vector<std::unique_ptr<transport::TransportAgent>> server_agents;
+  std::vector<std::unique_ptr<transport::TransportAgent>> client_agents;
+  for (net::NodeId id : dumbbell.senders) {
+    server_agents.push_back(
+        std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  for (net::NodeId id : dumbbell.receivers) {
+    client_agents.push_back(
+        std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  const std::size_t pair_count = server_agents.size();
+
+  schemes::SchemeContext context;
+  context.sender_config = config_.sender_config;
+  context.halfback_config = config_.halfback_config;
+
+  std::vector<std::unique_ptr<PageState>> pages;
+  net::FlowId next_flow = 1;
+
+  // Launch the next object of `state` on one connection "lane"; the lane
+  // continues with further objects as each flow completes.
+  std::function<void(PageState&)> launch_next = [&](PageState& state) {
+    if (state.next_object >= state.page->object_bytes.size()) return;
+    const std::uint64_t bytes = state.page->object_bytes[state.next_object++];
+    const net::FlowId flow = next_flow++;
+    auto sender = schemes::make_sender(
+        scheme, context, simulator, network.node(dumbbell.senders[state.pair]),
+        dumbbell.receivers[state.pair], flow, bytes);
+    server_agents[state.pair]->start_flow(
+        std::move(sender), [&, bytes](const transport::FlowRecord&) {
+          ++state.completed_objects;
+          (void)bytes;
+          if (state.completed_objects == state.page->object_bytes.size()) {
+            state.result.finished = true;
+            state.result.completed = simulator.now();
+            return;
+          }
+          if (state.completed_objects == 1) {
+            // HTML delivered: open the concurrent subresource lanes.
+            const auto lanes = std::min<std::size_t>(
+                static_cast<std::size_t>(config_.max_connections),
+                state.page->object_bytes.size() - 1);
+            for (std::size_t lane = 0; lane < lanes; ++lane) launch_next(state);
+          } else {
+            launch_next(state);  // this lane takes the next object
+          }
+        });
+  };
+
+  sim::Time last_request;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const workload::WebRequest& req = requests[i];
+    last_request = std::max(last_request, req.at);
+    auto state = std::make_unique<PageState>();
+    state->page = &catalog.page(req.page_index);
+    state->pair = i % pair_count;
+    state->result.requested = req.at;
+    state->result.objects = state->page->object_bytes.size();
+    state->result.bytes = state->page->total_bytes();
+    PageState* raw = state.get();
+    pages.push_back(std::move(state));
+    // Browser behaviour: the HTML document is fetched first on a single
+    // connection; the subresource lanes open once it arrives.
+    simulator.schedule_at(req.at, [&, raw] { launch_next(*raw); });
+  }
+
+  simulator.run_until(last_request + config_.drain);
+
+  WebRunOutcome outcome;
+  outcome.pages.reserve(pages.size());
+  for (const auto& page : pages) {
+    PageResult r = page->result;
+    if (!r.finished) r.completed = simulator.now();  // censored
+    outcome.pages.push_back(r);
+  }
+
+  double fct = 0, timeouts = 0, normal = 0, proactive = 0;
+  std::size_t flows = 0;
+  for (const auto& agent : server_agents) {
+    for (const transport::FlowRecord& record : agent->completed()) {
+      ++flows;
+      fct += record.fct().to_ms();
+      timeouts += record.timeouts;
+      normal += record.normal_retx;
+      proactive += record.proactive_retx;
+    }
+  }
+  if (flows > 0) {
+    outcome.flow_stats.flows = flows;
+    outcome.flow_stats.mean_fct_ms = fct / static_cast<double>(flows);
+    outcome.flow_stats.mean_timeouts = timeouts / static_cast<double>(flows);
+    outcome.flow_stats.mean_normal_retx = normal / static_cast<double>(flows);
+    outcome.flow_stats.mean_proactive_retx = proactive / static_cast<double>(flows);
+  }
+  return outcome;
+}
+
+}  // namespace halfback::exp

@@ -1,0 +1,61 @@
+#include "net/link.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace halfback::net {
+
+Link::Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
+           std::unique_ptr<PacketQueue> queue, double random_loss_rate)
+    : simulator_{simulator},
+      rate_{rate},
+      delay_{delay},
+      queue_{std::move(queue)},
+      random_loss_rate_{random_loss_rate},
+      loss_rng_{simulator.random().fork(0x11bbULL)} {
+  if (rate_.is_zero()) throw std::invalid_argument{"Link rate must be positive"};
+  if (!queue_) throw std::invalid_argument{"Link requires a queue"};
+}
+
+void Link::send(Packet p) {
+  if (packet_filter_ && !packet_filter_(p)) {
+    ++stats_.corrupted_packets;
+    return;
+  }
+  if (transmitting_) {
+    queue_->enqueue(std::move(p), simulator_.now());
+    return;
+  }
+  begin_transmission(std::move(p));
+}
+
+void Link::begin_transmission(Packet p) {
+  transmitting_ = true;
+  const sim::Time tx = rate_.transmission_time(p.size_bytes);
+  stats_.busy_time += tx;
+  simulator_.schedule(tx, [this, p = std::move(p)]() mutable {
+    // Serialization done: launch the packet into the propagation pipe.
+    // Multiple packets can be in flight in the pipe simultaneously.
+    const bool corrupted = random_loss_rate_ > 0.0 && loss_rng_.bernoulli(random_loss_rate_);
+    if (corrupted) {
+      ++stats_.corrupted_packets;
+    } else {
+      simulator_.schedule(delay_, [this, p = std::move(p)]() mutable {
+        ++stats_.delivered_packets;
+        stats_.delivered_bytes += p.size_bytes;
+        if (receiver_) receiver_(std::move(p));
+      });
+    }
+    on_transmission_complete();
+  });
+}
+
+void Link::on_transmission_complete() {
+  if (auto next = queue_->dequeue(simulator_.now())) {
+    begin_transmission(std::move(*next));
+  } else {
+    transmitting_ = false;
+  }
+}
+
+}  // namespace halfback::net

@@ -1,0 +1,78 @@
+// Unidirectional point-to-point link with an egress queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/data_rate.h"
+#include "sim/simulator.h"
+
+namespace halfback::net {
+
+/// Counters a link maintains.
+struct LinkStats {
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t corrupted_packets = 0;  ///< random-loss drops
+  sim::Time busy_time;                  ///< total serialization time
+};
+
+/// One direction of a point-to-point link.
+///
+/// Models serialization at `rate`, propagation over `delay`, an egress
+/// queue for contention, and (optionally, for wireless access profiles) a
+/// random per-packet error rate applied after serialization.
+class Link {
+ public:
+  Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
+       std::unique_ptr<PacketQueue> queue, double random_loss_rate = 0.0);
+
+  /// Where delivered packets go (the far-end node).
+  void set_receiver(std::function<void(Packet)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+  /// Current delivery target (empty if none) — lets taps chain.
+  const std::function<void(Packet)>& receiver() const { return receiver_; }
+
+  /// Fault-injection hook: packets for which the filter returns false are
+  /// dropped before entering the queue (counted as corrupted). Used by
+  /// tests and the Fig. 3 walkthrough to force specific losses.
+  void set_packet_filter(std::function<bool(const Packet&)> filter) {
+    packet_filter_ = std::move(filter);
+  }
+
+  /// Hand a packet to the link. It is queued if the transmitter is busy and
+  /// may be dropped by the queue discipline.
+  void send(Packet p);
+
+  sim::DataRate rate() const { return rate_; }
+  sim::Time propagation_delay() const { return delay_; }
+  PacketQueue& queue() { return *queue_; }
+  const PacketQueue& queue() const { return *queue_; }
+  const LinkStats& stats() const { return stats_; }
+
+  /// Fraction of [0, now] this link spent serializing packets.
+  double utilization(sim::Time now) const {
+    return now.is_zero() ? 0.0 : stats_.busy_time / now;
+  }
+
+ private:
+  void begin_transmission(Packet p);
+  void on_transmission_complete();
+
+  sim::Simulator& simulator_;
+  sim::DataRate rate_;
+  sim::Time delay_;
+  std::unique_ptr<PacketQueue> queue_;
+  double random_loss_rate_;
+  sim::Random loss_rng_;
+  std::function<void(Packet)> receiver_;
+  std::function<bool(const Packet&)> packet_filter_;
+  bool transmitting_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace halfback::net

@@ -1,0 +1,33 @@
+#include "net/node.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/link.h"
+
+namespace halfback::net {
+
+void Node::handle(Packet p) {
+  if (p.dst == id_) {
+    if (local_handler_) local_handler_(std::move(p));
+    return;
+  }
+  auto route = routes_.find(p.dst);
+  if (route == routes_.end()) {
+    throw std::logic_error{"node " + std::to_string(id_) + " has no route to " +
+                           std::to_string(p.dst)};
+  }
+  auto egress = egress_.find(route->second);
+  if (egress == egress_.end()) {
+    throw std::logic_error{"node " + std::to_string(id_) + " has no link to next hop " +
+                           std::to_string(route->second)};
+  }
+  egress->second->send(std::move(p));
+}
+
+bool Node::has_route_to(NodeId dest) const {
+  return dest == id_ || routes_.contains(dest);
+}
+
+}  // namespace halfback::net

@@ -1,0 +1,34 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace halfback::net {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::syn: return "SYN";
+    case PacketType::syn_ack: return "SYN-ACK";
+    case PacketType::data: return "DATA";
+    case PacketType::ack: return "ACK";
+  }
+  return "?";
+}
+
+std::string Packet::to_string() const {
+  char buf[160];
+  if (type == PacketType::data) {
+    std::snprintf(buf, sizeof buf, "DATA flow=%llu seq=%u/%u%s%s uid=%llu",
+                  static_cast<unsigned long long>(flow), seq, total_segments,
+                  is_retx ? " retx" : "", is_proactive ? " proactive" : "",
+                  static_cast<unsigned long long>(uid));
+  } else if (type == PacketType::ack) {
+    std::snprintf(buf, sizeof buf, "ACK flow=%llu cum=%u sacks=%zu",
+                  static_cast<unsigned long long>(flow), cum_ack, sacks.size());
+  } else {
+    std::snprintf(buf, sizeof buf, "%s flow=%llu", net::to_string(type),
+                  static_cast<unsigned long long>(flow));
+  }
+  return buf;
+}
+
+}  // namespace halfback::net

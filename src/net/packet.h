@@ -1,0 +1,90 @@
+// Wire packets exchanged by simulated hosts.
+//
+// The transport in this codebase (like the paper's UDT substrate) works at
+// segment granularity: a data packet carries one MSS-sized segment and is
+// identified by its segment index within the flow, not a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace halfback::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+/// Wire sizes, matching the paper's setup: "the segment size is 1500 bytes
+/// including the header".
+inline constexpr std::uint32_t kSegmentWireBytes = 1500;
+inline constexpr std::uint32_t kHeaderBytes = 52;
+inline constexpr std::uint32_t kSegmentPayloadBytes = kSegmentWireBytes - kHeaderBytes;
+inline constexpr std::uint32_t kAckWireBytes = 52;
+inline constexpr std::uint32_t kControlWireBytes = 52;  // SYN / SYN-ACK
+
+enum class PacketType : std::uint8_t {
+  syn,
+  syn_ack,
+  data,
+  ack,
+};
+
+const char* to_string(PacketType t);
+
+/// A half-open range of segment indices [begin, end) reported by a
+/// selective acknowledgement.
+struct SackBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  bool operator==(const SackBlock&) const = default;
+};
+
+/// A simulated packet. Value type; links copy it as it propagates.
+struct Packet {
+  FlowId flow = 0;
+  PacketType type = PacketType::data;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t size_bytes = 0;
+
+  /// data: segment index carried. ack: echoes the segment being acked
+  /// (used by the sender for tracing; RTT sampling uses echo_uid).
+  std::uint32_t seq = 0;
+
+  /// ack: cumulative acknowledgement — the lowest segment index the
+  /// receiver has NOT yet received.
+  std::uint32_t cum_ack = 0;
+
+  /// data/syn: flow length in segments, so the receiver knows when the
+  /// flow is complete.
+  std::uint32_t total_segments = 0;
+
+  /// ack: selective acknowledgement blocks above cum_ack (most recent
+  /// first, bounded length like a real SACK option).
+  std::vector<SackBlock> sacks;
+
+  /// data: true when this is any kind of retransmission.
+  bool is_retx = false;
+  /// Service priority: 0 = normal, 1 = background/low (RC3's RLP copies).
+  /// Only PriorityQueue bottlenecks differentiate; other queues ignore it.
+  std::uint8_t priority = 0;
+  /// data: true when this is a *proactive* retransmission (ROPR or
+  /// Proactive-TCP duplicate), as opposed to a loss-triggered one.
+  bool is_proactive = false;
+
+  /// Unique id of this transmission (every send, including retransmissions,
+  /// gets a fresh uid). ACKs echo the uid of the packet that triggered them
+  /// so senders can take Karn-safe RTT samples.
+  std::uint64_t uid = 0;
+  std::uint64_t echo_uid = 0;
+
+  /// Time the packet was handed to the first link (for tracing).
+  sim::Time sent_at;
+
+  std::string to_string() const;
+};
+
+}  // namespace halfback::net

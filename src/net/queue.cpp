@@ -1,0 +1,142 @@
+#include "net/queue.h"
+
+#include <cmath>
+
+namespace halfback::net {
+
+bool DropTailQueue::enqueue(Packet p, sim::Time /*now*/) {
+  if (bytes_ + p.size_bytes > capacity_bytes_) {
+    record_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  packets_.push_back(std::move(p));
+  record_enqueue(packets_.back());
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(sim::Time /*now*/) {
+  if (packets_.empty()) return std::nullopt;
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+bool PriorityQueue::enqueue(Packet p, sim::Time /*now*/) {
+  const std::size_t band = p.priority == 0 ? 0 : 1;
+  if (bytes_[band] + p.size_bytes > band_capacity_bytes_) {
+    record_drop(p);
+    return false;
+  }
+  bytes_[band] += p.size_bytes;
+  bands_[band].push_back(std::move(p));
+  record_enqueue(bands_[band].back());
+  return true;
+}
+
+std::optional<Packet> PriorityQueue::dequeue(sim::Time /*now*/) {
+  for (std::size_t band = 0; band < 2; ++band) {
+    if (bands_[band].empty()) continue;
+    Packet p = std::move(bands_[band].front());
+    bands_[band].pop_front();
+    bytes_[band] -= p.size_bytes;
+    return p;
+  }
+  return std::nullopt;
+}
+
+bool CoDelQueue::enqueue(Packet p, sim::Time now) {
+  if (bytes_ + p.size_bytes > config_.capacity_bytes) {
+    record_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  packets_.push_back(Entry{now, std::move(p)});
+  record_enqueue(packets_.back().packet);
+  return true;
+}
+
+sim::Time CoDelQueue::control_law(sim::Time t) const {
+  return t + config_.interval / std::sqrt(static_cast<double>(std::max(drop_count_, 1)));
+}
+
+std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
+  while (!packets_.empty()) {
+    Entry entry = std::move(packets_.front());
+    packets_.pop_front();
+    bytes_ -= entry.packet.size_bytes;
+    const sim::Time sojourn = now - entry.enqueued_at;
+
+    if (sojourn < config_.target || bytes_ == 0) {
+      // Sojourn back under control: leave the dropping state.
+      first_above_time_ = sim::Time::zero();
+      if (dropping_) dropping_ = false;
+      return entry.packet;
+    }
+
+    if (first_above_time_.is_zero()) {
+      // Start the grace interval before the first drop.
+      first_above_time_ = now + config_.interval;
+      return entry.packet;
+    }
+
+    if (!dropping_) {
+      if (now >= first_above_time_) {
+        dropping_ = true;
+        drop_count_ = std::max(1, drop_count_ / 2);  // CoDel's hysteresis
+        drop_next_ = control_law(now);
+        record_drop(entry.packet);
+        continue;  // drop and look at the next packet
+      }
+      return entry.packet;
+    }
+
+    // Dropping state: drop whenever the control-law clock fires.
+    if (now >= drop_next_) {
+      ++drop_count_;
+      drop_next_ = control_law(drop_next_);
+      record_drop(entry.packet);
+      continue;
+    }
+    return entry.packet;
+  }
+  return std::nullopt;
+}
+
+bool RedQueue::enqueue(Packet p, sim::Time /*now*/) {
+  // Update the EWMA of the backlog on every arrival.
+  avg_bytes_ = (1.0 - config_.ewma_weight) * avg_bytes_ +
+               config_.ewma_weight * static_cast<double>(bytes_);
+
+  const double min_th = config_.min_threshold_frac * static_cast<double>(config_.capacity_bytes);
+  const double max_th = config_.max_threshold_frac * static_cast<double>(config_.capacity_bytes);
+
+  bool drop = false;
+  if (bytes_ + p.size_bytes > config_.capacity_bytes) {
+    drop = true;  // hard limit
+  } else if (avg_bytes_ >= max_th) {
+    drop = true;
+  } else if (avg_bytes_ > min_th) {
+    double drop_p = config_.max_drop_probability * (avg_bytes_ - min_th) / (max_th - min_th);
+    drop = rng_.bernoulli(drop_p);
+  }
+  if (drop) {
+    record_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  packets_.push_back(std::move(p));
+  record_enqueue(packets_.back());
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(sim::Time /*now*/) {
+  if (packets_.empty()) return std::nullopt;
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+}  // namespace halfback::net

@@ -1,0 +1,198 @@
+// Router queue disciplines.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace halfback::net {
+
+/// Queue disciplines a link can use.
+enum class QueueKind : std::uint8_t {
+  drop_tail,  ///< FIFO, byte-bounded (the paper's default)
+  red,        ///< Random Early Detection
+  codel,      ///< CoDel (sojourn-time AQM)
+  priority,   ///< two-band strict priority (RC3's in-network support)
+};
+
+/// Counters every queue maintains.
+struct QueueStats {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t max_backlog_bytes = 0;
+};
+
+/// Interface for an egress queue attached to a link.
+///
+/// Implementations decide admission (drop policy); the link drains the
+/// queue in FIFO order as transmissions complete.
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  /// Try to admit `p`. Returns false (and records a drop) if the packet was
+  /// discarded.
+  virtual bool enqueue(Packet p, sim::Time now) = 0;
+
+  /// Remove the next packet to transmit, if any.
+  virtual std::optional<Packet> dequeue(sim::Time now) = 0;
+
+  virtual std::uint64_t byte_length() const = 0;
+  virtual std::size_t packet_count() const = 0;
+
+  const QueueStats& stats() const { return stats_; }
+
+  /// Invoked for every dropped packet (for per-flow loss accounting).
+  void set_drop_callback(std::function<void(const Packet&)> cb) {
+    drop_callback_ = std::move(cb);
+  }
+  /// Currently-installed drop callback (empty if none) — lets taps chain.
+  const std::function<void(const Packet&)>& drop_callback() const {
+    return drop_callback_;
+  }
+
+ protected:
+  void record_enqueue(const Packet& p) {
+    ++stats_.enqueued_packets;
+    stats_.enqueued_bytes += p.size_bytes;
+    stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, byte_length());
+  }
+  void record_drop(const Packet& p) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += p.size_bytes;
+    if (drop_callback_) drop_callback_(p);
+  }
+
+ private:
+  QueueStats stats_;
+  std::function<void(const Packet&)> drop_callback_;
+};
+
+/// Classic FIFO drop-tail queue bounded in bytes — the discipline used at
+/// the paper's Emulab bottleneck.
+class DropTailQueue final : public PacketQueue {
+ public:
+  explicit DropTailQueue(std::uint64_t capacity_bytes)
+      : capacity_bytes_{capacity_bytes} {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::uint64_t byte_length() const override { return bytes_; }
+  std::size_t packet_count() const override { return packets_.size(); }
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::uint64_t bytes_ = 0;
+  std::deque<Packet> packets_;
+};
+
+/// CoDel [Nichols & Jacobson], the modern AQM the paper's §6 cites: drops
+/// based on packet *sojourn time* rather than queue length. Provided so the
+/// bufferbloat experiments can show that AQM (reducing the RTT) and
+/// Halfback (reducing the number of RTTs) are complementary.
+class CoDelQueue final : public PacketQueue {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 0;              ///< hard limit
+    sim::Time target = sim::Time::milliseconds(5);  ///< acceptable sojourn
+    sim::Time interval = sim::Time::milliseconds(100);
+  };
+
+  explicit CoDelQueue(Config config) : config_{config} {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::uint64_t byte_length() const override { return bytes_; }
+  std::size_t packet_count() const override { return packets_.size(); }
+
+  bool dropping() const { return dropping_; }
+
+ private:
+  /// Next drop instant in the dropping state: interval / sqrt(count).
+  sim::Time control_law(sim::Time t) const;
+
+  struct Entry {
+    sim::Time enqueued_at;
+    Packet packet;
+  };
+
+  Config config_;
+  std::uint64_t bytes_ = 0;
+  std::deque<Entry> packets_;
+  bool dropping_ = false;
+  sim::Time first_above_time_;   ///< zero = sojourn not persistently above
+  sim::Time drop_next_;
+  int drop_count_ = 0;
+};
+
+/// Two-band strict-priority queue: band 0 (normal) is always served before
+/// band 1 (low priority). This is the in-network support RC3 [Mittal et
+/// al., NSDI '14] depends on — its Recursive Low Priority copies ride band
+/// 1 and are only forwarded when the link would otherwise idle. Each band
+/// has its own byte budget of the full capacity, so low-priority occupancy
+/// can never cause a normal-priority drop.
+class PriorityQueue final : public PacketQueue {
+ public:
+  explicit PriorityQueue(std::uint64_t capacity_bytes)
+      : band_capacity_bytes_{capacity_bytes} {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::uint64_t byte_length() const override { return bytes_[0] + bytes_[1]; }
+  std::size_t packet_count() const override {
+    return bands_[0].size() + bands_[1].size();
+  }
+
+  std::uint64_t band_bytes(int band) const {
+    return bytes_[static_cast<std::size_t>(band)];
+  }
+
+ private:
+  std::uint64_t band_capacity_bytes_;
+  std::uint64_t bytes_[2] = {0, 0};
+  std::deque<Packet> bands_[2];
+};
+
+/// Random Early Detection (gentle RED), provided as the AQM point of
+/// comparison for the bufferbloat discussion (§6 of the paper): AQM reduces
+/// RTT inflation and is complementary to Halfback's fewer-RTTs approach.
+class RedQueue final : public PacketQueue {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 0;  ///< hard limit
+    double min_threshold_frac = 0.25;  ///< of capacity
+    double max_threshold_frac = 0.75;  ///< of capacity
+    double max_drop_probability = 0.1;
+    double ewma_weight = 0.002;
+  };
+
+  RedQueue(Config config, sim::Random rng)
+      : config_{config}, rng_{std::move(rng)} {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::uint64_t byte_length() const override { return bytes_; }
+  std::size_t packet_count() const override { return packets_.size(); }
+
+  double average_backlog_bytes() const { return avg_bytes_; }
+
+ private:
+  Config config_;
+  sim::Random rng_;
+  std::uint64_t bytes_ = 0;
+  double avg_bytes_ = 0.0;
+  std::deque<Packet> packets_;
+};
+
+}  // namespace halfback::net

@@ -1,0 +1,83 @@
+#include "net/tracer.h"
+
+#include <utility>
+
+namespace halfback::net {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::delivered: return "DELIVER";
+    case TraceEventKind::queue_drop: return "DROP";
+    case TraceEventKind::local_arrival: return "ARRIVE";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.3f ms  %-8s %-12s ", at.to_ms(),
+                net::to_string(kind), where.c_str());
+  return buf + packet.to_string();
+}
+
+void PacketTracer::record(TraceEventKind kind, const Packet& packet,
+                          const std::string& where) {
+  TraceEvent event{simulator_.now(), kind, packet, where};
+  if (filter_ && !filter_(event)) return;
+  events_.push_back(std::move(event));
+}
+
+void PacketTracer::tap_link(Link& link, std::string label) {
+  auto downstream = link.receiver();
+  link.set_receiver(
+      [this, label = std::move(label), downstream = std::move(downstream)](Packet p) {
+        record(TraceEventKind::delivered, p, label);
+        if (downstream) downstream(std::move(p));
+      });
+}
+
+void PacketTracer::tap_queue(Link& link, std::string label) {
+  auto downstream = link.queue().drop_callback();
+  link.queue().set_drop_callback(
+      [this, label = std::move(label), downstream = std::move(downstream)](
+          const Packet& p) {
+        record(TraceEventKind::queue_drop, p, label);
+        if (downstream) downstream(p);
+      });
+}
+
+void PacketTracer::tap_node(Node& node, std::string label) {
+  auto downstream = node.local_handler();
+  node.set_local_handler(
+      [this, label = std::move(label), downstream = std::move(downstream)](Packet p) {
+        record(TraceEventKind::local_arrival, p, label);
+        if (downstream) downstream(std::move(p));
+      });
+}
+
+std::vector<TraceEvent> PacketTracer::events_of(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> PacketTracer::events_for_flow(FlowId flow) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.packet.flow == flow) out.push_back(e);
+  }
+  return out;
+}
+
+std::string PacketTracer::timeline() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace halfback::net

@@ -1,0 +1,85 @@
+// Structured packet tracing: observe every delivery, drop, and local
+// arrival in a simulation and render a timeline.
+//
+// The tracer taps links (delivery + queue-drop callbacks) and node local
+// handlers without disturbing them, records typed events, and can render a
+// human-readable timeline or filter programmatically. Used by the Fig. 3
+// walkthrough and available for debugging any experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace halfback::net {
+
+/// What happened to a packet at one observation point.
+enum class TraceEventKind : std::uint8_t {
+  delivered,     ///< left a link into its far-end node
+  queue_drop,    ///< discarded by a queue discipline
+  local_arrival  ///< reached its destination's protocol stack
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  sim::Time at;
+  TraceEventKind kind;
+  Packet packet;     ///< a copy at observation time
+  std::string where; ///< label of the observation point
+
+  std::string to_string() const;
+};
+
+/// Collects TraceEvents from taps installed on links and nodes.
+class PacketTracer {
+ public:
+  explicit PacketTracer(sim::Simulator& simulator) : simulator_{simulator} {}
+
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  /// Observe deliveries through `link`. Chains after any existing receiver,
+  /// so install taps after the topology (and its receivers) are wired.
+  void tap_link(Link& link, std::string label);
+
+  /// Observe drops at `link`'s queue. Replaces any existing drop callback,
+  /// so install experiment drop accounting through the tracer's filter
+  /// instead when both are needed.
+  void tap_queue(Link& link, std::string label);
+
+  /// Observe packets delivered to `node`'s protocol stack. Chains in front
+  /// of the currently-installed local handler.
+  void tap_node(Node& node, std::string label);
+
+  /// Only record events matching this predicate (default: everything).
+  void set_filter(std::function<bool(const TraceEvent&)> filter) {
+    filter_ = std::move(filter);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind (convenience for assertions).
+  std::vector<TraceEvent> events_of(TraceEventKind kind) const;
+
+  /// Events concerning one flow.
+  std::vector<TraceEvent> events_for_flow(FlowId flow) const;
+
+  /// Render the whole timeline, one event per line.
+  std::string timeline() const;
+
+ private:
+  void record(TraceEventKind kind, const Packet& packet, const std::string& where);
+
+  sim::Simulator& simulator_;
+  std::vector<TraceEvent> events_;
+  std::function<bool(const TraceEvent&)> filter_;
+};
+
+}  // namespace halfback::net

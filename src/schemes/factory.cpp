@@ -1,0 +1,79 @@
+#include "schemes/factory.h"
+
+#include <stdexcept>
+
+#include "schemes/jumpstart.h"
+#include "schemes/pcp.h"
+#include "schemes/proactive.h"
+#include "schemes/rc3.h"
+#include "schemes/reactive.h"
+#include "transport/tcp_sender.h"
+
+namespace halfback::schemes {
+
+std::unique_ptr<transport::SenderBase> make_sender(
+    Scheme scheme, SchemeContext& context, sim::Simulator& simulator,
+    net::Node& local_node, net::NodeId peer, net::FlowId flow,
+    std::uint64_t flow_bytes) {
+  transport::SenderConfig config = context.sender_config;
+  switch (scheme) {
+    case Scheme::tcp:
+      return std::make_unique<transport::TcpSender>(
+          simulator, local_node, peer, flow, flow_bytes, config, "tcp");
+    case Scheme::tcp10:
+      config.initial_window = 10;
+      return std::make_unique<transport::TcpSender>(
+          simulator, local_node, peer, flow, flow_bytes, config, "tcp10");
+    case Scheme::tcp_cache: {
+      if (!context.path_cache) {
+        context.path_cache = std::make_shared<PathCache>(context.path_cache_max_age);
+      }
+      return std::make_unique<TcpCacheSender>(simulator, local_node, peer, flow,
+                                              flow_bytes, config, context.path_cache);
+    }
+    case Scheme::reactive:
+      return std::make_unique<ReactiveSender>(simulator, local_node, peer, flow,
+                                              flow_bytes, config);
+    case Scheme::proactive:
+      return std::make_unique<ProactiveSender>(simulator, local_node, peer, flow,
+                                               flow_bytes, config);
+    case Scheme::jumpstart:
+      return std::make_unique<JumpStartSender>(simulator, local_node, peer, flow,
+                                               flow_bytes, config);
+    case Scheme::pcp:
+      return std::make_unique<PcpSender>(simulator, local_node, peer, flow,
+                                         flow_bytes, config);
+    case Scheme::halfback: {
+      HalfbackConfig h = context.halfback_config;
+      h.order = HalfbackConfig::Order::reverse;
+      h.rate = HalfbackConfig::RetxRate::ack_clocked;
+      if (h.history_threshold && !context.throughput_history) {
+        context.throughput_history = std::make_shared<ThroughputHistory>();
+      }
+      return std::make_unique<HalfbackSender>(simulator, local_node, peer, flow,
+                                              flow_bytes, config, h, "halfback",
+                                              context.throughput_history);
+    }
+    case Scheme::halfback_forward: {
+      HalfbackConfig h = context.halfback_config;
+      h.order = HalfbackConfig::Order::forward;
+      h.rate = HalfbackConfig::RetxRate::ack_clocked;
+      return std::make_unique<HalfbackSender>(simulator, local_node, peer, flow,
+                                              flow_bytes, config, h,
+                                              "halfback-forward");
+    }
+    case Scheme::rc3:
+      return std::make_unique<Rc3Sender>(simulator, local_node, peer, flow,
+                                         flow_bytes, config);
+    case Scheme::halfback_burst: {
+      HalfbackConfig h = context.halfback_config;
+      h.order = HalfbackConfig::Order::reverse;
+      h.rate = HalfbackConfig::RetxRate::line_rate;
+      return std::make_unique<HalfbackSender>(simulator, local_node, peer, flow,
+                                              flow_bytes, config, h, "halfback-burst");
+    }
+  }
+  throw std::invalid_argument{"unknown scheme"};
+}
+
+}  // namespace halfback::schemes

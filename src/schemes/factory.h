@@ -1,0 +1,33 @@
+// Construct a sender for any scheme.
+#pragma once
+
+#include <memory>
+
+#include "net/network.h"
+#include "schemes/halfback.h"
+#include "schemes/scheme.h"
+#include "schemes/tcp_cache.h"
+#include "transport/sender.h"
+
+namespace halfback::schemes {
+
+/// Everything a scheme may need beyond the per-flow parameters.
+struct SchemeContext {
+  transport::SenderConfig sender_config;  ///< shared transport knobs
+  HalfbackConfig halfback_config;         ///< Halfback / ablation knobs
+  std::shared_ptr<PathCache> path_cache;  ///< created on demand for TCP-Cache
+  /// Aging horizon for on-demand-created path caches (§6: aged entries
+  /// draw back to slow start). Zero = never ages.
+  sim::Time path_cache_max_age;
+  /// Created on demand when halfback_config.history_threshold is set.
+  std::shared_ptr<ThroughputHistory> throughput_history;
+};
+
+/// Build a sender of the given scheme for one flow. `local_node` must be a
+/// node of `network`; the caller hands the result to a TransportAgent.
+std::unique_ptr<transport::SenderBase> make_sender(
+    Scheme scheme, SchemeContext& context, sim::Simulator& simulator,
+    net::Node& local_node, net::NodeId peer, net::FlowId flow,
+    std::uint64_t flow_bytes);
+
+}  // namespace halfback::schemes

@@ -1,0 +1,57 @@
+// JumpStart [Liu et al., PFLDNeT '07]: transmit the entire (short) flow
+// paced across the first RTT, then fall back to normal TCP.
+#pragma once
+
+#include "schemes/paced_start.h"
+
+namespace halfback::schemes {
+
+/// JumpStart: aggressive paced startup with TCP's reactive-only recovery.
+///
+/// The critical behaviour the paper diagnoses (§2.2): "JumpStart uses TCP's
+/// retransmission mechanism and will aggressively burst out all lost
+/// packets and will often incur even more loss." We model that burst
+/// explicitly — every newly detected loss is retransmitted immediately at
+/// line rate, outside any congestion-window budget.
+class JumpStartSender final : public PacedStartSender {
+ public:
+  JumpStartSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+                  net::FlowId flow, std::uint64_t flow_bytes,
+                  transport::SenderConfig config)
+      : PacedStartSender{simulator,
+                         local_node,
+                         peer,
+                         flow,
+                         flow_bytes,
+                         config,
+                         config.receive_window_segments,
+                         "jumpstart"} {}
+
+ protected:
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override {
+    TcpSender::handle_ack(ack, update);
+    // Bursty recovery: whatever the SACK scoreboard deems lost goes out
+    // back to back, and is burst *again* every NAK round it stays unfilled
+    // ("each lost packet may require multiple retransmissions", §4.2.3).
+    burst_stale_lost_segments();
+  }
+
+  void on_timeout() override {
+    PacedStartSender::on_timeout();  // abort pacing, collapse cwnd, retransmit hole
+    // The UDT substrate's EXP timeout is go-back-N: every segment not yet
+    // covered by the *cumulative* ACK goes back on the wire at line rate,
+    // SACKed or not. Flows that lost packets together time out together,
+    // and their synchronized full-window bursts collide again — the
+    // repeated-loss / repeated-timeout spiral behind JumpStart's early
+    // performance collapse (§2.2, §4.3.1).
+    scoreboard_.mark_all_outstanding_lost();
+    for (std::uint32_t seq = scoreboard_.cum_ack(); seq < scoreboard_.highest_sent();
+         ++seq) {
+      const transport::SegmentState* s = scoreboard_.state(seq);
+      if (s != nullptr && s->times_sent > 0) send_segment(seq);
+    }
+    if (!rto_armed()) arm_rto();
+  }
+};
+
+}  // namespace halfback::schemes

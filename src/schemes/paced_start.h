@@ -1,0 +1,154 @@
+// Shared machinery for schemes that pace their initial batch over one RTT
+// (JumpStart and all Halfback variants).
+#pragma once
+
+#include <algorithm>
+
+#include "transport/tcp_sender.h"
+
+namespace halfback::schemes {
+
+/// TCP sender whose startup phase paces segments evenly across one RTT
+/// (the handshake sample) instead of slow-starting.
+///
+/// The batch is min(flow size, receive window, pacing threshold). After the
+/// batch, behaviour returns to the subclass: JumpStart falls back to plain
+/// (bursty) TCP, Halfback enters its ROPR phase.
+class PacedStartSender : public transport::TcpSender {
+ public:
+  /// Pacing-timer granularity. The paper's schemes are user-space UDT
+  /// implementations (§4.1), and a user-space pacer fires on a coarse
+  /// timer: segments due within one tick leave as a back-to-back clump at
+  /// line rate. This quantization is what makes overlapping paced flows
+  /// overflow a BDP-sized buffer — with idealized per-packet pacing the
+  /// 115 KB Emulab buffer would absorb two overlapping 100 KB flows
+  /// loss-free and the paper's §4.3 loss dynamics would not reproduce.
+  /// Tests that need ideal pacing set this to zero.
+  static constexpr auto kDefaultPacingQuantum = sim::Time::milliseconds(10);
+
+  PacedStartSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+                   net::FlowId flow, std::uint64_t flow_bytes,
+                   transport::SenderConfig config, std::uint32_t pacing_threshold_segments,
+                   std::string scheme_name,
+                   sim::Time pacing_quantum = kDefaultPacingQuantum,
+                   std::uint32_t initial_burst_segments = 0)
+      : TcpSender{simulator, local_node, peer,  flow,
+                  flow_bytes, config,    std::move(scheme_name)},
+        pacing_threshold_segments_{pacing_threshold_segments},
+        pacing_quantum_{pacing_quantum},
+        initial_burst_segments_{initial_burst_segments} {}
+
+  ~PacedStartSender() override { pace_event_.cancel(); }
+
+  bool pacing_done() const { return pacing_done_; }
+  std::uint32_t batch_end() const { return batch_end_; }
+
+ protected:
+  void on_established() override {
+    batch_end_ = std::min({total_segments(), config_.receive_window_segments,
+                           pacing_threshold_segments_});
+    // The whole batch is "released" at once: post-pacing TCP machinery
+    // starts from a window covering everything already in flight.
+    cwnd_ = static_cast<double>(batch_end_);
+    ssthresh_ = cwnd_;
+    // §4.2.4 refinement: optionally blast an initial window as a burst
+    // before pacing, so tiny flows don't pay a full pacing RTT.
+    const std::uint32_t burst = std::min(initial_burst_segments_, batch_end_);
+    for (std::uint32_t seq = 0; seq < burst; ++seq) send_segment(seq);
+    if (burst >= batch_end_) {
+      finish_pacing();
+      if (scoreboard_.pipe() > 0 && !rto_armed()) arm_rto();
+      return;
+    }
+    // Pace the batch evenly across the measured RTT (§3.1): for n segments,
+    // one every RTT/n, the first immediately.
+    pace_interval_ = record_.handshake_rtt / static_cast<double>(batch_end_);
+    pace_next();
+  }
+
+  /// Called once, when the last batch segment has been handed to the NIC.
+  virtual void on_pacing_complete() {}
+
+  void on_timeout() override {
+    // An RTO during the pacing phase aborts pacing (everything outstanding
+    // is marked lost anyway and will be recovered by TCP machinery).
+    if (!pacing_done_) finish_pacing();
+    TcpSender::on_timeout();
+  }
+
+  /// During the pacing phase new data leaves only through the pacer.
+  std::uint32_t new_data_limit() const override {
+    if (!pacing_done_) return 0;
+    return TcpSender::new_data_limit();
+  }
+
+  /// UDT-style NAK-driven recovery (§4.1: the schemes are implemented over
+  /// UDT with selective ACKs): every segment still deemed lost and not yet
+  /// SACKed is retransmitted again once per RTT round, at line rate. This
+  /// is the "propensity to retransmit the same packets multiple times" the
+  /// paper diagnoses in JumpStart; for Halfback the same machinery runs,
+  /// but ROPR's copies usually fill the holes before a second round fires.
+  void burst_stale_lost_segments(double rounds_per_rtt = 1.0) {
+    const sim::Time now = simulator_.now();
+    const sim::Time round = smoothed_rtt() / rounds_per_rtt;
+    for (std::uint32_t seq = scoreboard_.cum_ack(); seq < scoreboard_.highest_sent();
+         ++seq) {
+      const transport::SegmentState* s = scoreboard_.state(seq);
+      if (s == nullptr || !s->lost || s->sacked || s->times_sent == 0) continue;
+      if (now - s->last_sent >= round) send_segment(seq);
+    }
+  }
+
+  /// Subclasses may adjust the threshold before on_established() runs
+  /// (Halfback's history-based threshold option).
+  void set_pacing_threshold_segments(std::uint32_t segments) {
+    pacing_threshold_segments_ = std::max(1u, segments);
+  }
+
+ private:
+  void pace_next() {
+    if (complete()) return;
+    // Send every segment due in this timer tick as one clump.
+    const std::int64_t due = pacing_quantum_ > pace_interval_
+                                 ? std::max<std::int64_t>(
+                                       1, pacing_quantum_.ns() / pace_interval_.ns())
+                                 : 1;
+    for (std::int64_t i = 0; i < due; ++i) {
+      auto next = scoreboard_.next_unsent();
+      if (!next.has_value() || *next >= batch_end_) {
+        finish_pacing();
+        return;
+      }
+      send_segment(*next);
+    }
+    if (scoreboard_.pipe() > 0 && !rto_armed()) arm_rto();
+    auto upcoming = scoreboard_.next_unsent();
+    if (!upcoming.has_value() || *upcoming >= batch_end_) {
+      finish_pacing();
+      return;
+    }
+    pace_event_ = simulator_.schedule(pace_interval_ * static_cast<double>(due),
+                                      [this] { pace_next(); });
+  }
+
+  void finish_pacing() {
+    if (pacing_done_) return;
+    pacing_done_ = true;
+    pace_event_.cancel();
+    // The pacer may finish within one timer tick (RTT shorter than the
+    // pacing quantum); the retransmission timer must be armed regardless,
+    // or a fully-lost batch would never recover.
+    if (scoreboard_.pipe() > 0 && !rto_armed()) arm_rto();
+    on_pacing_complete();
+  }
+
+  std::uint32_t pacing_threshold_segments_;
+  sim::Time pacing_quantum_;
+  std::uint32_t initial_burst_segments_ = 0;
+  std::uint32_t batch_end_ = 0;
+  sim::Time pace_interval_;
+  bool pacing_done_ = false;
+  sim::EventHandle pace_event_;
+};
+
+}  // namespace halfback::schemes

@@ -1,0 +1,29 @@
+// Proactive TCP [Flach et al., SIGCOMM '13]: "transmits two copies of
+// every packet in a short flow". 100% proactive bandwidth overhead.
+#pragma once
+
+#include "transport/tcp_sender.h"
+
+namespace halfback::schemes {
+
+/// TCP whose every data transmission is immediately followed by a duplicate
+/// copy. The duplicate is flagged proactive so it is not counted as a
+/// normal (loss-triggered) retransmission and does not occupy the pipe a
+/// second time. The paper shows this doubling collapses the network at
+/// ~45% utilization (Fig. 12).
+class ProactiveSender final : public transport::TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  ProactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+                  net::FlowId flow, std::uint64_t flow_bytes,
+                  transport::SenderConfig config)
+      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "proactive"} {}
+
+ protected:
+  void after_transmit(std::uint32_t seq, bool proactive) override {
+    if (!proactive) send_segment(seq, /*proactive=*/true);
+  }
+};
+
+}  // namespace halfback::schemes

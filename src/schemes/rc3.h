@@ -1,0 +1,75 @@
+// RC3 [Mittal, Sherry, Ratnasamy, Shenker — NSDI '14]: Recursively Cautious
+// Congestion Control, the §3.2 comparison point for ROPR's reverse-order
+// transmission.
+//
+// RC3 runs normal TCP from the front of the flow and *simultaneously*
+// launches the rest of the flow from the back, at line rate, tagged as
+// low-priority traffic. The network (not the sender) provides safety: a
+// strict-priority bottleneck forwards the low-priority copies only when
+// the link would otherwise idle, so they can never hurt normal traffic.
+// The paper contrasts this with Halfback (§3.2): RC3's reverse ordering
+// avoids sending the same packet from both control loops, needs in-network
+// support, and transmits at line rate; Halfback's reverse ordering is for
+// proactive loss recovery, works on unmodified networks, and is
+// ACK-clocked.
+//
+// Simplifications vs the full protocol (documented in DESIGN.md): one
+// low-priority level instead of recursive levels, and the RLP copies are
+// fire-and-forget (no low-priority retransmission) — recovery of anything
+// the RLP batch misses falls to the primary TCP loop, which skips segments
+// the copies already delivered (their SACKs arrive within the first RTT).
+#pragma once
+
+#include "transport/tcp_sender.h"
+
+namespace halfback::schemes {
+
+class Rc3Sender final : public transport::TcpSender {
+ public:
+  Rc3Sender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+            net::FlowId flow, std::uint64_t flow_bytes,
+            transport::SenderConfig config)
+      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "rc3"} {}
+
+  std::uint32_t rlp_copies_sent() const { return rlp_sent_; }
+
+ protected:
+  void on_established() override {
+    TcpSender::on_established();  // the primary loop slow-starts from seq 0
+    // RLP: the whole remaining flow, reverse order, line rate, priority 1.
+    // Bounded by the receive window like everything else.
+    const std::uint32_t window_limit =
+        std::min(total_segments(), config_.receive_window_segments);
+    const std::uint32_t already_sent = scoreboard_.highest_sent();
+    for (std::uint32_t seq = window_limit; seq-- > already_sent;) {
+      send_rlp_copy(seq);
+    }
+  }
+
+ private:
+  void send_rlp_copy(std::uint32_t seq) {
+    // RLP packets bypass the primary loop's scoreboard: the primary learns
+    // about them only through the receiver's SACKs, exactly as a separate
+    // control loop would.
+    net::Packet p;
+    p.flow = record_.flow;
+    p.type = net::PacketType::data;
+    p.src = node_.id();
+    p.dst = peer_;
+    p.seq = seq;
+    p.total_segments = record_.total_segments;
+    p.size_bytes = net::kSegmentWireBytes;
+    p.is_retx = false;
+    p.is_proactive = true;
+    p.priority = 1;
+    p.uid = (record_.flow << 24) + 0x800000u + (++rlp_sent_);
+    p.sent_at = simulator_.now();
+    ++record_.data_packets_sent;
+    ++record_.proactive_retx;
+    node_.send(std::move(p));
+  }
+
+  std::uint32_t rlp_sent_ = 0;
+};
+
+}  // namespace halfback::schemes

@@ -1,0 +1,69 @@
+#include "schemes/scheme.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace halfback::schemes {
+
+namespace {
+
+constexpr std::array<SchemeInfo, 11> kSchemes{{
+    {Scheme::tcp, "tcp", "TCP", "slow start, ICW 2", "0%", "original order",
+     "ACK clocked (bursty)", true},
+    {Scheme::tcp10, "tcp10", "TCP-10", "slow start, ICW 10", "0%", "original order",
+     "ACK clocked (bursty)", true},
+    {Scheme::tcp_cache, "tcp-cache", "TCP-Cache", "cached cwnd/ssthresh", "0%",
+     "original order", "ACK clocked (bursty)", true},
+    {Scheme::reactive, "reactive", "Reactive", "slow start, ICW 2 + PTO", "0%",
+     "tail probe first", "ACK clocked (bursty)", true},
+    {Scheme::proactive, "proactive", "Proactive", "slow start, ICW 2", "100%",
+     "original order (duplicates)", "with original transmission", true},
+    {Scheme::jumpstart, "jumpstart", "JumpStart", "pace whole flow in 1 RTT", "0%",
+     "original order", "line-rate burst", true},
+    {Scheme::pcp, "pcp", "PCP", "probe trains, rate doubling", "0%", "original order",
+     "paced at probed rate", true},
+    {Scheme::halfback, "halfback", "Halfback", "pace whole flow in 1 RTT", "~50%",
+     "reverse order", "paced by ACK arrival", true},
+    {Scheme::halfback_forward, "halfback-forward", "Halfback-Forward",
+     "pace whole flow in 1 RTT", "~50%", "forward order", "paced by ACK arrival", true},
+    {Scheme::halfback_burst, "halfback-burst", "Halfback-Burst",
+     "pace whole flow in 1 RTT", "~100%", "reverse order", "line rate", true},
+    {Scheme::rc3, "rc3", "RC3", "slow start + low-priority rest of flow",
+     "up to 100%", "reverse order (RLP)", "line rate (low priority)", false},
+}};
+
+constexpr std::array<Scheme, 8> kEvaluationSet{
+    Scheme::tcp,       Scheme::tcp10, Scheme::tcp_cache, Scheme::reactive,
+    Scheme::proactive, Scheme::jumpstart, Scheme::pcp,   Scheme::halfback,
+};
+
+constexpr std::array<Scheme, 6> kPlanetLabSet{
+    Scheme::tcp,       Scheme::tcp10,     Scheme::reactive,
+    Scheme::proactive, Scheme::jumpstart, Scheme::halfback,
+};
+
+}  // namespace
+
+std::span<const SchemeInfo> all_schemes() { return kSchemes; }
+
+const SchemeInfo& info(Scheme scheme) {
+  for (const SchemeInfo& i : kSchemes) {
+    if (i.scheme == scheme) return i;
+  }
+  throw std::invalid_argument{"unknown scheme"};
+}
+
+const char* name(Scheme scheme) { return info(scheme).name; }
+
+std::optional<Scheme> parse_scheme(const std::string& name) {
+  for (const SchemeInfo& i : kSchemes) {
+    if (name == i.name || name == i.display_name) return i.scheme;
+  }
+  return std::nullopt;
+}
+
+std::span<const Scheme> evaluation_set() { return kEvaluationSet; }
+
+std::span<const Scheme> planetlab_set() { return kPlanetLabSet; }
+
+}  // namespace halfback::schemes

@@ -1,0 +1,51 @@
+// The eight transmission schemes evaluated by the paper, plus the two ROPR
+// ablations from §5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace halfback::schemes {
+
+enum class Scheme : std::uint8_t {
+  tcp,               ///< vanilla TCP, ICW = 2
+  tcp10,             ///< TCP with ICW = 10 [Dukkipati et al.]
+  tcp_cache,         ///< cached cwnd/ssthresh per path [Padmanabhan & Katz]
+  reactive,          ///< tail-loss probe TCP [Flach et al.]
+  proactive,         ///< every packet sent twice [Flach et al.]
+  jumpstart,         ///< pace whole flow in 1 RTT, then TCP [Liu et al.]
+  pcp,               ///< probe-based rate control [Anderson et al.]
+  halfback,          ///< Pacing + ROPR (this paper)
+  halfback_forward,  ///< ablation: ROPR in forward order (§5)
+  halfback_burst,    ///< ablation: ROPR at line rate (§5)
+  rc3,               ///< RC3 [Mittal et al.] — needs in-network priority (§3.2)
+};
+
+/// Design-space row for Table 1: how each scheme starts up and recovers.
+struct SchemeInfo {
+  Scheme scheme;
+  const char* name;               ///< short identifier, e.g. "halfback"
+  const char* display_name;       ///< the paper's name, e.g. "Halfback"
+  const char* startup;            ///< startup-phase description
+  const char* extra_bandwidth;    ///< proactive bandwidth overhead
+  const char* retx_order;         ///< retransmission direction
+  const char* retx_rate;          ///< retransmission pacing
+  bool sender_side_only;
+};
+
+/// Metadata for every scheme (Table 1's design-space axes).
+std::span<const SchemeInfo> all_schemes();
+
+const SchemeInfo& info(Scheme scheme);
+const char* name(Scheme scheme);
+std::optional<Scheme> parse_scheme(const std::string& name);
+
+/// The paper's main eight-way comparison set (Figs. 10, 12).
+std::span<const Scheme> evaluation_set();
+
+/// The six schemes plotted in the PlanetLab figures (Figs. 5-8).
+std::span<const Scheme> planetlab_set();
+
+}  // namespace halfback::schemes

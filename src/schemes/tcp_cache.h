@@ -1,0 +1,91 @@
+// TCP-Cache [after Padmanabhan & Katz's TCP Fast Start]: reuse the
+// congestion state (cwnd, ssthresh) of the previous connection to the same
+// destination instead of slow-starting from scratch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "transport/tcp_sender.h"
+
+namespace halfback::schemes {
+
+/// Shared per-path congestion-state cache. One instance is shared by every
+/// TCP-Cache sender in an experiment (the paper notes this gives TCP-Cache
+/// an "unrealistic advantage" on a static topology — which we faithfully
+/// reproduce, including the Fig. 11 region where it beats Halfback for
+/// tens-of-KB flows).
+class PathCache {
+ public:
+  struct Entry {
+    double cwnd = 0;
+    double ssthresh = 0;
+    sim::Time stored_at;
+  };
+
+  /// `max_age` implements the paper's §6 critique of caching schemes:
+  /// "Caching schemes will draw back to Slow-Start when the variables are
+  /// aged." Zero (the default) disables aging — the paper's §4.2.4 setup,
+  /// which it itself calls "an unrealistic advantage".
+  explicit PathCache(sim::Time max_age = sim::Time::zero()) : max_age_{max_age} {}
+
+  void store(net::NodeId src, net::NodeId dst, Entry entry) {
+    cache_[{src, dst}] = entry;
+  }
+
+  /// Entry for this path, or nullptr if absent or aged out at time `now`.
+  const Entry* lookup(net::NodeId src, net::NodeId dst, sim::Time now) const {
+    auto it = cache_.find({src, dst});
+    if (it == cache_.end()) return nullptr;
+    if (!max_age_.is_zero() && now - it->second.stored_at > max_age_) return nullptr;
+    return &it->second;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  sim::Time max_age() const { return max_age_; }
+
+ private:
+  sim::Time max_age_;
+  std::map<std::pair<net::NodeId, net::NodeId>, Entry> cache_;
+};
+
+/// TCP that starts from the cached window of the last flow on this path.
+class TcpCacheSender final : public transport::TcpSender {
+ public:
+  TcpCacheSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+                 net::FlowId flow, std::uint64_t flow_bytes,
+                 transport::SenderConfig config, std::shared_ptr<PathCache> cache)
+      : TcpSender{simulator, local_node, peer,  flow,
+                  flow_bytes, config,    "tcp-cache"},
+        cache_{std::move(cache)} {}
+
+ protected:
+  void on_established() override {
+    TcpSender::on_established();
+    const PathCache::Entry* entry =
+        cache_ ? cache_->lookup(node_.id(), peer_, simulator_.now()) : nullptr;
+    if (entry != nullptr) {
+      // Resume from the cached state, bounded by the receive window.
+      cwnd_ = std::min(std::max(entry->cwnd, cwnd_),
+                       static_cast<double>(config_.receive_window_segments));
+      ssthresh_ = entry->ssthresh;
+      send_available();
+    }
+  }
+
+  void on_flow_complete() override {
+    if (!cache_) return;
+    PathCache::Entry entry;
+    entry.cwnd = cwnd_;
+    entry.ssthresh = ssthresh_;
+    entry.stored_at = simulator_.now();
+    cache_->store(node_.id(), peer_, entry);
+  }
+
+ private:
+  std::shared_ptr<PathCache> cache_;
+};
+
+}  // namespace halfback::schemes

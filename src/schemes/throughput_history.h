@@ -1,0 +1,45 @@
+// Per-path throughput history for Halfback's history-based Pacing
+// Threshold (§3.1, the paper's second, unevaluated option: "set the
+// threshold to the largest throughput observed on recent connections,
+// times the RTT derived from the three-way handshake. This setting
+// efficiently avoids a too-aggressive startup phase.").
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/packet.h"
+
+namespace halfback::schemes {
+
+/// Remembers the goodput of recent flows per (src, dst) path and answers
+/// with the largest recent observation.
+class ThroughputHistory {
+ public:
+  explicit ThroughputHistory(std::size_t window = 8) : window_{window} {}
+
+  void store(net::NodeId src, net::NodeId dst, double bytes_per_second) {
+    if (bytes_per_second <= 0) return;
+    std::deque<double>& recent = history_[{src, dst}];
+    recent.push_back(bytes_per_second);
+    while (recent.size() > window_) recent.pop_front();
+  }
+
+  /// Largest throughput among the last `window` flows on this path.
+  std::optional<double> best_bytes_per_second(net::NodeId src, net::NodeId dst) const {
+    auto it = history_.find({src, dst});
+    if (it == history_.end() || it->second.empty()) return std::nullopt;
+    return *std::max_element(it->second.begin(), it->second.end());
+  }
+
+  std::size_t paths() const { return history_.size(); }
+
+ private:
+  std::size_t window_;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::deque<double>> history_;
+};
+
+}  // namespace halfback::schemes

@@ -1,0 +1,53 @@
+// Link and pacing rates.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace halfback::sim {
+
+/// A data rate in bits per second.
+///
+/// The zero rate is valid and means "never transmits"; callers must not ask
+/// a zero rate for a serialization time.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  static constexpr DataRate bits_per_second(double bps) { return DataRate{bps}; }
+  static constexpr DataRate kilobits_per_second(double kbps) {
+    return DataRate{kbps * 1e3};
+  }
+  static constexpr DataRate megabits_per_second(double mbps) {
+    return DataRate{mbps * 1e6};
+  }
+  static constexpr DataRate gigabits_per_second(double gbps) {
+    return DataRate{gbps * 1e9};
+  }
+  /// Rate that transmits `bytes` bytes per `interval`.
+  static constexpr DataRate bytes_per(std::int64_t bytes, Time interval) {
+    return DataRate{static_cast<double>(bytes) * 8.0 * 1e9 /
+                    static_cast<double>(interval.ns())};
+  }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double bytes_per_second() const { return bps_ / 8.0; }
+  constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  /// Time to serialize `bytes` bytes at this rate. Requires a nonzero rate.
+  constexpr Time transmission_time(std::int64_t bytes) const {
+    return Time::seconds(static_cast<double>(bytes) * 8.0 / bps_);
+  }
+
+  constexpr DataRate operator*(double k) const { return DataRate{bps_ * k}; }
+  constexpr DataRate operator/(double k) const { return DataRate{bps_ / k}; }
+  constexpr double operator/(DataRate other) const { return bps_ / other.bps_; }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_{bps} {}
+  double bps_ = 0.0;
+};
+
+}  // namespace halfback::sim

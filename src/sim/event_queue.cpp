@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace halfback::sim {
+
+void EventHandle::cancel() {
+  if (state_ && !state_->fired) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.top().at;
+}
+
+Time EventQueue::run_next() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next on empty queue"};
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the entry is popped immediately and never compared again.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.state->fired = true;
+  entry.fn();
+  return entry.at;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace halfback::sim

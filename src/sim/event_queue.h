@@ -1,0 +1,81 @@
+// The event queue at the heart of the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace halfback::sim {
+
+/// Cancellable handle to a scheduled event.
+///
+/// EventHandle is a weak reference: cancelling after the event fired (or was
+/// already cancelled) is a no-op. A default-constructed handle refers to
+/// nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe to call at any time.
+  void cancel();
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_{std::move(state)} {}
+  std::shared_ptr<State> state_;
+};
+
+/// Time-ordered queue of callbacks. Events at equal times fire in
+/// scheduling order (FIFO), which keeps runs deterministic. Cancelled
+/// entries are discarded lazily when they reach the head of the queue.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.
+  EventHandle schedule(Time at, std::function<void()> fn);
+
+  /// True if no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Time of the earliest live event. Requires !empty().
+  Time next_time() const;
+
+  /// Pop and run the earliest live event; returns its time.
+  /// Requires !empty().
+  Time run_next();
+
+  /// Drop all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discard cancelled events at the head.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace halfback::sim

@@ -1,0 +1,20 @@
+#include "sim/random.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace halfback::sim {
+
+std::size_t Random::weighted_index(std::span<const double> weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument{"weighted_index: nonpositive total weight"};
+  double x = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace halfback::sim

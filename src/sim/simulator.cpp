@@ -1,0 +1,24 @@
+#include "sim/simulator.h"
+
+namespace halfback::sim {
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    now_ = queue_.next_time();  // clock is correct inside the callback
+    queue_.run_next();
+    ++events_executed_;
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_executed_;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace halfback::sim

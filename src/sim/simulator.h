@@ -1,0 +1,66 @@
+// The simulation driver: owns virtual time and the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace halfback::sim {
+
+/// A single simulation run.
+///
+/// Components hold a Simulator& and use it to read the clock, schedule
+/// future work, and draw randomness. The simulator is not thread-safe; a
+/// run is strictly single-threaded (parallelism, where wanted, is across
+/// independent Simulator instances).
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : random_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run after `delay` (>= 0) from now.
+  EventHandle schedule(Time delay, std::function<void()> fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `at` (>= now).
+  EventHandle schedule_at(Time at, std::function<void()> fn) {
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+
+  /// Run events up to and including time `deadline`; afterwards
+  /// now() == deadline unless the queue drained earlier or stop() fired.
+  void run_until(Time deadline);
+
+  /// Make run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  Random& random() { return random_; }
+  EventQueue& queue() { return queue_; }
+
+  /// Number of events executed so far (for diagnostics and benchmarks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  Time now_ = Time::zero();
+  EventQueue queue_;
+  Random random_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace halfback::sim

@@ -1,0 +1,24 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace halfback::sim {
+
+std::string Time::to_string() const {
+  if (is_infinite()) return "+inf";
+  char buf[32];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_ms());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace halfback::sim

@@ -1,0 +1,105 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is a strong type wrapping a signed 64-bit nanosecond count. All
+// simulator components express instants and durations with it; the only
+// conversions to floating point happen at the edges (statistics, printing).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace halfback::sim {
+
+/// An instant or duration in virtual time, with nanosecond resolution.
+///
+/// Time is totally ordered and supports the usual affine arithmetic
+/// (difference of instants is a duration; instant plus duration is an
+/// instant). A default-constructed Time is zero.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. `seconds`/`milliseconds`/`microseconds` accept
+  /// fractional values; the result is truncated toward zero to whole
+  /// nanoseconds.
+  static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  static constexpr Time microseconds(double us) {
+    return Time{static_cast<std::int64_t>(us * 1e3)};
+  }
+  static constexpr Time milliseconds(double ms) {
+    return Time{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  /// A sentinel later than any reachable simulation time.
+  static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_us() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  constexpr Time operator+(Time other) const { return Time{ns_ + other.ns_}; }
+  constexpr Time operator-(Time other) const { return Time{ns_ - other.ns_}; }
+  constexpr Time operator*(double k) const {
+    return Time{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Time operator/(double k) const {
+    return Time{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  constexpr double operator/(Time other) const {
+    return static_cast<double>(ns_) / static_cast<double>(other.ns_);
+  }
+  Time& operator+=(Time other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Time& operator-=(Time other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time operator*(double k, Time t) { return t * k; }
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return Time::microseconds(static_cast<double>(v));
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time::milliseconds(static_cast<double>(v));
+}
+constexpr Time operator""_s(unsigned long long v) {
+  return Time::seconds(static_cast<double>(v));
+}
+constexpr Time operator""_ms(long double v) {
+  return Time::milliseconds(static_cast<double>(v));
+}
+constexpr Time operator""_s(long double v) {
+  return Time::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace halfback::sim

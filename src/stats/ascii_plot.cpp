@@ -1,0 +1,132 @@
+#include "stats/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace halfback::stats {
+
+namespace {
+
+constexpr char kGlyphs[] = "*o+x#@%&$~";
+
+double transform_x(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-12)) : x;
+}
+
+std::string format_number(double v) {
+  char buf[32];
+  if (v == 0) return "0";
+  const double av = std::fabs(v);
+  if (av >= 1e6 || av < 1e-2) {
+    std::snprintf(buf, sizeof buf, "%.1e", v);
+  } else if (av >= 100) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<PlotSeries>& series,
+                       const PlotOptions& options) {
+  const int width = std::max(options.width, 16);
+  const int height = std::max(options.height, 6);
+
+  // Bounds across all series.
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -min_y;
+  bool any = false;
+  for (const PlotSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform_x(x, options.log_x);
+      min_x = std::min(min_x, tx);
+      max_x = std::max(max_x, tx);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto plot_point = [&](double x, double y, char glyph) {
+    const double tx = transform_x(x, options.log_x);
+    int col = static_cast<int>(std::lround((tx - min_x) / (max_x - min_x) * (width - 1)));
+    int row = static_cast<int>(std::lround((y - min_y) / (max_y - min_y) * (height - 1)));
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    // Row 0 is the top of the chart.
+    grid[static_cast<std::size_t>(height - 1 - row)][static_cast<std::size_t>(col)] =
+        glyph;
+  };
+
+  // Connect consecutive points of each series with linear interpolation so
+  // sparse series still read as curves.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs - 1)];
+    const auto& pts = series[si].points;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      plot_point(pts[i].first, pts[i].second, glyph);
+      if (i + 1 < pts.size()) {
+        const double x0 = transform_x(pts[i].first, options.log_x);
+        const double x1 = transform_x(pts[i + 1].first, options.log_x);
+        const int col0 = static_cast<int>((x0 - min_x) / (max_x - min_x) * (width - 1));
+        const int col1 = static_cast<int>((x1 - min_x) / (max_x - min_x) * (width - 1));
+        const int steps = std::abs(col1 - col0);
+        for (int step = 1; step < steps; ++step) {
+          const double t = static_cast<double>(step) / steps;
+          const double y = pts[i].second + t * (pts[i + 1].second - pts[i].second);
+          const double x_lin = x0 + t * (x1 - x0);
+          const double x_back = options.log_x ? std::pow(10.0, x_lin) : x_lin;
+          plot_point(x_back, y, glyph);
+        }
+      }
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  const std::string y_hi = format_number(max_y);
+  const std::string y_lo = format_number(min_y);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+
+  for (int row = 0; row < height; ++row) {
+    std::string prefix(margin, ' ');
+    if (row == 0) prefix = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (row == height - 1) prefix = y_lo + std::string(margin - y_lo.size(), ' ');
+    out += prefix + "|" + grid[static_cast<std::size_t>(row)] + "\n";
+  }
+  out += std::string(margin, ' ') + "+" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  const std::string x_lo =
+      format_number(options.log_x ? std::pow(10.0, min_x) : min_x);
+  const std::string x_hi =
+      format_number(options.log_x ? std::pow(10.0, max_x) : max_x);
+  std::string x_axis = std::string(margin + 1, ' ') + x_lo;
+  const std::size_t pad = margin + 1 + static_cast<std::size_t>(width) > x_axis.size() + x_hi.size()
+                              ? margin + 1 + static_cast<std::size_t>(width) - x_axis.size() - x_hi.size()
+                              : 1;
+  x_axis += std::string(pad, ' ') + x_hi;
+  out += x_axis + "\n";
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out += std::string(margin + 1, ' ') + "x: " + options.x_label +
+           "   y: " + options.y_label + "\n";
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += std::string(margin + 1, ' ');
+    out += kGlyphs[si % (sizeof kGlyphs - 1)];
+    out += " = " + series[si].label + "\n";
+  }
+  return out;
+}
+
+}  // namespace halfback::stats

@@ -1,0 +1,33 @@
+// Terminal plotting for the bench harnesses: render (x, y) series as an
+// ASCII chart so the paper figures' *shapes* are visible directly in bench
+// output, without external tooling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace halfback::stats {
+
+/// One named series of points.
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  bool log_x = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Render series into a char grid with per-series glyphs and a legend.
+/// Series are drawn in order; later series overwrite earlier ones where
+/// they collide. Returns a multi-line string ending in '\n'.
+std::string ascii_plot(const std::vector<PlotSeries>& series,
+                       const PlotOptions& options = {});
+
+}  // namespace halfback::stats

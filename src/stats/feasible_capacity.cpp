@@ -1,0 +1,29 @@
+#include "stats/feasible_capacity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace halfback::stats {
+
+double feasible_capacity(const std::vector<SweepPoint>& sweep,
+                         const CollapseCriterion& criterion) {
+  if (sweep.empty()) throw std::invalid_argument{"empty sweep"};
+  std::vector<SweepPoint> points = sweep;
+  std::sort(points.begin(), points.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.utilization < b.utilization;
+            });
+  const double base = points.front().mean_fct;
+  const double limit_rel = base * criterion.fct_factor;
+  double feasible = 0.0;
+  for (const SweepPoint& p : points) {
+    const bool collapsed =
+        p.mean_fct > limit_rel ||
+        (criterion.fct_absolute > 0.0 && p.mean_fct > criterion.fct_absolute);
+    if (collapsed) break;
+    feasible = p.utilization;
+  }
+  return feasible;
+}
+
+}  // namespace halfback::stats

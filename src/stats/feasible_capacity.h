@@ -1,0 +1,36 @@
+// Feasible-capacity detection (§4, §4.3.1).
+//
+// The paper defines feasible network utilization as "the maximum network
+// utilization achievable before the throughput collapses", observed in the
+// Fig. 12 / Fig. 17 sweeps as the utilization where mean FCT spikes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace halfback::stats {
+
+/// One sweep point: utilization (fraction) and the mean FCT measured there
+/// (any consistent unit).
+struct SweepPoint {
+  double utilization;
+  double mean_fct;
+};
+
+struct CollapseCriterion {
+  /// Collapse when mean FCT exceeds `fct_factor` x the FCT at the lowest
+  /// utilization in the sweep...
+  double fct_factor = 3.0;
+  /// ...or exceeds this absolute bound (same unit as mean_fct), whichever
+  /// detects earlier. Zero disables the absolute bound.
+  double fct_absolute = 0.0;
+};
+
+/// The largest utilization in the sweep whose FCT is still below the
+/// collapse criterion; points after the first collapse do not resurrect
+/// feasibility (collapse is treated as monotone, matching the paper's
+/// reading of Fig. 12). Returns 0 if even the first point collapsed.
+double feasible_capacity(const std::vector<SweepPoint>& sweep,
+                         const CollapseCriterion& criterion = {});
+
+}  // namespace halfback::stats

@@ -1,0 +1,98 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace halfback::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& v) {
+  if (v.empty()) throw std::logic_error{"Summary: no samples"};
+}
+}  // namespace
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  require_nonempty(samples_);
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  require_nonempty(samples_);
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  require_nonempty(samples_);
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  require_nonempty(samples_);
+  if (samples_.size() == 1) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double s : samples_) ss += (s - m) * (s - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  require_nonempty(samples_);
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile out of range"};
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double t = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - t) + samples_[hi] * t;
+}
+
+std::vector<Summary::CdfPoint> Summary::cdf(std::size_t max_points) const {
+  require_nonempty(samples_);
+  ensure_sorted();
+  std::vector<CdfPoint> out;
+  const std::size_t n = samples_.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += stride) {
+    out.push_back({samples_[i], 100.0 * static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().percent < 100.0) out.push_back({samples_[n - 1], 100.0});
+  return out;
+}
+
+std::vector<Summary::CdfPoint> Summary::ccdf(std::size_t max_points) const {
+  std::vector<CdfPoint> points = cdf(max_points);
+  for (CdfPoint& p : points) p.percent = 100.0 - p.percent;
+  return points;
+}
+
+double Summary::fraction_at_most(double threshold) const {
+  require_nonempty(samples_);
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Summary::jain_fairness(std::span<const double> values) {
+  if (values.empty()) throw std::logic_error{"jain_fairness: no values"};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocations are trivially fair
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace halfback::stats

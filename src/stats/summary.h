@@ -1,0 +1,59 @@
+// Sample statistics: mean, percentiles, CDF/CCDF extraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace halfback::stats {
+
+/// Accumulates scalar samples and answers summary queries. Samples are
+/// retained (experiments here are small enough), so percentiles are exact.
+class Summary {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  /// Exact percentile by linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// CDF points (value, percent-of-samples <= value), one per sample,
+  /// optionally downsampled to at most `max_points`.
+  struct CdfPoint {
+    double value;
+    double percent;
+  };
+  std::vector<CdfPoint> cdf(std::size_t max_points = 200) const;
+
+  /// Complementary CDF: (value, percent-of-samples > value).
+  std::vector<CdfPoint> ccdf(std::size_t max_points = 200) const;
+
+  /// Fraction of samples satisfying value <= threshold.
+  double fraction_at_most(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Jain's fairness index over a set of per-entity allocations:
+  /// (sum x)^2 / (n * sum x^2), in (0, 1], 1 = perfectly fair. Used by the
+  /// TCP-friendliness analysis to summarize how evenly co-existing flows
+  /// fared.
+  static double jain_fairness(std::span<const double> values);
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace halfback::stats

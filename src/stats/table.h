@@ -1,0 +1,41 @@
+// Plain-text table/series printing for the bench harnesses: every bench
+// binary prints the same rows/series the corresponding paper figure plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace halfback::stats {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_{std::move(header)} {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render to a string (and print() to stdout).
+  std::string to_string() const;
+  void print() const { std::fputs(to_string().c_str(), stdout); }
+
+  /// RFC 4180-style CSV rendering (quotes cells containing separators).
+  std::string to_csv() const;
+  /// Write the CSV to `path`; returns false (and reports to stderr) on
+  /// I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a named (x, y) series in gnuplot-friendly columns.
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::string& y_label,
+                  const std::vector<std::pair<double, double>>& points);
+
+}  // namespace halfback::stats

@@ -1,0 +1,26 @@
+#include "stats/time_series.h"
+
+namespace halfback::stats {
+
+void TimeSeries::add_bytes(sim::Time at, std::uint64_t bytes) {
+  if (at < sim::Time::zero()) return;
+  const auto index = static_cast<std::size_t>(at.ns() / bucket_width_.ns());
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += bytes;
+  total_bytes_ += bytes;
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::throughput() const {
+  std::vector<Sample> out;
+  out.reserve(buckets_.size());
+  const double seconds = bucket_width_.to_seconds();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    Sample s;
+    s.bucket_start = bucket_width_ * static_cast<double>(i);
+    s.mbps = static_cast<double>(buckets_[i]) * 8.0 / seconds / 1e6;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace halfback::stats

@@ -1,0 +1,38 @@
+// Bucketed time series, used for the Fig. 15 throughput traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/data_rate.h"
+#include "sim/time.h"
+
+namespace halfback::stats {
+
+/// Accumulates byte counts into fixed-width time buckets and reports the
+/// per-bucket throughput. The paper's Fig. 15 counts "successfully
+/// transmitted packets in every 60 ms".
+class TimeSeries {
+ public:
+  explicit TimeSeries(sim::Time bucket_width) : bucket_width_{bucket_width} {}
+
+  void add_bytes(sim::Time at, std::uint64_t bytes);
+
+  struct Sample {
+    sim::Time bucket_start;
+    double mbps;
+  };
+
+  /// Throughput per bucket from 0 to the last nonempty bucket.
+  std::vector<Sample> throughput() const;
+
+  sim::Time bucket_width() const { return bucket_width_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  sim::Time bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace halfback::stats

@@ -1,0 +1,77 @@
+#include "transport/agent.h"
+
+#include <utility>
+
+namespace halfback::transport {
+
+TransportAgent::TransportAgent(sim::Simulator& simulator, net::Network& network,
+                               net::NodeId node)
+    : simulator_{simulator}, node_{network.node(node)} {
+  node_.set_local_handler([this](net::Packet p) { on_packet(std::move(p)); });
+}
+
+SenderBase& TransportAgent::start_flow(std::unique_ptr<SenderBase> sender,
+                                       SenderBase::CompletionCallback on_complete) {
+  SenderBase& ref = *sender;
+  const net::FlowId flow = ref.record().flow;
+  ref.set_completion_callback(
+      [this, on_complete = std::move(on_complete)](const FlowRecord& record) {
+        completed_.push_back(record);
+        if (on_complete) on_complete(record);
+      });
+  senders_[flow] = std::move(sender);
+  ref.start();
+  return ref;
+}
+
+SenderBase* TransportAgent::sender(net::FlowId flow) {
+  auto it = senders_.find(flow);
+  return it == senders_.end() ? nullptr : it->second.get();
+}
+
+Receiver* TransportAgent::receiver(net::FlowId flow) {
+  auto it = receivers_.find(flow);
+  return it == receivers_.end() ? nullptr : it->second.get();
+}
+
+std::size_t TransportAgent::active_sender_count() const {
+  std::size_t active = 0;
+  for (const auto& [flow, sender] : senders_) {
+    if (!sender->complete()) ++active;
+  }
+  return active;
+}
+
+void TransportAgent::on_packet(net::Packet packet) {
+  switch (packet.type) {
+    case net::PacketType::syn: {
+      auto it = receivers_.find(packet.flow);
+      if (it == receivers_.end()) {
+        auto receiver = std::make_unique<Receiver>(simulator_, node_, packet.src,
+                                                   packet.flow, receiver_config_);
+        receiver->set_completion_callback([this](const Receiver& r) {
+          if (on_receive_complete_) on_receive_complete_(r);
+        });
+        it = receivers_.emplace(packet.flow, std::move(receiver)).first;
+      }
+      it->second->on_packet(packet);
+      break;
+    }
+    case net::PacketType::data: {
+      auto it = receivers_.find(packet.flow);
+      if (it != receivers_.end()) it->second->on_packet(packet);
+      // Data for an unknown flow (SYN lost): drop; the sender's SYN retry
+      // will re-create state. Senders only emit data after the handshake,
+      // so this happens only in pathological reorderings.
+      break;
+    }
+    case net::PacketType::syn_ack:
+    case net::PacketType::ack: {
+      auto it = senders_.find(packet.flow);
+      if (it != senders_.end()) it->second->on_packet(packet);
+      break;
+    }
+  }
+}
+
+}  // namespace halfback::transport

@@ -1,0 +1,67 @@
+// Per-host protocol stack: demultiplexes flows to senders and receivers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+namespace halfback::transport {
+
+/// The host-side glue: owns every sender started on this host and every
+/// receiver spawned by an incoming SYN, and routes arriving packets to
+/// them. Install one agent per end host.
+class TransportAgent {
+ public:
+  TransportAgent(sim::Simulator& simulator, net::Network& network, net::NodeId node);
+
+  TransportAgent(const TransportAgent&) = delete;
+  TransportAgent& operator=(const TransportAgent&) = delete;
+
+  /// Take ownership of a sender and start it. The agent chains your
+  /// completion callback after its own bookkeeping.
+  SenderBase& start_flow(std::unique_ptr<SenderBase> sender,
+                         SenderBase::CompletionCallback on_complete = nullptr);
+
+  /// Configuration applied to receivers this agent spawns (delayed ACKs,
+  /// SACK block budget). Affects only receivers created afterwards.
+  void set_receiver_config(Receiver::Config config) { receiver_config_ = config; }
+
+  /// Invoked whenever a receiver on this host completes a flow
+  /// (application-level delivery of all bytes).
+  void set_receiver_completion_callback(std::function<void(const Receiver&)> cb) {
+    on_receive_complete_ = std::move(cb);
+  }
+
+  net::NodeId node_id() const { return node_.id(); }
+  net::Node& node() { return node_; }
+
+  /// Look up a live sender/receiver (nullptr if absent).
+  SenderBase* sender(net::FlowId flow);
+  Receiver* receiver(net::FlowId flow);
+
+  /// Completed flow records accumulated on this host.
+  const std::vector<FlowRecord>& completed() const { return completed_; }
+
+  std::size_t active_sender_count() const;
+
+ private:
+  void on_packet(net::Packet packet);
+
+  sim::Simulator& simulator_;
+  net::Node& node_;
+  std::unordered_map<net::FlowId, std::unique_ptr<SenderBase>> senders_;
+  std::unordered_map<net::FlowId, std::unique_ptr<Receiver>> receivers_;
+  std::vector<FlowRecord> completed_;
+  std::function<void(const Receiver&)> on_receive_complete_;
+  Receiver::Config receiver_config_;
+};
+
+}  // namespace halfback::transport

@@ -1,0 +1,157 @@
+#include "transport/receiver.h"
+
+#include <algorithm>
+
+namespace halfback::transport {
+
+Receiver::Receiver(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+                   net::FlowId flow, Config config)
+    : simulator_{simulator},
+      node_{local_node},
+      peer_{peer},
+      flow_{flow},
+      config_{config} {}
+
+Receiver::~Receiver() { delack_timer_.cancel(); }
+
+void Receiver::on_packet(const net::Packet& packet) {
+  switch (packet.type) {
+    case net::PacketType::syn:
+      handle_syn(packet);
+      break;
+    case net::PacketType::data:
+      handle_data(packet);
+      break;
+    default:
+      break;  // receivers ignore stray ACK/SYN-ACK
+  }
+}
+
+void Receiver::handle_syn(const net::Packet& syn) {
+  if (received_.empty() && syn.total_segments > 0) {
+    stats_.total_segments = syn.total_segments;
+    received_.assign(syn.total_segments, false);
+  }
+  net::Packet reply;
+  reply.flow = flow_;
+  reply.type = net::PacketType::syn_ack;
+  reply.src = node_.id();
+  reply.dst = peer_;
+  reply.size_bytes = net::kControlWireBytes;
+  reply.echo_uid = syn.uid;
+  reply.uid = (flow_ << 24) + next_uid_++;
+  reply.sent_at = simulator_.now();
+  node_.send(std::move(reply));
+}
+
+void Receiver::handle_data(const net::Packet& data) {
+  // A receiver can see data before the SYN if the SYN-ACK was lost and the
+  // sender opened anyway; size the bitmap from the data header.
+  if (received_.empty() && data.total_segments > 0) {
+    stats_.total_segments = data.total_segments;
+    received_.assign(data.total_segments, false);
+  }
+  ++stats_.data_packets;
+  if (stats_.data_packets == 1) stats_.first_data_at = simulator_.now();
+
+  if (data.seq < received_.size() && !received_[data.seq]) {
+    received_[data.seq] = true;
+    ++stats_.unique_segments;
+    highest_received_ = std::max(highest_received_, data.seq + 1);
+    while (cum_ack_ < received_.size() && received_[cum_ack_]) ++cum_ack_;
+    if (!stats_.complete && stats_.unique_segments == stats_.total_segments) {
+      stats_.complete = true;
+      stats_.complete_at = simulator_.now();
+      if (on_complete_) on_complete_(*this);
+    }
+  } else {
+    ++stats_.duplicate_segments;
+  }
+  const bool in_order = data.seq < cum_ack_ || stats_.complete ||
+                        (data.seq + 1 == cum_ack_);
+  maybe_ack(data, in_order);
+}
+
+void Receiver::maybe_ack(const net::Packet& trigger, bool in_order) {
+  if (!config_.delayed_ack) {
+    send_ack(trigger);
+    return;
+  }
+  ++unacked_arrivals_;
+  pending_trigger_ = trigger;
+  // RFC 1122-style: ACK at least every second segment and never delay an
+  // ACK that carries loss information (out-of-order arrival).
+  if (!in_order || unacked_arrivals_ >= 2 || stats_.complete) {
+    fire_delayed_ack();
+    return;
+  }
+  if (!delack_timer_.pending()) {
+    delack_timer_ = simulator_.schedule(config_.delayed_ack_timeout,
+                                        [this] { fire_delayed_ack(); });
+  }
+}
+
+void Receiver::fire_delayed_ack() {
+  if (unacked_arrivals_ == 0) return;
+  delack_timer_.cancel();
+  unacked_arrivals_ = 0;
+  send_ack(pending_trigger_);
+}
+
+net::SackBlock Receiver::run_containing(std::uint32_t seq) const {
+  net::SackBlock block{seq, seq};
+  if (seq >= received_.size() || !received_[seq]) return block;  // empty
+  while (block.begin > cum_ack_ && received_[block.begin - 1]) --block.begin;
+  while (block.end < highest_received_ && received_[block.end]) ++block.end;
+  return block;
+}
+
+std::vector<net::SackBlock> Receiver::build_sack_blocks(std::uint32_t trigger_seq) {
+  // TCP SACK semantics: the first block covers the segment that triggered
+  // this ACK; the remaining slots repeat the most recently reported other
+  // runs. The sender accumulates blocks across ACKs in its scoreboard.
+  if (trigger_seq >= cum_ack_) {
+    std::erase(recent_seqs_, trigger_seq);
+    recent_seqs_.insert(recent_seqs_.begin(), trigger_seq);
+    if (recent_seqs_.size() > 2 * config_.max_sack_blocks) {
+      recent_seqs_.resize(2 * config_.max_sack_blocks);
+    }
+  }
+  std::vector<net::SackBlock> blocks;
+  for (std::uint32_t anchor : recent_seqs_) {
+    if (blocks.size() >= config_.max_sack_blocks) break;
+    if (anchor < cum_ack_) continue;  // merged into the cumulative ACK
+    net::SackBlock block = run_containing(anchor);
+    if (block.begin >= block.end) continue;
+    bool duplicate = false;
+    for (const net::SackBlock& existing : blocks) {
+      if (existing.begin <= block.begin && block.end <= existing.end) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) blocks.push_back(block);
+  }
+  // Drop anchors that have been absorbed by the cumulative ACK.
+  std::erase_if(recent_seqs_, [this](std::uint32_t s) { return s < cum_ack_; });
+  return blocks;
+}
+
+void Receiver::send_ack(const net::Packet& trigger) {
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.type = net::PacketType::ack;
+  ack.src = node_.id();
+  ack.dst = peer_;
+  ack.size_bytes = net::kAckWireBytes;
+  ack.seq = trigger.seq;
+  ack.cum_ack = cum_ack_;
+  ack.sacks = build_sack_blocks(trigger.seq);
+  ack.echo_uid = trigger.uid;
+  ack.uid = (flow_ << 24) + next_uid_++;
+  ack.sent_at = simulator_.now();
+  ++stats_.acks_sent;
+  node_.send(std::move(ack));
+}
+
+}  // namespace halfback::transport

@@ -1,0 +1,95 @@
+// Flow receiver: acknowledges data with cumulative + selective ACKs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace halfback::transport {
+
+/// Receiver half of a flow. Created by the TransportAgent when a SYN
+/// arrives. By default sends one ACK per arriving data packet (the paper's
+/// UDT substrate used per-packet selective acknowledgements); classic TCP
+/// delayed ACKs (ack every 2nd in-order segment, or after a timer) are
+/// available as a realism knob — they halve the ACK clock that paces both
+/// TCP's window growth and Halfback's ROPR.
+class Receiver {
+ public:
+  struct Config {
+    std::size_t max_sack_blocks = 3;
+    bool delayed_ack = false;
+    sim::Time delayed_ack_timeout = sim::Time::milliseconds(40);
+  };
+  struct Stats {
+    std::uint32_t total_segments = 0;
+    std::uint32_t unique_segments = 0;
+    std::uint32_t duplicate_segments = 0;  ///< arrivals of already-held data
+    std::uint32_t data_packets = 0;
+    std::uint32_t acks_sent = 0;
+    bool complete = false;
+    sim::Time first_data_at;
+    sim::Time complete_at;
+  };
+
+  using CompletionCallback = std::function<void(const Receiver&)>;
+
+  /// `config.max_sack_blocks` defaults to 3, matching the TCP SACK
+  /// option's practical limit. Scattered losses across more than three
+  /// runs are therefore only partially visible to the sender per ACK — the
+  /// fragility of purely reactive loss detection that §2.2 highlights.
+  Receiver(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+           net::FlowId flow)
+      : Receiver{simulator, local_node, peer, flow, Config{}} {}
+  Receiver(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+           net::FlowId flow, Config config);
+  ~Receiver();
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Entry point for SYN and DATA packets of this flow.
+  void on_packet(const net::Packet& packet);
+
+  const Stats& stats() const { return stats_; }
+  net::FlowId flow() const { return flow_; }
+
+  /// Lowest segment index not yet received.
+  std::uint32_t cum_ack() const { return cum_ack_; }
+
+ private:
+  void handle_syn(const net::Packet& syn);
+  void handle_data(const net::Packet& data);
+  void send_ack(const net::Packet& trigger);
+  /// Delayed-ACK policy: ACK immediately on the 2nd in-order arrival, any
+  /// out-of-order arrival (dupACK duty), or the delack timer; otherwise
+  /// hold and arm the timer.
+  void maybe_ack(const net::Packet& trigger, bool in_order);
+  void fire_delayed_ack();
+  /// Up to max_sack_blocks blocks: the run containing the triggering
+  /// segment first, then the most recently reported other runs (TCP SACK
+  /// option semantics).
+  std::vector<net::SackBlock> build_sack_blocks(std::uint32_t trigger_seq);
+  net::SackBlock run_containing(std::uint32_t seq) const;
+
+  sim::Simulator& simulator_;
+  net::Node& node_;
+  net::NodeId peer_;
+  net::FlowId flow_;
+  Config config_;
+  CompletionCallback on_complete_;
+  sim::EventHandle delack_timer_;
+  int unacked_arrivals_ = 0;
+  net::Packet pending_trigger_;  ///< newest data packet awaiting an ACK
+
+  std::vector<bool> received_;
+  std::uint32_t cum_ack_ = 0;
+  std::uint32_t highest_received_ = 0;  ///< one past highest received index
+  std::vector<std::uint32_t> recent_seqs_;  ///< anchors of recently reported runs
+  std::uint64_t next_uid_ = 1;
+  Stats stats_;
+};
+
+}  // namespace halfback::transport

@@ -1,0 +1,161 @@
+#include "transport/scoreboard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace halfback::transport {
+
+Scoreboard::Scoreboard(std::uint32_t total_segments) : total_{total_segments} {
+  if (total_segments == 0) throw std::invalid_argument{"flow must have at least one segment"};
+}
+
+std::optional<std::uint32_t> Scoreboard::next_unsent() const {
+  if (next_sent_ >= total_) return std::nullopt;
+  return next_sent_;
+}
+
+SegmentState& Scoreboard::ensure_state(std::uint32_t seq) {
+  if (seq < window_base_) {
+    throw std::logic_error{"ensure_state below the acknowledged window"};
+  }
+  while (window_base_ + window_.size() <= seq) window_.emplace_back();
+  return window_[seq - window_base_];
+}
+
+const SegmentState* Scoreboard::state(std::uint32_t seq) const {
+  if (seq < window_base_ || seq >= window_base_ + window_.size()) return nullptr;
+  return &window_[seq - window_base_];
+}
+
+SegmentState* Scoreboard::mutable_state(std::uint32_t seq) {
+  if (seq < window_base_ || seq >= window_base_ + window_.size()) return nullptr;
+  return &window_[seq - window_base_];
+}
+
+void Scoreboard::on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now,
+                         bool proactive) {
+  if (seq >= total_) throw std::logic_error{"on_sent beyond flow length"};
+  if (seq < cum_ack_) return;  // stale retransmission of an acked segment
+  SegmentState& s = ensure_state(seq);
+  if (s.times_sent == 0) s.first_sent = now;
+  ++s.times_sent;
+  if (proactive) ++s.proactive_sent;
+  s.last_sent = now;
+  s.last_uid = uid;
+  if (s.lost && !proactive) s.retx_after_loss = true;
+  if (seq >= next_sent_) next_sent_ = seq + 1;
+}
+
+void Scoreboard::trim() {
+  while (!window_.empty() && window_base_ < cum_ack_) {
+    window_.pop_front();
+    ++window_base_;
+  }
+  if (window_.empty()) window_base_ = cum_ack_;
+}
+
+AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
+                                const std::vector<net::SackBlock>& sacks) {
+  AckUpdate update;
+  update.cum_ack_before = cum_ack_;
+  if (cum_ack > cum_ack_) {
+    update.newly_cum_acked = cum_ack - cum_ack_;
+    // Segments newly covered by the cumulative ACK that had been SACKed
+    // already were counted when the SACK arrived; subtract them so callers
+    // can use newly_acked_total() for congestion-window growth.
+    for (std::uint32_t seq = cum_ack_; seq < cum_ack; ++seq) {
+      const SegmentState* s = state(seq);
+      if (s != nullptr && s->sacked) --update.newly_cum_acked;
+    }
+    cum_ack_ = std::min(cum_ack, total_);
+    trim();
+  }
+  update.cum_ack_after = cum_ack_;
+
+  for (const net::SackBlock& block : sacks) {
+    for (std::uint32_t seq = std::max(block.begin, cum_ack_); seq < block.end; ++seq) {
+      if (seq >= total_) break;
+      SegmentState& s = ensure_state(seq);
+      if (!s.sacked) {
+        s.sacked = true;
+        update.newly_sacked.push_back(seq);
+      }
+    }
+  }
+  return update;
+}
+
+std::vector<std::uint32_t> Scoreboard::detect_losses(int dup_threshold) {
+  std::vector<std::uint32_t> newly_lost;
+  if (window_.empty()) return newly_lost;
+
+  // Count SACKed segments above each un-SACKed, sent segment: walk the
+  // window from the top accumulating the count.
+  int sacked_above = 0;
+  for (std::size_t i = window_.size(); i-- > 0;) {
+    SegmentState& s = window_[i];
+    const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
+    if (seq < cum_ack_) break;
+    if (s.sacked) {
+      ++sacked_above;
+      continue;
+    }
+    if (s.times_sent > 0 && !s.lost && sacked_above >= dup_threshold) {
+      s.lost = true;
+      s.retx_after_loss = false;
+      newly_lost.push_back(seq);
+    }
+  }
+  std::reverse(newly_lost.begin(), newly_lost.end());
+  return newly_lost;
+}
+
+void Scoreboard::mark_all_outstanding_lost() {
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    SegmentState& s = window_[i];
+    if (s.times_sent > 0 && !s.sacked) {
+      s.lost = true;
+      s.retx_after_loss = false;
+    }
+  }
+}
+
+std::optional<std::uint32_t> Scoreboard::next_lost_needing_retx() const {
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const SegmentState& s = window_[i];
+    if (s.lost && !s.retx_after_loss && !s.sacked && s.times_sent > 0) {
+      return window_base_ + static_cast<std::uint32_t>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Scoreboard::pipe() const {
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
+    if (seq < cum_ack_ || seq >= next_sent_) continue;
+    const SegmentState& s = window_[i];
+    if (s.times_sent == 0 || s.sacked) continue;
+    if (s.lost && !s.retx_after_loss) continue;
+    ++count;
+  }
+  return count;
+}
+
+std::uint32_t Scoreboard::flow_control_limit(std::uint32_t window) const {
+  return std::min(cum_ack_ + window, total_);
+}
+
+std::uint32_t Scoreboard::highest_sent() const { return next_sent_; }
+
+bool Scoreboard::is_sacked(std::uint32_t seq) const {
+  const SegmentState* s = state(seq);
+  return s != nullptr && s->sacked;
+}
+
+bool Scoreboard::is_acked(std::uint32_t seq) const {
+  return seq < cum_ack_ || is_sacked(seq);
+}
+
+}  // namespace halfback::transport

@@ -1,0 +1,106 @@
+// Sender-side SACK scoreboard over a sliding window of segments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace halfback::transport {
+
+/// Per-segment transmission state tracked by the sender.
+struct SegmentState {
+  std::uint16_t times_sent = 0;      ///< all transmissions, incl. proactive
+  std::uint16_t proactive_sent = 0;  ///< proactive retransmissions only
+  bool sacked = false;
+  bool lost = false;                  ///< deemed lost by SACK rule or RTO
+  bool retx_after_loss = false;       ///< loss-triggered retransmission done
+  sim::Time first_sent;
+  sim::Time last_sent;
+  std::uint64_t last_uid = 0;
+};
+
+/// What an arriving ACK changed.
+struct AckUpdate {
+  std::uint32_t cum_ack_before = 0;
+  std::uint32_t cum_ack_after = 0;
+  std::uint32_t newly_cum_acked = 0;          ///< segments newly covered by cum ack
+  std::vector<std::uint32_t> newly_sacked;    ///< segment indices newly SACKed
+  bool advanced() const { return cum_ack_after > cum_ack_before; }
+  std::uint32_t newly_acked_total() const {
+    return newly_cum_acked + static_cast<std::uint32_t>(newly_sacked.size());
+  }
+};
+
+/// Tracks which segments of a flow were sent, acknowledged, SACKed, deemed
+/// lost, and retransmitted.
+///
+/// Memory is a sliding window: state below the cumulative ACK is discarded,
+/// so the footprint is bounded by the flow-control window even for very
+/// long flows (the paper's Fig. 13 background flows are 100 MB).
+class Scoreboard {
+ public:
+  explicit Scoreboard(std::uint32_t total_segments);
+
+  std::uint32_t total_segments() const { return total_; }
+
+  /// Next segment index never sent before, or nullopt when all segments
+  /// have had a first transmission.
+  std::optional<std::uint32_t> next_unsent() const;
+  bool all_sent_once() const { return next_sent_ >= total_; }
+
+  /// Record a transmission of `seq` at time `now` with wire uid `uid`.
+  void on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now, bool proactive);
+
+  /// Apply an arriving cumulative + selective acknowledgement.
+  AckUpdate apply_ack(std::uint32_t cum_ack, const std::vector<net::SackBlock>& sacks);
+
+  /// SACK-based loss detection (simplified RFC 6675 / FACK rule): an
+  /// un-SACKed segment is deemed lost once at least `dup_threshold`
+  /// segments above it have been SACKed. Returns newly-lost indices.
+  std::vector<std::uint32_t> detect_losses(int dup_threshold);
+
+  /// Mark every outstanding (sent, un-SACKed) segment lost (RTO recovery).
+  /// Clears retx_after_loss so they become eligible for retransmission.
+  void mark_all_outstanding_lost();
+
+  /// Lowest segment deemed lost whose loss-triggered retransmission has not
+  /// happened yet.
+  std::optional<std::uint32_t> next_lost_needing_retx() const;
+
+  /// Count of segments considered in flight (sent, not cum-acked, not
+  /// SACKed, and not deemed lost-without-retransmission).
+  std::uint32_t pipe() const;
+
+  /// Highest index that may be sent under a receive window of `window`
+  /// segments (exclusive bound).
+  std::uint32_t flow_control_limit(std::uint32_t window) const;
+
+  std::uint32_t cum_ack() const { return cum_ack_; }
+  std::uint32_t highest_sent() const;  ///< one past the highest sent index (0 if none)
+  bool complete() const { return cum_ack_ >= total_; }
+  bool is_sacked(std::uint32_t seq) const;
+  bool is_acked(std::uint32_t seq) const;  ///< cum-acked or SACKed
+
+  /// State access for segments at or above the cumulative ACK. Segments
+  /// below the window return nullptr (they are acknowledged and forgotten).
+  const SegmentState* state(std::uint32_t seq) const;
+  SegmentState* mutable_state(std::uint32_t seq);
+
+  /// Ensure a state entry exists for `seq` (used before first send).
+  SegmentState& ensure_state(std::uint32_t seq);
+
+ private:
+  void trim();
+
+  std::uint32_t total_;
+  std::uint32_t cum_ack_ = 0;
+  std::uint32_t next_sent_ = 0;     ///< next never-sent index
+  std::uint32_t window_base_ = 0;   ///< seq of window_[0]
+  std::deque<SegmentState> window_;
+};
+
+}  // namespace halfback::transport

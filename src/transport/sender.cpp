@@ -1,0 +1,184 @@
+#include "transport/sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace halfback::transport {
+
+std::uint32_t segments_for_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return 1;  // a zero-byte request still occupies one segment
+  return static_cast<std::uint32_t>((bytes + net::kSegmentPayloadBytes - 1) /
+                                    net::kSegmentPayloadBytes);
+}
+
+SenderBase::SenderBase(sim::Simulator& simulator, net::Node& local_node,
+                       net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
+                       SenderConfig config, std::string scheme_name)
+    : simulator_{simulator},
+      node_{local_node},
+      peer_{peer},
+      scoreboard_{segments_for_bytes(flow_bytes)},
+      rtt_{config.rtt},
+      config_{config} {
+  record_.flow = flow;
+  record_.scheme = std::move(scheme_name);
+  record_.flow_bytes = flow_bytes;
+  record_.total_segments = scoreboard_.total_segments();
+}
+
+SenderBase::~SenderBase() {
+  rto_event_.cancel();
+  syn_timer_.cancel();
+}
+
+void SenderBase::start() {
+  record_.start_time = simulator_.now();
+  send_syn();
+}
+
+void SenderBase::send_syn() {
+  net::Packet syn;
+  syn.flow = record_.flow;
+  syn.type = net::PacketType::syn;
+  syn.src = node_.id();
+  syn.dst = peer_;
+  syn.size_bytes = net::kControlWireBytes;
+  syn.total_segments = record_.total_segments;
+  syn.uid = next_uid();
+  syn.sent_at = simulator_.now();
+  syn_last_sent_ = simulator_.now();
+  ++syn_tries_;
+  if (syn_tries_ > 1) ++record_.syn_retx;
+  node_.send(std::move(syn));
+
+  syn_timer_.cancel();
+  sim::Time timeout = config_.syn_timeout;
+  for (int i = 1; i < syn_tries_; ++i) timeout = timeout * 2.0;
+  syn_timer_ = simulator_.schedule(timeout, [this] { on_syn_timeout(); });
+}
+
+void SenderBase::on_syn_timeout() {
+  if (established_) return;
+  if (syn_tries_ > config_.max_syn_retries) return;  // give up silently
+  send_syn();
+}
+
+void SenderBase::on_packet(const net::Packet& packet) {
+  if (record_.completed) return;
+  switch (packet.type) {
+    case net::PacketType::syn_ack:
+      handle_syn_ack(packet);
+      break;
+    case net::PacketType::ack: {
+      if (!established_) return;  // data ACK before handshake completes: ignore
+      ++record_.acks_received;
+      take_rtt_sample(packet);
+      AckUpdate update = scoreboard_.apply_ack(packet.cum_ack, packet.sacks);
+      if (update.advanced()) {
+        rtt_.reset_backoff();
+        if (!scoreboard_.complete()) arm_rto();
+      }
+      maybe_complete();
+      if (!record_.completed) handle_ack(packet, update);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SenderBase::handle_syn_ack(const net::Packet& /*packet*/) {
+  if (established_) return;  // duplicate SYN-ACK
+  established_ = true;
+  syn_timer_.cancel();
+  record_.established_time = simulator_.now();
+  // The handshake provides the first RTT sample (Karn-valid only if the SYN
+  // was not retransmitted).
+  sim::Time sample = simulator_.now() - syn_last_sent_;
+  if (syn_tries_ == 1) rtt_.add_sample(sample);
+  record_.handshake_rtt = sample;
+  on_established();
+}
+
+void SenderBase::take_rtt_sample(const net::Packet& ack) {
+  const SegmentState* s = scoreboard_.state(ack.seq);
+  if (s == nullptr) return;
+  // Karn's algorithm: only sample segments transmitted exactly once, and
+  // only when the ACK echoes that transmission.
+  if (s->times_sent == 1 && s->last_uid == ack.echo_uid) {
+    rtt_.add_sample(simulator_.now() - s->last_sent);
+  }
+}
+
+void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
+  if (seq >= record_.total_segments) {
+    throw std::logic_error{"send_segment beyond flow length"};
+  }
+  const SegmentState* existing = scoreboard_.state(seq);
+  const bool retx = existing != nullptr && existing->times_sent > 0;
+
+  net::Packet p;
+  p.flow = record_.flow;
+  p.type = net::PacketType::data;
+  p.src = node_.id();
+  p.dst = peer_;
+  p.seq = seq;
+  p.total_segments = record_.total_segments;
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(seq) * net::kSegmentPayloadBytes;
+  const std::uint64_t payload =
+      std::min<std::uint64_t>(net::kSegmentPayloadBytes,
+                              std::max<std::uint64_t>(record_.flow_bytes - std::min(record_.flow_bytes, offset), 1));
+  p.size_bytes = static_cast<std::uint32_t>(payload) + net::kHeaderBytes;
+  p.is_retx = retx;
+  p.is_proactive = proactive;
+  p.uid = next_uid();
+  p.sent_at = simulator_.now();
+
+  scoreboard_.on_sent(seq, p.uid, simulator_.now(), proactive);
+  ++record_.data_packets_sent;
+  if (retx) {
+    if (proactive) {
+      ++record_.proactive_retx;
+    } else {
+      ++record_.normal_retx;
+    }
+  } else if (proactive) {
+    // First transmission flagged proactive (Proactive TCP sends the copy
+    // first in some orderings); count it as proactive overhead.
+    ++record_.proactive_retx;
+  }
+  node_.send(std::move(p));
+  after_transmit(seq, proactive);
+}
+
+void SenderBase::arm_rto() {
+  rto_event_.cancel();
+  rto_event_ = simulator_.schedule(rtt_.rto(), [this] {
+    if (record_.completed) return;
+    ++record_.timeouts;
+    rtt_.backoff();
+    on_timeout();
+  });
+}
+
+void SenderBase::cancel_rto() { rto_event_.cancel(); }
+
+sim::Time SenderBase::smoothed_rtt() const {
+  if (rtt_.has_sample()) return rtt_.srtt();
+  if (!record_.handshake_rtt.is_zero()) return record_.handshake_rtt;
+  return sim::Time::milliseconds(100);
+}
+
+void SenderBase::maybe_complete() {
+  if (record_.completed || !scoreboard_.complete()) return;
+  record_.completed = true;
+  record_.completion_time = simulator_.now();
+  cancel_rto();
+  syn_timer_.cancel();
+  on_flow_complete();
+  if (on_complete_) on_complete_(record_);
+}
+
+}  // namespace halfback::transport

@@ -1,0 +1,166 @@
+// Sender base class: handshake, segment transmission, ACK bookkeeping,
+// retransmission timer. Scheme-specific behaviour lives in subclasses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/rtt_estimator.h"
+#include "transport/scoreboard.h"
+
+namespace halfback::transport {
+
+/// Knobs shared by every scheme. Values follow the paper's setup (§4.1):
+/// 1500-byte segments, a 141 KB receive window (Windows XP default), and a
+/// 2-segment initial window for TCP-family schemes.
+struct SenderConfig {
+  std::uint32_t initial_window = 2;  ///< segments
+  std::uint32_t receive_window_segments = 97;  ///< 141 KB / 1448 B payload
+  int dup_threshold = 3;
+  RttEstimator::Config rtt;
+  sim::Time syn_timeout = sim::Time::seconds(1);
+  int max_syn_retries = 8;
+};
+
+/// Everything an experiment wants to know about a finished (or ongoing)
+/// flow.
+struct FlowRecord {
+  net::FlowId flow = 0;
+  std::string scheme;
+  std::uint64_t flow_bytes = 0;
+  std::uint32_t total_segments = 0;
+
+  sim::Time start_time;
+  sim::Time established_time;
+  sim::Time completion_time;
+  bool completed = false;
+
+  std::uint32_t data_packets_sent = 0;
+  std::uint32_t normal_retx = 0;     ///< loss-triggered retransmissions
+  std::uint32_t proactive_retx = 0;  ///< ROPR / Proactive-TCP copies
+  std::uint32_t timeouts = 0;
+  std::uint32_t syn_retx = 0;
+  std::uint32_t acks_received = 0;
+
+  /// Base path RTT measured by the handshake.
+  sim::Time handshake_rtt;
+
+  /// Flow completion time: from flow start (before the SYN) to the sender
+  /// holding a cumulative ACK of the last segment — the paper's definition
+  /// ("FCT includes both the data transmission time and connection setup
+  /// time").
+  sim::Time fct() const { return completion_time - start_time; }
+
+  /// FCT expressed in path RTTs (Fig. 7).
+  double rtts_used() const {
+    return handshake_rtt.is_zero() ? 0.0 : fct() / handshake_rtt;
+  }
+
+  /// Total wire transmissions of data segments beyond the first copy.
+  std::uint32_t all_retx() const { return normal_retx + proactive_retx; }
+};
+
+/// Abstract sender. Subclasses implement the scheme's transmission policy
+/// through three hooks: on_established(), handle_ack(), on_timeout().
+///
+/// The base class provides the services every scheme shares: the three-way
+/// handshake (with SYN retry), segment transmission with retransmission
+/// accounting, Karn-filtered RTT sampling, scoreboard maintenance, RTO
+/// arming, and completion detection.
+class SenderBase {
+ public:
+  using CompletionCallback = std::function<void(const FlowRecord&)>;
+
+  SenderBase(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+             net::FlowId flow, std::uint64_t flow_bytes, SenderConfig config,
+             std::string scheme_name);
+  virtual ~SenderBase();
+
+  SenderBase(const SenderBase&) = delete;
+  SenderBase& operator=(const SenderBase&) = delete;
+
+  /// Begin the flow: records the start time and sends the SYN.
+  void start();
+
+  /// Entry point for SYN-ACK and ACK packets of this flow.
+  void on_packet(const net::Packet& packet);
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  const FlowRecord& record() const { return record_; }
+  bool complete() const { return record_.completed; }
+  const Scoreboard& scoreboard() const { return scoreboard_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  const std::string& scheme_name() const { return record_.scheme; }
+
+ protected:
+  /// Called once when the handshake completes; begin transmitting here.
+  virtual void on_established() = 0;
+
+  /// Called for each ACK after base bookkeeping (RTT sample, scoreboard
+  /// update, completion check). Not called once the flow has completed.
+  virtual void handle_ack(const net::Packet& ack, const AckUpdate& update) = 0;
+
+  /// Called when the retransmission timeout fires (after backoff and stats
+  /// are recorded). The scheme must perform its recovery and re-arm.
+  virtual void on_timeout() = 0;
+
+  /// Called after every data transmission (Proactive TCP duplicates each
+  /// packet here).
+  virtual void after_transmit(std::uint32_t /*seq*/, bool /*proactive*/) {}
+
+  /// Called once when the flow completes, before the completion callback
+  /// (TCP-Cache stores its path state here).
+  virtual void on_flow_complete() {}
+
+  // --- services for subclasses -------------------------------------------
+
+  /// Transmit segment `seq`. First transmissions, loss-triggered
+  /// retransmissions, and proactive retransmissions are distinguished
+  /// automatically for the statistics.
+  void send_segment(std::uint32_t seq, bool proactive = false);
+
+  /// (Re)arm the retransmission timer at the current RTO.
+  void arm_rto();
+  void cancel_rto();
+  bool rto_armed() const { return rto_event_.pending(); }
+
+  /// Estimated RTT to use before any ACK sample exists (handshake value).
+  sim::Time smoothed_rtt() const;
+
+  std::uint64_t flow_bytes() const { return record_.flow_bytes; }
+  std::uint32_t total_segments() const { return record_.total_segments; }
+
+  sim::Simulator& simulator_;
+  net::Node& node_;
+  net::NodeId peer_;
+  Scoreboard scoreboard_;
+  RttEstimator rtt_;
+  SenderConfig config_;
+  FlowRecord record_;
+
+ private:
+  void send_syn();
+  void on_syn_timeout();
+  void handle_syn_ack(const net::Packet& packet);
+  void take_rtt_sample(const net::Packet& ack);
+  void maybe_complete();
+  std::uint64_t next_uid() { return (record_.flow << 24) + (++uid_counter_); }
+
+  CompletionCallback on_complete_;
+  sim::EventHandle rto_event_;
+  sim::EventHandle syn_timer_;
+  sim::Time syn_last_sent_;
+  int syn_tries_ = 0;
+  bool established_ = false;
+  std::uint64_t uid_counter_ = 0;
+};
+
+/// Number of segments needed to carry `bytes` of application data.
+std::uint32_t segments_for_bytes(std::uint64_t bytes);
+
+}  // namespace halfback::transport

@@ -1,0 +1,93 @@
+#include "transport/tcp_sender.h"
+
+#include <algorithm>
+
+namespace halfback::transport {
+
+TcpSender::TcpSender(sim::Simulator& simulator, net::Node& local_node,
+                     net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
+                     SenderConfig config, std::string scheme_name)
+    : SenderBase{simulator, local_node, peer,    flow,
+                 flow_bytes, config,     std::move(scheme_name)} {}
+
+void TcpSender::on_established() {
+  cwnd_ = static_cast<double>(config_.initial_window);
+  send_available();
+}
+
+void TcpSender::grow_cwnd(std::uint32_t newly_acked) {
+  if (in_recovery_) return;
+  for (std::uint32_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+  }
+}
+
+void TcpSender::enter_recovery() {
+  in_recovery_ = true;
+  recovery_point_ = scoreboard_.highest_sent();
+  ssthresh_ = std::max(static_cast<double>(scoreboard_.pipe()) / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void TcpSender::handle_ack(const net::Packet& /*ack*/, const AckUpdate& update) {
+  grow_cwnd(update.newly_acked_total());
+
+  if (in_recovery_ && update.cum_ack_after >= recovery_point_) {
+    in_recovery_ = false;
+    cwnd_ = ssthresh_;
+  }
+
+  std::vector<std::uint32_t> newly_lost = scoreboard_.detect_losses(config_.dup_threshold);
+  if (!newly_lost.empty() && !in_recovery_) enter_recovery();
+
+  send_available();
+}
+
+void TcpSender::on_timeout() {
+  // RFC 5681 RTO recovery: collapse to one segment, mark everything
+  // outstanding lost and start over from the hole.
+  ssthresh_ = std::max(static_cast<double>(scoreboard_.pipe()) / 2.0, 2.0);
+  cwnd_ = 1.0;
+  in_recovery_ = false;
+  scoreboard_.mark_all_outstanding_lost();
+  send_available();
+  if (!rto_armed()) arm_rto();  // keep the timer alive even if nothing was sendable
+}
+
+std::uint32_t TcpSender::new_data_limit() const {
+  return scoreboard_.flow_control_limit(config_.receive_window_segments);
+}
+
+void TcpSender::send_available() {
+  const auto window = static_cast<std::uint32_t>(cwnd_);
+  std::uint32_t retx_sent = 0;
+  while (true) {
+    if (scoreboard_.pipe() >= window) break;
+    if (retx_sent < retx_per_call_limit_) {
+      if (auto lost = scoreboard_.next_lost_needing_retx()) {
+        send_segment(*lost);
+        ++retx_sent;
+        continue;
+      }
+    }
+    auto next = scoreboard_.next_unsent();
+    if (next.has_value() && *next < new_data_limit()) {
+      if (scoreboard_.is_sacked(*next)) {
+        // Already delivered by an out-of-band copy (RC3's low-priority
+        // batch): account it as virtually sent and move on.
+        scoreboard_.on_sent(*next, 0, simulator_.now(), /*proactive=*/true);
+        continue;
+      }
+      send_segment(*next);
+      continue;
+    }
+    break;
+  }
+  if (scoreboard_.pipe() > 0 && !rto_armed()) arm_rto();
+}
+
+}  // namespace halfback::transport

@@ -1,0 +1,57 @@
+// Vanilla TCP sender: slow start, congestion avoidance, SACK-based fast
+// retransmit, NewReno-style recovery, RTO. The baseline of the paper, and
+// the machinery most schemes reuse.
+#pragma once
+
+#include "transport/sender.h"
+
+namespace halfback::transport {
+
+/// TCP with a configurable initial congestion window.
+///
+/// "TCP" in the paper uses ICW = 2 (its evaluation default) and "TCP-10"
+/// uses ICW = 10; both are this class.
+class TcpSender : public SenderBase {
+ public:
+  TcpSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+            net::FlowId flow, std::uint64_t flow_bytes, SenderConfig config,
+            std::string scheme_name = "tcp");
+
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+
+ protected:
+  void on_established() override;
+  void handle_ack(const net::Packet& ack, const AckUpdate& update) override;
+  void on_timeout() override;
+
+  /// Grow cwnd for `newly_acked` segments (slow start or congestion
+  /// avoidance). No growth during fast recovery.
+  void grow_cwnd(std::uint32_t newly_acked);
+
+  /// Enter fast recovery: halve the window once per loss episode.
+  void enter_recovery();
+
+  /// Transmit retransmissions and new data as the congestion, flow-control
+  /// and scheme-specific windows allow. Classic TCP sends in bursts (no
+  /// pacing) — exactly the behaviour the paper's JumpStart critique rests
+  /// on. Arms the RTO if data is outstanding.
+  virtual void send_available();
+
+  /// Upper bound (exclusive) on new-data sequence numbers; subclasses can
+  /// restrict it (e.g. Halfback's fallback region management).
+  virtual std::uint32_t new_data_limit() const;
+
+  double cwnd_ = 2.0;
+  double ssthresh_ = 1e9;
+  bool in_recovery_ = false;
+  std::uint32_t recovery_point_ = 0;
+  /// Cap on loss-triggered retransmissions per send_available() call.
+  /// Unlimited for TCP (retransmissions ride the cwnd budget); Halfback
+  /// sets it to 1 so its normal retransmissions are ACK-clocked like ROPR
+  /// (§3: "limits aggressiveness at retransmission").
+  std::uint32_t retx_per_call_limit_ = UINT32_MAX;
+};
+
+}  // namespace halfback::transport

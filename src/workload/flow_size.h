@@ -1,0 +1,66 @@
+// Flow-size distributions used in the paper's evaluation (§4.2.4, Fig. 2,
+// Fig. 11): a Tier-1 ISP backbone ("Internet", Qian et al.), a private
+// enterprise data center ("Benson"), and Microsoft's VL2 cluster.
+//
+// As in the paper, "original data sets were not available; the
+// distributions here were approximated from figures in the publications":
+// each distribution is a piecewise log-linear CDF over flow sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace halfback::workload {
+
+/// A flow-size distribution: sampleable, truncatable, and able to report
+/// the byte-weighted CDF that Fig. 2 plots.
+class FlowSizeDist {
+ public:
+  /// A control point: `cum_fraction` of flows are of size <= `bytes`.
+  struct Point {
+    double bytes;
+    double cum_fraction;
+  };
+
+  FlowSizeDist(std::string name, std::vector<Point> points);
+
+  /// The three measured distributions of Fig. 2.
+  static FlowSizeDist internet();
+  static FlowSizeDist benson();
+  static FlowSizeDist vl2();
+  /// Degenerate distribution (the 100 KB fixed-size workloads).
+  static FlowSizeDist fixed(std::uint64_t bytes);
+
+  /// Inverse-transform sample with log-linear interpolation between
+  /// control points.
+  std::uint64_t sample(sim::Random& rng) const;
+
+  /// The same distribution with all mass above `max_bytes` moved to
+  /// `max_bytes` (Fig. 11 truncates at 1 MB: "longer flows would use TCP").
+  FlowSizeDist truncated(std::uint64_t max_bytes) const;
+
+  /// Mean flow size in bytes (analytic, from the piecewise form).
+  double mean_bytes() const;
+
+  /// Fraction of *bytes* carried by flows of size <= `bytes` — the y-axis
+  /// of Fig. 2. Computed analytically from the piecewise form.
+  double byte_weighted_cdf(double bytes) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  double min_bytes() const { return points_.front().bytes; }
+  double max_bytes() const { return points_.back().bytes; }
+
+ private:
+  /// Expected bytes contributed by flows in [lo_bytes, hi_bytes] covering
+  /// probability mass [lo_frac, hi_frac], under log-linear interpolation.
+  static double segment_mean(const Point& lo, const Point& hi);
+
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace halfback::workload

@@ -1,0 +1,52 @@
+#include "workload/web.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace halfback::workload {
+
+WebsiteCatalog::WebsiteCatalog(const WebCatalogConfig& config, sim::Random rng) {
+  pages_.reserve(static_cast<std::size_t>(config.site_count));
+  for (int i = 0; i < config.site_count; ++i) {
+    WebPage page;
+    const double raw_count =
+        rng.lognormal(std::log(config.objects_median), config.objects_sigma);
+    const int count = std::clamp(static_cast<int>(std::lround(raw_count)),
+                                 config.objects_min, config.objects_max);
+    page.object_bytes.reserve(static_cast<std::size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      const double raw_bytes =
+          rng.lognormal(std::log(config.object_bytes_median), config.object_bytes_sigma);
+      const auto bytes = static_cast<std::uint64_t>(raw_bytes);
+      page.object_bytes.push_back(
+          std::clamp(bytes, config.object_bytes_min, config.object_bytes_max));
+    }
+    pages_.push_back(std::move(page));
+  }
+}
+
+double WebsiteCatalog::mean_page_bytes() const {
+  if (pages_.empty()) return 0.0;
+  double total = 0.0;
+  for (const WebPage& page : pages_) total += static_cast<double>(page.total_bytes());
+  return total / static_cast<double>(pages_.size());
+}
+
+std::vector<WebRequest> make_web_schedule(const WebsiteCatalog& catalog,
+                                          double target_utilization,
+                                          sim::DataRate bottleneck,
+                                          sim::Time duration, sim::Random& rng) {
+  std::vector<WebRequest> schedule;
+  const double pages_per_second =
+      target_utilization * bottleneck.bytes_per_second() / catalog.mean_page_bytes();
+  const double mean_interarrival_s = 1.0 / pages_per_second;
+  sim::Time t;
+  while (true) {
+    t += sim::Time::seconds(rng.exponential(mean_interarrival_s));
+    if (t >= duration) break;
+    schedule.push_back(WebRequest{t, catalog.sample_index(rng)});
+  }
+  return schedule;
+}
+
+}  // namespace halfback::workload

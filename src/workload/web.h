@@ -1,0 +1,83 @@
+// Web workload model for the application-level benchmark (§4.4, Fig. 16).
+//
+// The paper replays the front pages of the 100 most popular web sites,
+// delivering each page's objects over concurrent connections as Chrome
+// would. The site data is not available offline, so we synthesize a
+// catalog of 100 pages whose object-count and object-size dispersion match
+// published top-site measurements (see DESIGN.md); what Fig. 16 depends on
+// is the burst of concurrent short flows per request, which this preserves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/data_rate.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "workload/flow_size.h"
+
+namespace halfback::workload {
+
+/// One front page: the sizes of its fetchable objects, in the order the
+/// browser requests them.
+struct WebPage {
+  std::vector<std::uint64_t> object_bytes;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t b : object_bytes) sum += b;
+    return sum;
+  }
+};
+
+/// Parameters of the synthetic page generator.
+struct WebCatalogConfig {
+  int site_count = 100;
+  /// Object count per page ~ lognormal, clamped.
+  double objects_median = 30.0;
+  double objects_sigma = 0.7;
+  int objects_min = 3;
+  int objects_max = 150;
+  /// Object size ~ lognormal, clamped (bytes). 2015-era front pages carry
+  /// ~1.5-2 MB over a few dozen objects.
+  double object_bytes_median = 14'000.0;
+  double object_bytes_sigma = 1.3;
+  std::uint64_t object_bytes_min = 200;
+  std::uint64_t object_bytes_max = 1'000'000;
+};
+
+/// A fixed catalog of synthetic front pages.
+class WebsiteCatalog {
+ public:
+  WebsiteCatalog(const WebCatalogConfig& config, sim::Random rng);
+
+  const WebPage& page(std::size_t index) const { return pages_.at(index); }
+  std::size_t size() const { return pages_.size(); }
+
+  /// Mean bytes per page over the catalog (for utilization pacing).
+  double mean_page_bytes() const;
+
+  /// Pick a page uniformly at random.
+  std::size_t sample_index(sim::Random& rng) const {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pages_.size()) - 1));
+  }
+
+ private:
+  std::vector<WebPage> pages_;
+};
+
+/// One planned page request.
+struct WebRequest {
+  sim::Time at;
+  std::size_t page_index;
+};
+
+/// Poisson page requests paced to a target utilization (given the catalog's
+/// mean page weight).
+std::vector<WebRequest> make_web_schedule(const WebsiteCatalog& catalog,
+                                          double target_utilization,
+                                          sim::DataRate bottleneck,
+                                          sim::Time duration, sim::Random& rng);
+
+}  // namespace halfback::workload

@@ -1,0 +1,187 @@
+// Smoke + shape tests for the PlanetLab / home-network / web / trace
+// experiment environments (scaled-down configurations).
+#include <gtest/gtest.h>
+
+#include "exp/homenet.h"
+#include "exp/planetlab.h"
+#include "exp/trace.h"
+#include "exp/web.h"
+#include "stats/summary.h"
+
+namespace halfback::exp {
+namespace {
+
+using namespace halfback::sim::literals;
+
+stats::Summary fct_ms(const std::vector<TrialResult>& trials) {
+  stats::Summary s;
+  for (const TrialResult& t : trials) s.add(t.record.fct().to_ms());
+  return s;
+}
+
+TEST(PlanetLabEnvTest, PathsAreWithinDocumentedRanges) {
+  PlanetLabConfig config;
+  config.pair_count = 200;
+  PlanetLabEnv env{config};
+  ASSERT_EQ(env.paths().size(), 200u);
+  for (const PathSample& p : env.paths()) {
+    EXPECT_GE(p.rtt, sim::Time::milliseconds(0.2));
+    EXPECT_LE(p.rtt, sim::Time::milliseconds(400));
+    EXPECT_GE(p.bottleneck.bps(), 8e6);
+    EXPECT_LE(p.bottleneck.bps(), 1e9);
+    EXPECT_GE(p.buffer_bytes, 6'000u);
+  }
+}
+
+TEST(PlanetLabEnvTest, EnsembleIsDeterministic) {
+  PlanetLabConfig config;
+  config.pair_count = 50;
+  PlanetLabEnv a{config};
+  PlanetLabEnv b{config};
+  for (std::size_t i = 0; i < a.paths().size(); ++i) {
+    EXPECT_EQ(a.paths()[i].rtt, b.paths()[i].rtt);
+    EXPECT_EQ(a.paths()[i].buffer_bytes, b.paths()[i].buffer_bytes);
+  }
+}
+
+TEST(PlanetLabEnvTest, HalfbackBeatsTcpAcrossEnsemble) {
+  PlanetLabConfig config;
+  config.pair_count = 60;
+  config.threads = 4;
+  PlanetLabEnv env{config};
+  auto halfback = env.run(schemes::Scheme::halfback);
+  auto tcp = env.run(schemes::Scheme::tcp);
+  ASSERT_EQ(halfback.size(), 60u);
+  // §4.2.1: Halfback's FCT is ~half TCP's on average.
+  EXPECT_LT(fct_ms(halfback).mean() * 1.5, fct_ms(tcp).mean());
+  // Nearly all trials must finish.
+  int finished = 0;
+  for (const auto& t : halfback) finished += t.finished ? 1 : 0;
+  EXPECT_GE(finished, 58);
+}
+
+TEST(PlanetLabEnvTest, SomeButNotAllTrialsSeeLoss) {
+  // §4.2.1: ~25% of PlanetLab trials saw loss (aggressive schemes).
+  PlanetLabConfig config;
+  config.pair_count = 100;
+  config.threads = 4;
+  PlanetLabEnv env{config};
+  auto trials = env.run(schemes::Scheme::halfback);
+  int lossy = 0;
+  for (const auto& t : trials) lossy += t.saw_loss ? 1 : 0;
+  EXPECT_GT(lossy, 5);
+  EXPECT_LT(lossy, 70);
+}
+
+TEST(HomeNetEnvTest, ProfilesExist) {
+  auto profiles = home_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_STREQ(profiles[0].name, "comcast-wired");
+}
+
+TEST(HomeNetEnvTest, HalfbackBeatsTcpOnComcast) {
+  HomeNetConfig config;
+  config.server_count = 30;
+  config.threads = 4;
+  HomeNetEnv env{config};
+  auto halfback = env.run(schemes::Scheme::halfback, home_profiles()[0]);
+  auto tcp = env.run(schemes::Scheme::tcp, home_profiles()[0]);
+  // §4.2.2: ~50% median FCT reduction on the wired 25 Mbps profile.
+  EXPECT_LT(fct_ms(halfback).median(), fct_ms(tcp).median() * 0.75);
+}
+
+TEST(HomeNetEnvTest, LowBandwidthProfileShrinksTheGain) {
+  HomeNetConfig config;
+  config.server_count = 30;
+  config.threads = 4;
+  HomeNetEnv env{config};
+  const HomeNetProfile& comcast = home_profiles()[0];
+  const HomeNetProfile& dsl = home_profiles()[3];
+  auto h_fast = env.run(schemes::Scheme::halfback, comcast);
+  auto t_fast = env.run(schemes::Scheme::tcp, comcast);
+  auto h_slow = env.run(schemes::Scheme::halfback, dsl);
+  auto t_slow = env.run(schemes::Scheme::tcp, dsl);
+  const double gain_fast = 1.0 - fct_ms(h_fast).median() / fct_ms(t_fast).median();
+  const double gain_slow = 1.0 - fct_ms(h_slow).median() / fct_ms(t_slow).median();
+  // §4.2.2: AT&T's low-bandwidth link shows the smallest improvement.
+  EXPECT_LT(gain_slow, gain_fast);
+  EXPECT_GT(gain_fast, 0.2);
+}
+
+TEST(WebRunnerTest, PagesCompleteUnderLightLoad) {
+  workload::WebCatalogConfig cc;
+  cc.site_count = 10;
+  workload::WebsiteCatalog catalog{cc, sim::Random{3}};
+  WebRunner::Config config;
+  WebRunner runner{config};
+  std::vector<workload::WebRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back({sim::Time::seconds(3.0 * i), static_cast<std::size_t>(i)});
+  }
+  auto results = runner.run(schemes::Scheme::halfback, catalog, requests).pages;
+  ASSERT_EQ(results.size(), 5u);
+  for (const PageResult& r : results) {
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.response_time(), 100_ms);
+    EXPECT_LT(r.response_time(), 10_s);
+  }
+}
+
+TEST(WebRunnerTest, HalfbackPagesFasterThanTcp) {
+  workload::WebCatalogConfig cc;
+  cc.site_count = 8;
+  workload::WebsiteCatalog catalog{cc, sim::Random{4}};
+  std::vector<workload::WebRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back({sim::Time::seconds(4.0 * i), static_cast<std::size_t>(i)});
+  }
+  WebRunner::Config config;
+  auto halfback = WebRunner{config}.run(schemes::Scheme::halfback, catalog, requests).pages;
+  auto tcp = WebRunner{config}.run(schemes::Scheme::tcp, catalog, requests).pages;
+  stats::Summary h, t;
+  for (const auto& r : halfback) h.add(r.response_time().to_ms());
+  for (const auto& r : tcp) t.add(r.response_time().to_ms());
+  EXPECT_LT(h.mean(), t.mean());
+}
+
+TEST(TraceTest, BackgroundFlowDipsAndRecovers) {
+  TraceConfig config;
+  auto traces = run_trace(config, TraceScenario::halfback);
+  ASSERT_EQ(traces.size(), 2u);
+  const FlowTrace& bg = traces[0];
+  // Background reaches near-full rate before the short flow starts...
+  double before = 0.0;
+  for (const auto& s : bg.throughput) {
+    if (s.bucket_start > 600_ms && s.bucket_start < 1_s) {
+      before = std::max(before, s.mbps);
+    }
+  }
+  EXPECT_GT(before, 10.0);
+  // ...dips while the short flow runs...
+  double during = 1e9;
+  for (const auto& s : bg.throughput) {
+    if (s.bucket_start >= 1_s && s.bucket_start < 1.4_s) {
+      during = std::min(during, s.mbps);
+    }
+  }
+  EXPECT_LT(during, before);
+  // ...and the short flow completes.
+  EXPECT_GT(traces[1].completion, 1_s);
+}
+
+TEST(TraceTest, AllScenariosProduceShortFlows) {
+  for (TraceScenario scenario :
+       {TraceScenario::optimal, TraceScenario::halfback, TraceScenario::single_tcp,
+        TraceScenario::two_tcp_halves}) {
+    TraceConfig config;
+    auto traces = run_trace(config, scenario);
+    const std::size_t expected = scenario == TraceScenario::two_tcp_halves ? 3u : 2u;
+    EXPECT_EQ(traces.size(), expected) << to_string(scenario);
+    for (std::size_t i = 1; i < traces.size(); ++i) {
+      EXPECT_GT(traces[i].completion, sim::Time::zero()) << to_string(scenario);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace halfback::exp

@@ -1,0 +1,218 @@
+// Parameterized property tests: invariants that must hold for every scheme
+// under every network condition we can throw at it.
+//
+//   * liveness   — the flow eventually completes (retransmission machinery
+//                  survives arbitrary loss patterns);
+//   * integrity  — the receiver assembles exactly the flow's segments,
+//                  each delivered to the application exactly once;
+//   * accounting — every wire transmission is classified as first copy,
+//                  normal retransmission, or proactive retransmission;
+//   * determinism— identical seeds give identical results.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/topology.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "support/dumbbell_fixture.h"
+#include "transport/agent.h"
+
+namespace halfback {
+namespace {
+
+using schemes::Scheme;
+using namespace halfback::sim::literals;
+
+constexpr Scheme kAllSchemes[] = {
+    Scheme::tcp,       Scheme::tcp10,     Scheme::tcp_cache,
+    Scheme::reactive,  Scheme::proactive, Scheme::jumpstart,
+    Scheme::pcp,       Scheme::halfback,  Scheme::halfback_forward,
+    Scheme::halfback_burst,
+};
+
+std::string scheme_label(Scheme s) {
+  std::string n = schemes::name(s);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- lossy path
+
+struct LossyTrial {
+  Scheme scheme;
+  double loss_rate;
+};
+
+class LossyPathTest : public ::testing::TestWithParam<LossyTrial> {};
+
+TEST_P(LossyPathTest, CompletesWithExactDelivery) {
+  const LossyTrial& trial = GetParam();
+  sim::Simulator simulator{99};
+  net::Network network{simulator};
+  net::AccessPathConfig apc;
+  apc.downlink_rate = sim::DataRate::megabits_per_second(20);
+  apc.rtt = 40_ms;
+  apc.downlink_loss_rate = trial.loss_rate;
+  net::AccessPath path = net::build_access_path(network, apc);
+
+  transport::TransportAgent server{simulator, network, path.server};
+  transport::TransportAgent client{simulator, network, path.client};
+
+  schemes::SchemeContext context;
+  auto sender = schemes::make_sender(trial.scheme, context, simulator,
+                                     network.node(path.server), path.client,
+                                     /*flow=*/1, 100'000);
+  transport::SenderBase& flow = server.start_flow(std::move(sender));
+  simulator.run_until(5_s + sim::Time::seconds(600.0 * trial.loss_rate));
+
+  ASSERT_TRUE(flow.complete())
+      << schemes::name(trial.scheme) << " at loss " << trial.loss_rate;
+  transport::Receiver* r = client.receiver(1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->stats().complete);
+  EXPECT_EQ(r->stats().unique_segments, flow.record().total_segments);
+
+  // Accounting: every wire packet is exactly one of the three classes.
+  const transport::FlowRecord& rec = flow.record();
+  EXPECT_EQ(rec.data_packets_sent,
+            rec.total_segments + rec.normal_retx + rec.proactive_retx);
+  // FCT is at least the handshake plus one data RTT.
+  EXPECT_GE(rec.fct(), 2.0 * rec.handshake_rtt - 1_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesUnderLoss, LossyPathTest,
+    ::testing::ValuesIn([] {
+      std::vector<LossyTrial> trials;
+      for (Scheme s : kAllSchemes) {
+        for (double loss : {0.0, 0.01, 0.05, 0.15}) {
+          trials.push_back({s, loss});
+        }
+      }
+      return trials;
+    }()),
+    [](const ::testing::TestParamInfo<LossyTrial>& info) {
+      return scheme_label(info.param.scheme) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss_rate * 100));
+    });
+
+// ------------------------------------------------------------- flow sizes
+
+struct SizeTrial {
+  Scheme scheme;
+  std::uint64_t bytes;
+};
+
+class FlowSizeEdgeTest : public ::testing::TestWithParam<SizeTrial> {};
+
+TEST_P(FlowSizeEdgeTest, EdgeSizesComplete) {
+  const SizeTrial& trial = GetParam();
+  net::DumbbellConfig config;
+  config.bottleneck_buffer_bytes = 300'000;  // room for the biggest flows
+  testing::DumbbellFixture f{config};
+  transport::SenderBase& s = f.start(trial.scheme, trial.bytes);
+  f.sim.run_until(60_s);
+  ASSERT_TRUE(s.complete()) << schemes::name(trial.scheme) << " " << trial.bytes;
+  transport::Receiver* r = f.receiver_for(s.record().flow);
+  EXPECT_EQ(r->stats().unique_segments, s.record().total_segments);
+  EXPECT_EQ(s.record().total_segments,
+            transport::segments_for_bytes(trial.bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAcrossSizes, FlowSizeEdgeTest,
+    ::testing::ValuesIn([] {
+      std::vector<SizeTrial> trials;
+      for (Scheme s : kAllSchemes) {
+        for (std::uint64_t bytes : {std::uint64_t{1}, std::uint64_t{1448},
+                                    std::uint64_t{1449}, std::uint64_t{141'000},
+                                    std::uint64_t{500'000}}) {
+          trials.push_back({s, bytes});
+        }
+      }
+      return trials;
+    }()),
+    [](const ::testing::TestParamInfo<SizeTrial>& info) {
+      return scheme_label(info.param.scheme) + "_" +
+             std::to_string(info.param.bytes) + "b";
+    });
+
+// ------------------------------------------------------------ determinism
+
+class DeterminismTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsIdenticalOutcomes) {
+  auto run = [&](std::uint64_t seed) {
+    net::DumbbellConfig config;
+    config.bottleneck_rate = sim::DataRate::megabits_per_second(8);
+    config.bottleneck_buffer_bytes = 20'000;  // force loss and recovery
+    testing::DumbbellFixture f{config, seed};
+    transport::SenderBase& a = f.start(GetParam(), 100'000, 0);
+    transport::SenderBase& b = f.start(GetParam(), 100'000, 1);
+    f.sim.run_until(60_s);
+    return std::tuple{a.record().fct().ns(),    b.record().fct().ns(),
+                      a.record().normal_retx,   b.record().normal_retx,
+                      a.record().proactive_retx, a.record().timeouts};
+  };
+  EXPECT_EQ(run(5), run(5));
+  // A different seed perturbs link fault RNG only; with no random loss the
+  // runs are identical too, so don't assert inequality here.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DeterminismTest, ::testing::ValuesIn(kAllSchemes),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return scheme_label(info.param);
+                         });
+
+// ------------------------------------------------------- mixed concurrency
+
+TEST(MixedSchemesTest, AllSchemesCoexistOnOneBottleneck) {
+  net::DumbbellConfig config;
+  config.sender_count = 10;
+  config.receiver_count = 10;
+  testing::DumbbellFixture f{config};
+  std::vector<transport::SenderBase*> flows;
+  std::size_t pair = 0;
+  for (Scheme s : kAllSchemes) {
+    flows.push_back(&f.start(s, 100'000, pair++));
+  }
+  f.sim.run_until(120_s);
+  for (transport::SenderBase* flow : flows) {
+    EXPECT_TRUE(flow->complete()) << flow->scheme_name();
+    transport::Receiver* r = f.receiver_for(flow->record().flow);
+    ASSERT_NE(r, nullptr) << flow->scheme_name();
+    EXPECT_EQ(r->stats().unique_segments, flow->record().total_segments)
+        << flow->scheme_name();
+  }
+}
+
+TEST(MixedSchemesTest, ChurnOfManyShortFlows) {
+  // 60 staggered Halfback flows against 60 TCP flows: everything must
+  // complete and deliver exactly once, whatever the loss pattern.
+  net::DumbbellConfig config;
+  config.bottleneck_buffer_bytes = 50'000;
+  testing::DumbbellFixture f{config, 21};
+  std::vector<transport::SenderBase*> flows;
+  for (int i = 0; i < 60; ++i) {
+    f.sim.schedule(sim::Time::milliseconds(40.0 * i), [&f, &flows, i] {
+      flows.push_back(&f.start(i % 2 == 0 ? Scheme::halfback : Scheme::tcp, 50'000,
+                               static_cast<std::size_t>(i)));
+    });
+  }
+  f.sim.run_until(180_s);
+  ASSERT_EQ(flows.size(), 60u);
+  int completed = 0;
+  for (transport::SenderBase* flow : flows) {
+    if (!flow->complete()) continue;
+    ++completed;
+    transport::Receiver* r = f.receiver_for(flow->record().flow);
+    EXPECT_EQ(r->stats().unique_segments, flow->record().total_segments);
+  }
+  EXPECT_EQ(completed, 60);
+}
+
+}  // namespace
+}  // namespace halfback

@@ -1,0 +1,45 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::net {
+namespace {
+
+TEST(PacketTest, WireSizesMatchPaperSetup) {
+  // §4.1: "The segment size is 1500 bytes including the header."
+  EXPECT_EQ(kSegmentWireBytes, 1500u);
+  EXPECT_EQ(kSegmentPayloadBytes + kHeaderBytes, kSegmentWireBytes);
+}
+
+TEST(PacketTest, TypeNames) {
+  EXPECT_STREQ(to_string(PacketType::syn), "SYN");
+  EXPECT_STREQ(to_string(PacketType::syn_ack), "SYN-ACK");
+  EXPECT_STREQ(to_string(PacketType::data), "DATA");
+  EXPECT_STREQ(to_string(PacketType::ack), "ACK");
+}
+
+TEST(PacketTest, ToStringMentionsKeyFields) {
+  Packet p;
+  p.type = PacketType::data;
+  p.flow = 7;
+  p.seq = 3;
+  p.total_segments = 10;
+  p.is_retx = true;
+  p.is_proactive = true;
+  std::string s = p.to_string();
+  EXPECT_NE(s.find("DATA"), std::string::npos);
+  EXPECT_NE(s.find("seq=3/10"), std::string::npos);
+  EXPECT_NE(s.find("retx"), std::string::npos);
+  EXPECT_NE(s.find("proactive"), std::string::npos);
+}
+
+TEST(PacketTest, SackBlockEquality) {
+  SackBlock a{1, 5};
+  SackBlock b{1, 5};
+  SackBlock c{1, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace halfback::net

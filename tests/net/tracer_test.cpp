@@ -1,0 +1,141 @@
+#include "net/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace halfback::net {
+namespace {
+
+using namespace halfback::sim::literals;
+
+struct TracerFixture {
+  sim::Simulator sim{1};
+  Network net{sim};
+  NodeId a, b;
+  LinkPair links;
+  PacketTracer tracer{sim};
+
+  TracerFixture(std::uint64_t queue_bytes = 1 << 20) {
+    a = net.add_node();
+    b = net.add_node();
+    LinkConfig link;
+    link.rate = sim::DataRate::megabits_per_second(10);
+    link.delay = 1_ms;
+    link.queue_bytes = queue_bytes;
+    links = net.connect(a, b, link);
+    net.compute_routes();
+    net.node(b).set_local_handler([](Packet) {});
+  }
+
+  void send(std::uint32_t seq, std::uint32_t bytes = 1500) {
+    Packet p;
+    p.type = PacketType::data;
+    p.src = a;
+    p.dst = b;
+    p.seq = seq;
+    p.flow = 1 + seq % 2;
+    p.size_bytes = bytes;
+    net.node(a).send(p);
+  }
+};
+
+TEST(PacketTracerTest, RecordsDeliveries) {
+  TracerFixture f;
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  f.send(0);
+  f.send(1);
+  f.sim.run();
+  auto delivered = f.tracer.events_of(TraceEventKind::delivered);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].packet.seq, 0u);
+  EXPECT_EQ(delivered[0].where, "a->b");
+  EXPECT_GT(delivered[0].at, 1_ms);
+}
+
+TEST(PacketTracerTest, TapChainsToExistingReceiver) {
+  TracerFixture f;
+  int arrived = 0;
+  f.net.node(f.b).set_local_handler([&](Packet) { ++arrived; });
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  f.send(0);
+  f.sim.run();
+  EXPECT_EQ(arrived, 1);  // delivery still reaches the node
+  EXPECT_EQ(f.tracer.events().size(), 1u);
+}
+
+TEST(PacketTracerTest, RecordsQueueDrops) {
+  TracerFixture f{/*queue_bytes=*/1400};
+  f.tracer.tap_queue(*f.links.forward, "bottleneck");
+  for (std::uint32_t i = 0; i < 5; ++i) f.send(i);
+  f.sim.run();
+  auto drops = f.tracer.events_of(TraceEventKind::queue_drop);
+  EXPECT_EQ(drops.size(), 4u);  // 1 transmitting, rest dropped
+  EXPECT_EQ(drops[0].kind, TraceEventKind::queue_drop);
+}
+
+TEST(PacketTracerTest, QueueTapChainsExistingDropCallback) {
+  TracerFixture f{1400};
+  int counted = 0;
+  f.links.forward->queue().set_drop_callback([&](const Packet&) { ++counted; });
+  f.tracer.tap_queue(*f.links.forward, "bottleneck");
+  for (std::uint32_t i = 0; i < 3; ++i) f.send(i);
+  f.sim.run();
+  EXPECT_EQ(counted, 2);
+  EXPECT_EQ(f.tracer.events_of(TraceEventKind::queue_drop).size(), 2u);
+}
+
+TEST(PacketTracerTest, NodeTapSeesLocalArrivals) {
+  TracerFixture f;
+  f.tracer.tap_node(f.net.node(f.b), "host-b");
+  f.send(0);
+  f.sim.run();
+  auto arrivals = f.tracer.events_of(TraceEventKind::local_arrival);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].where, "host-b");
+}
+
+TEST(PacketTracerTest, FilterLimitsRecording) {
+  TracerFixture f;
+  f.tracer.set_filter([](const TraceEvent& e) { return e.packet.flow == 1; });
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  for (std::uint32_t i = 0; i < 4; ++i) f.send(i);  // flows alternate 1,2
+  f.sim.run();
+  EXPECT_EQ(f.tracer.events().size(), 2u);
+  for (const TraceEvent& e : f.tracer.events()) EXPECT_EQ(e.packet.flow, 1u);
+}
+
+TEST(PacketTracerTest, EventsForFlow) {
+  TracerFixture f;
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  for (std::uint32_t i = 0; i < 4; ++i) f.send(i);
+  f.sim.run();
+  EXPECT_EQ(f.tracer.events_for_flow(1).size(), 2u);
+  EXPECT_EQ(f.tracer.events_for_flow(2).size(), 2u);
+  EXPECT_TRUE(f.tracer.events_for_flow(99).empty());
+}
+
+TEST(PacketTracerTest, TimelineRendersAllEvents) {
+  TracerFixture f;
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  f.send(0);
+  f.sim.run();
+  std::string timeline = f.tracer.timeline();
+  EXPECT_NE(timeline.find("DELIVER"), std::string::npos);
+  EXPECT_NE(timeline.find("a->b"), std::string::npos);
+  EXPECT_NE(timeline.find("DATA"), std::string::npos);
+}
+
+TEST(PacketTracerTest, ClearEmptiesBuffer) {
+  TracerFixture f;
+  f.tracer.tap_link(*f.links.forward, "a->b");
+  f.send(0);
+  f.sim.run();
+  EXPECT_FALSE(f.tracer.events().empty());
+  f.tracer.clear();
+  EXPECT_TRUE(f.tracer.events().empty());
+}
+
+}  // namespace
+}  // namespace halfback::net

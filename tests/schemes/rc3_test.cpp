@@ -1,0 +1,138 @@
+#include "schemes/rc3.h"
+
+#include <gtest/gtest.h>
+
+#include "net/queue.h"
+#include "support/dumbbell_fixture.h"
+
+namespace halfback::schemes {
+namespace {
+
+using halfback::testing::DumbbellFixture;
+using transport::SenderBase;
+using namespace halfback::sim::literals;
+
+net::DumbbellConfig priority_dumbbell() {
+  net::DumbbellConfig config;
+  config.bottleneck_queue = net::QueueKind::priority;
+  return config;
+}
+
+TEST(PriorityQueueTest, NormalBandServedFirst) {
+  net::PriorityQueue q{20'000};
+  auto make = [](std::uint8_t priority, std::uint32_t seq) {
+    net::Packet p;
+    p.type = net::PacketType::data;
+    p.size_bytes = 1500;
+    p.priority = priority;
+    p.seq = seq;
+    return p;
+  };
+  q.enqueue(make(1, 100), {});
+  q.enqueue(make(0, 1), {});
+  q.enqueue(make(1, 101), {});
+  q.enqueue(make(0, 2), {});
+  EXPECT_EQ(q.dequeue({})->seq, 1u);
+  EXPECT_EQ(q.dequeue({})->seq, 2u);
+  EXPECT_EQ(q.dequeue({})->seq, 100u);
+  EXPECT_EQ(q.dequeue({})->seq, 101u);
+}
+
+TEST(PriorityQueueTest, BandsHaveIndependentBudgets) {
+  net::PriorityQueue q{3'000};  // per band
+  auto make = [](std::uint8_t priority) {
+    net::Packet p;
+    p.size_bytes = 1500;
+    p.priority = priority;
+    return p;
+  };
+  EXPECT_TRUE(q.enqueue(make(1), {}));
+  EXPECT_TRUE(q.enqueue(make(1), {}));
+  EXPECT_FALSE(q.enqueue(make(1), {}));  // low band full
+  EXPECT_TRUE(q.enqueue(make(0), {}));   // normal band unaffected
+  EXPECT_EQ(q.band_bytes(0), 1500u);
+  EXPECT_EQ(q.band_bytes(1), 3000u);
+}
+
+TEST(Rc3Test, CompletesInTwoRttsOnPriorityBottleneck) {
+  // RLP fires the whole flow at line rate immediately after the handshake;
+  // on an idle priority bottleneck it all arrives in ~1 RTT, well before
+  // the primary loop's slow start would have delivered it.
+  DumbbellFixture f{priority_dumbbell()};
+  SenderBase& s = f.start(Scheme::rc3, 100'000);
+  f.sim.run();
+  ASSERT_TRUE(s.complete());
+  EXPECT_LT(s.record().fct(), 200_ms);  // vs ~430 ms for TCP
+  EXPECT_GT(s.record().proactive_retx, 50u);
+  transport::Receiver* r = f.receiver_for(s.record().flow);
+  EXPECT_EQ(r->stats().unique_segments, 70u);
+}
+
+TEST(Rc3Test, PrimaryLoopSkipsSegmentsDeliveredByRlp) {
+  DumbbellFixture f{priority_dumbbell()};
+  SenderBase& s = f.start(Scheme::rc3, 100'000);
+  f.sim.run();
+  ASSERT_TRUE(s.complete());
+  // RLP delivered the tail; the primary loop must not re-send all of it:
+  // total wire data << 2x flow.
+  EXPECT_LT(s.record().data_packets_sent, 100u);
+  EXPECT_EQ(s.record().timeouts, 0u);
+}
+
+TEST(Rc3Test, LowPriorityCopiesCannotHurtNormalTraffic) {
+  // A competing TCP flow's packets ride band 0: RC3's line-rate RLP burst
+  // must not increase its completion time at all.
+  net::DumbbellConfig config = priority_dumbbell();
+  config.sender_count = 2;
+  config.receiver_count = 2;
+
+  DumbbellFixture alone{config};
+  SenderBase& tcp_alone = alone.start(Scheme::tcp, 100'000, 0);
+  alone.sim.run();
+
+  DumbbellFixture mixed{config};
+  SenderBase& tcp_mixed = mixed.start(Scheme::tcp, 100'000, 0);
+  SenderBase& rc3 = mixed.start(Scheme::rc3, 100'000, 1);
+  mixed.sim.run();
+
+  ASSERT_TRUE(tcp_mixed.complete());
+  ASSERT_TRUE(rc3.complete());
+  // The ACK path and serialization slots are shared, so allow a whisker.
+  EXPECT_LT(tcp_mixed.record().fct().to_ms(),
+            tcp_alone.record().fct().to_ms() * 1.10);
+}
+
+TEST(Rc3Test, WithoutPrioritySupportItIsJustAggressive) {
+  // Misdeployed RC3 (drop-tail bottleneck): the RLP line-rate burst parks
+  // ~100 KB in the shared queue, and a TCP flow starting into that backlog
+  // pays for it — the §3.2 reason Halfback avoids needing in-network
+  // changes. A slower bottleneck keeps the backlog alive long enough to
+  // overlap the competitor.
+  net::DumbbellConfig config;  // drop-tail
+  config.sender_count = 2;
+  config.receiver_count = 2;
+  config.bottleneck_rate = sim::DataRate::megabits_per_second(5);
+
+  auto run_tcp = [&](bool with_rc3) {
+    DumbbellFixture f{config};
+    if (with_rc3) f.start(Scheme::rc3, 100'000, 1);
+    SenderBase* tcp = nullptr;
+    f.sim.schedule(60_ms, [&] { tcp = &f.start(Scheme::tcp, 100'000, 0); });
+    f.sim.run();
+    EXPECT_TRUE(tcp->complete());
+    return tcp->record().fct();
+  };
+  EXPECT_GT(run_tcp(true), run_tcp(false) + 30_ms);
+}
+
+TEST(Rc3Test, RlpRespectsReceiveWindow) {
+  DumbbellFixture f{priority_dumbbell()};
+  SenderBase& s = f.start(Scheme::rc3, 500'000);  // > 141 KB window
+  f.sim.run();
+  ASSERT_TRUE(s.complete());
+  transport::Receiver* r = f.receiver_for(s.record().flow);
+  EXPECT_EQ(r->stats().unique_segments, s.record().total_segments);
+}
+
+}  // namespace
+}  // namespace halfback::schemes

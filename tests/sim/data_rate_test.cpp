@@ -1,0 +1,48 @@
+#include "sim/data_rate.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::sim {
+namespace {
+
+using namespace halfback::sim::literals;
+
+TEST(DataRateTest, Constructors) {
+  EXPECT_DOUBLE_EQ(DataRate::bits_per_second(1e6).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(DataRate::kilobits_per_second(1).bps(), 1e3);
+  EXPECT_DOUBLE_EQ(DataRate::megabits_per_second(15).bps(), 15e6);
+  EXPECT_DOUBLE_EQ(DataRate::gigabits_per_second(1).bps(), 1e9);
+}
+
+TEST(DataRateTest, TransmissionTime) {
+  // 1500 bytes at 15 Mbps = 12000 bits / 15e6 bps = 0.8 ms.
+  auto rate = DataRate::megabits_per_second(15);
+  EXPECT_EQ(rate.transmission_time(1500), Time::microseconds(800));
+}
+
+TEST(DataRateTest, BytesPer) {
+  // 100 KB over 60 ms.
+  auto rate = DataRate::bytes_per(100'000, 60_ms);
+  EXPECT_NEAR(rate.bytes_per_second(), 100'000 / 0.06, 1.0);
+}
+
+TEST(DataRateTest, ZeroRate) {
+  DataRate r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_FALSE(DataRate::megabits_per_second(1).is_zero());
+}
+
+TEST(DataRateTest, Arithmetic) {
+  auto r = DataRate::megabits_per_second(10);
+  EXPECT_DOUBLE_EQ((r * 2.0).bps(), 20e6);
+  EXPECT_DOUBLE_EQ((r / 2.0).bps(), 5e6);
+  EXPECT_DOUBLE_EQ(r / DataRate::megabits_per_second(5), 2.0);
+  EXPECT_LT(DataRate::megabits_per_second(5), r);
+}
+
+TEST(DataRateTest, BytesPerSecond) {
+  EXPECT_DOUBLE_EQ(DataRate::megabits_per_second(8).bytes_per_second(), 1e6);
+}
+
+}  // namespace
+}  // namespace halfback::sim

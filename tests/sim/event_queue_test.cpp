@@ -1,0 +1,106 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace halfback::sim {
+namespace {
+
+using namespace halfback::sim::literals;
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.run_next(), std::logic_error);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3_ms, [&] { order.push_back(3); });
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  q.schedule(2_ms, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1_ms, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(7_ms, [] {});
+  EXPECT_EQ(q.next_time(), 7_ms);
+  EXPECT_EQ(q.run_next(), 7_ms);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsOnlyIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  EventHandle h = q.schedule(2_ms, [&] { order.push_back(2); });
+  q.schedule(3_ms, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int count = 0;
+  EventHandle h = q.schedule(1_ms, [&] { ++count; });
+  q.run_next();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or change anything
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1_ms, [&] {
+    order.push_back(1);
+    q.schedule(2_ms, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(1_ms, [&] { ran = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace halfback::sim

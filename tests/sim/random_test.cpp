@@ -1,0 +1,150 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace halfback::sim {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a{42};
+  Random b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a{1};
+  Random b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, ForkIsIndependentAndDeterministic) {
+  Random parent1{7};
+  Random parent2{7};
+  Random child1 = parent1.fork(3);
+  Random child2 = parent2.fork(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+  }
+  // Different salts give different streams.
+  Random parent3{7};
+  Random other = parent3.fork(4);
+  int equal = 0;
+  Random parent4{7};
+  Random same_salt = parent4.fork(3);
+  for (int i = 0; i < 50; ++i) {
+    if (other.uniform() == same_salt.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, UniformRange) {
+  Random r{9};
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusive) {
+  Random r{10};
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random r{11};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RandomTest, ExponentialTime) {
+  Random r{12};
+  Time total;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += r.exponential(Time::milliseconds(10));
+  EXPECT_NEAR(total.to_ms() / n, 10.0, 0.5);
+}
+
+TEST(RandomTest, BernoulliProbability) {
+  Random r{13};
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RandomTest, ParetoBounds) {
+  Random r{14};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RandomTest, LogUniformBounds) {
+  Random r{15};
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.log_uniform(0.2, 400.0);
+    EXPECT_GE(x, 0.2);
+    EXPECT_LE(x, 400.0);
+  }
+}
+
+TEST(RandomTest, LogUniformSpreadsAcrossDecades) {
+  Random r{16};
+  int low = 0;   // [0.2, 2)
+  int high = 0;  // [40, 400)
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.log_uniform(0.2, 400.0);
+    if (x < 2.0) ++low;
+    if (x >= 40.0) ++high;
+  }
+  // Log-uniform over 0.2..400 has ~30% of mass per decade-ish band.
+  EXPECT_GT(low, 2000);
+  EXPECT_GT(high, 2000);
+}
+
+TEST(RandomTest, WeightedIndex) {
+  Random r{17};
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 4000; ++i) ++seen[r.weighted_index(weights)];
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / seen[0], 3.0, 0.5);
+}
+
+TEST(RandomTest, WeightedIndexRejectsEmptyTotal) {
+  Random r{18};
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(r.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(RandomTest, ShuffleKeepsElements) {
+  Random r{19};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace halfback::sim

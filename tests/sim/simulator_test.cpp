@@ -1,0 +1,97 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace halfback::sim {
+namespace {
+
+using namespace halfback::sim::literals;
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, RunAdvancesClock) {
+  Simulator sim;
+  Time seen;
+  sim.schedule(5_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5_ms);
+  EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(SimulatorTest, RelativeSchedulingChains) {
+  Simulator sim;
+  std::vector<double> times_ms;
+  sim.schedule(1_ms, [&] {
+    times_ms.push_back(sim.now().to_ms());
+    sim.schedule(1_ms, [&] { times_ms.push_back(sim.now().to_ms()); });
+  });
+  sim.run();
+  ASSERT_EQ(times_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(times_ms[0], 1.0);
+  EXPECT_DOUBLE_EQ(times_ms[1], 2.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1_ms, [&] { ++ran; });
+  sim.schedule(10_ms, [&] { ++ran; });
+  sim.run_until(5_ms);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 5_ms);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 10_ms);
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(5_ms, [&] { ran = true; });
+  sim.run_until(5_ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1_ms, [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule(2_ms, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  // Resuming picks the remaining event back up.
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  Time seen;
+  sim.schedule_at(7_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 7_ms);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(Time::milliseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, RandomIsSeeded) {
+  Simulator a{123};
+  Simulator b{123};
+  EXPECT_DOUBLE_EQ(a.random().uniform(), b.random().uniform());
+}
+
+}  // namespace
+}  // namespace halfback::sim

@@ -1,0 +1,79 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::sim {
+namespace {
+
+using namespace halfback::sim::literals;
+
+TEST(TimeTest, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(TimeTest, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Time::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Time::nanoseconds(7).ns(), 7);
+  EXPECT_EQ(Time::seconds(0.5), Time::milliseconds(500));
+}
+
+TEST(TimeTest, Literals) {
+  EXPECT_EQ(5_ms, Time::milliseconds(5));
+  EXPECT_EQ(2_s, Time::seconds(2));
+  EXPECT_EQ(1.5_ms, Time::microseconds(1500));
+  EXPECT_EQ(250_us, Time::microseconds(250));
+  EXPECT_EQ(10_ns, Time::nanoseconds(10));
+}
+
+TEST(TimeTest, Arithmetic) {
+  Time a = 10_ms;
+  Time b = 4_ms;
+  EXPECT_EQ(a + b, 14_ms);
+  EXPECT_EQ(a - b, 6_ms);
+  EXPECT_EQ(a * 2.0, 20_ms);
+  EXPECT_EQ(a / 2.0, 5_ms);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  a += b;
+  EXPECT_EQ(a, 14_ms);
+  a -= b;
+  EXPECT_EQ(a, 10_ms);
+}
+
+TEST(TimeTest, Ordering) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(1_ms, 1_ms);
+  EXPECT_LT(1_s, Time::infinity());
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).to_ms(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_ns).to_us(), 1.5);
+}
+
+TEST(TimeTest, InfinityIsSticky) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE((1_s).is_infinite());
+}
+
+TEST(TimeTest, ToString) {
+  EXPECT_EQ((1500_ms).to_string(), "1.500s");
+  EXPECT_EQ((12.5_ms).to_string(), "12.500ms");
+  EXPECT_EQ((250_us).to_string(), "250.000us");
+  EXPECT_EQ((12_ns).to_string(), "12ns");
+  EXPECT_EQ(Time::infinity().to_string(), "+inf");
+}
+
+TEST(TimeTest, NegativeDurationsBehave) {
+  Time d = 1_ms - 2_ms;
+  EXPECT_LT(d, Time::zero());
+  EXPECT_EQ(d + 2_ms, 1_ms);
+}
+
+}  // namespace
+}  // namespace halfback::sim

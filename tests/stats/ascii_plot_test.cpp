@@ -1,0 +1,78 @@
+#include "stats/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::stats {
+namespace {
+
+TEST(AsciiPlotTest, EmptyInputHandled) {
+  EXPECT_EQ(ascii_plot({}), "(no data)\n");
+  EXPECT_EQ(ascii_plot({{"empty", {}}}), "(no data)\n");
+}
+
+TEST(AsciiPlotTest, SinglePointRenders) {
+  auto out = ascii_plot({{"p", {{1.0, 2.0}}}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = p"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RisingLineFillsDiagonal) {
+  PlotSeries s{"line", {}};
+  for (int i = 0; i <= 10; ++i) s.points.emplace_back(i, i);
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  auto out = ascii_plot({s}, opt);
+  // Top row contains the max, bottom row the min.
+  auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find('*'), std::string::npos);
+  // The glyph appears many times (interpolation fills the line).
+  EXPECT_GT(std::count(out.begin(), out.end(), '*'), 20);
+}
+
+TEST(AsciiPlotTest, MultipleSeriesGetDistinctGlyphs) {
+  PlotSeries a{"alpha", {{0, 0}, {1, 1}}};
+  PlotSeries b{"beta", {{0, 1}, {1, 0}}};
+  auto out = ascii_plot({a, b});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("* = alpha"), std::string::npos);
+  EXPECT_NE(out.find("o = beta"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AxisLabelsAndTitle) {
+  PlotOptions opt;
+  opt.title = "My Figure";
+  opt.x_label = "utilization";
+  opt.y_label = "fct_ms";
+  auto out = ascii_plot({{"s", {{0, 0}, {1, 1}}}}, opt);
+  EXPECT_EQ(out.find("My Figure"), 0u);
+  EXPECT_NE(out.find("x: utilization"), std::string::npos);
+  EXPECT_NE(out.find("y: fct_ms"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AxisEndpointsPrinted) {
+  auto out = ascii_plot({{"s", {{2.0, 10.0}, {8.0, 50.0}}}});
+  EXPECT_NE(out.find("50.00"), std::string::npos);  // y max
+  EXPECT_NE(out.find("10.00"), std::string::npos);  // y min
+  EXPECT_NE(out.find("2.00"), std::string::npos);   // x min
+  EXPECT_NE(out.find("8.00"), std::string::npos);   // x max
+}
+
+TEST(AsciiPlotTest, LogXHandlesDecades) {
+  PlotSeries s{"sizes", {{100, 1}, {1000, 2}, {10000, 3}, {100000, 4}}};
+  PlotOptions opt;
+  opt.log_x = true;
+  auto out = ascii_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  // Endpoint label shows the de-logged value.
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotDivideByZero) {
+  auto out = ascii_plot({{"flat", {{0, 5}, {1, 5}, {2, 5}}}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace halfback::stats

@@ -1,0 +1,108 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::stats {
+namespace {
+
+Summary make_summary(std::initializer_list<double> values) {
+  Summary s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+TEST(SummaryTest, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s = make_summary({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s = make_summary({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(SummaryTest, PercentileSingleSample) {
+  Summary s = make_summary({7});
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, PercentileRangeChecked) {
+  Summary s = make_summary({1, 2});
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(SummaryTest, AddAfterQueryResorts) {
+  Summary s = make_summary({3, 1});
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SummaryTest, CdfCoversAllMass) {
+  Summary s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  auto cdf = s.cdf(100);
+  EXPECT_LE(cdf.size(), 102u);
+  EXPECT_DOUBLE_EQ(cdf.back().percent, 100.0);
+  // Monotone in both coordinates.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].percent, cdf[i - 1].percent);
+  }
+  // Median point lands near 500.
+  for (const auto& p : cdf) {
+    if (p.percent >= 50.0) {
+      EXPECT_NEAR(p.value, 500.0, 15.0);
+      break;
+    }
+  }
+}
+
+TEST(SummaryTest, CcdfComplementsCdf) {
+  Summary s = make_summary({1, 2, 3, 4});
+  auto cdf = s.cdf();
+  auto ccdf = s.ccdf();
+  ASSERT_EQ(cdf.size(), ccdf.size());
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cdf[i].percent + ccdf[i].percent, 100.0);
+  }
+}
+
+TEST(SummaryTest, JainFairnessIndex) {
+  std::vector<double> equal{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(Summary::jain_fairness(equal), 1.0);
+  std::vector<double> one_hog{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Summary::jain_fairness(one_hog), 0.25);  // 1/n
+  std::vector<double> mild{4, 6};
+  EXPECT_NEAR(Summary::jain_fairness(mild), 100.0 / (2 * 52.0), 1e-12);
+  std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(Summary::jain_fairness(zeros), 1.0);
+  EXPECT_THROW(Summary::jain_fairness({}), std::logic_error);
+}
+
+TEST(SummaryTest, FractionAtMost) {
+  Summary s = make_summary({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace halfback::stats

@@ -1,0 +1,57 @@
+// Shared test harness: a one-sender dumbbell with transport agents and a
+// scheme factory, used across scheme, integration and property tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "schemes/factory.h"
+#include "sim/simulator.h"
+#include "transport/agent.h"
+
+namespace halfback::testing {
+
+/// A dumbbell network with one agent per host and convenience helpers to
+/// launch flows of any scheme between host i pairs.
+struct DumbbellFixture {
+  sim::Simulator sim;
+  net::Network net;
+  net::Dumbbell dumbbell;
+  schemes::SchemeContext context;
+  std::vector<std::unique_ptr<transport::TransportAgent>> sender_agents;
+  std::vector<std::unique_ptr<transport::TransportAgent>> receiver_agents;
+  net::FlowId next_flow = 1;
+
+  explicit DumbbellFixture(net::DumbbellConfig config = {}, std::uint64_t seed = 1)
+      : sim{seed}, net{sim}, dumbbell{net::build_dumbbell(net, config)} {
+    for (net::NodeId id : dumbbell.senders) {
+      sender_agents.push_back(std::make_unique<transport::TransportAgent>(sim, net, id));
+    }
+    for (net::NodeId id : dumbbell.receivers) {
+      receiver_agents.push_back(
+          std::make_unique<transport::TransportAgent>(sim, net, id));
+    }
+  }
+
+  /// Start a flow of `scheme` from sender host `pair` to receiver host
+  /// `pair` (mod the host counts). Returns the live sender.
+  transport::SenderBase& start(schemes::Scheme scheme, std::uint64_t bytes,
+                               std::size_t pair = 0) {
+    const std::size_t s = pair % sender_agents.size();
+    const std::size_t r = pair % receiver_agents.size();
+    auto sender = schemes::make_sender(
+        scheme, context, sim, net.node(dumbbell.senders[s]), dumbbell.receivers[r],
+        next_flow++, bytes);
+    return sender_agents[s]->start_flow(std::move(sender));
+  }
+
+  transport::Receiver* receiver_for(net::FlowId flow) {
+    for (auto& agent : receiver_agents) {
+      if (transport::Receiver* r = agent->receiver(flow)) return r;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace halfback::testing

@@ -1,0 +1,305 @@
+#include "transport/receiver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "schemes/factory.h"
+#include "transport/agent.h"
+#include "sim/simulator.h"
+
+namespace halfback::transport {
+namespace {
+
+using namespace halfback::sim::literals;
+
+struct ReceiverFixture {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::NodeId sender_node;
+  net::NodeId receiver_node;
+  std::vector<net::Packet> acks;
+  std::unique_ptr<Receiver> receiver;
+
+  ReceiverFixture() {
+    sender_node = net.add_node();
+    receiver_node = net.add_node();
+    net::LinkConfig fast;
+    fast.rate = sim::DataRate::gigabits_per_second(1);
+    fast.delay = 1_ms;
+    net.connect(sender_node, receiver_node, fast);
+    net.compute_routes();
+    net.node(sender_node).set_local_handler(
+        [this](net::Packet p) { acks.push_back(std::move(p)); });
+    receiver = std::make_unique<Receiver>(sim, net.node(receiver_node), sender_node,
+                                          /*flow=*/42);
+    net.node(receiver_node).set_local_handler(
+        [this](net::Packet p) { receiver->on_packet(p); });
+  }
+
+  void deliver_syn(std::uint32_t total_segments) {
+    net::Packet syn;
+    syn.flow = 42;
+    syn.type = net::PacketType::syn;
+    syn.src = sender_node;
+    syn.dst = receiver_node;
+    syn.size_bytes = net::kControlWireBytes;
+    syn.total_segments = total_segments;
+    syn.uid = 77;
+    net.node(sender_node).send(syn);
+    sim.run();
+  }
+
+  void deliver_data(std::uint32_t seq, std::uint32_t total, std::uint64_t uid = 0) {
+    net::Packet d;
+    d.flow = 42;
+    d.type = net::PacketType::data;
+    d.src = sender_node;
+    d.dst = receiver_node;
+    d.size_bytes = net::kSegmentWireBytes;
+    d.seq = seq;
+    d.total_segments = total;
+    d.uid = uid != 0 ? uid : 1000 + seq;
+    net.node(sender_node).send(d);
+    sim.run();
+  }
+};
+
+TEST(ReceiverTest, SynAckReply) {
+  ReceiverFixture f;
+  f.deliver_syn(10);
+  ASSERT_EQ(f.acks.size(), 1u);
+  EXPECT_EQ(f.acks[0].type, net::PacketType::syn_ack);
+  EXPECT_EQ(f.acks[0].echo_uid, 77u);
+}
+
+TEST(ReceiverTest, DuplicateSynGetsDuplicateSynAck) {
+  ReceiverFixture f;
+  f.deliver_syn(10);
+  f.deliver_syn(10);
+  EXPECT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks[1].type, net::PacketType::syn_ack);
+}
+
+TEST(ReceiverTest, InOrderDataAdvancesCumAck) {
+  ReceiverFixture f;
+  f.deliver_syn(5);
+  for (std::uint32_t i = 0; i < 3; ++i) f.deliver_data(i, 5);
+  ASSERT_EQ(f.acks.size(), 4u);  // SYN-ACK + 3 ACKs
+  EXPECT_EQ(f.acks.back().cum_ack, 3u);
+  EXPECT_TRUE(f.acks.back().sacks.empty());
+}
+
+TEST(ReceiverTest, GapGeneratesSack) {
+  ReceiverFixture f;
+  f.deliver_syn(5);
+  f.deliver_data(0, 5);
+  f.deliver_data(2, 5);  // hole at 1
+  const net::Packet& ack = f.acks.back();
+  EXPECT_EQ(ack.cum_ack, 1u);
+  ASSERT_EQ(ack.sacks.size(), 1u);
+  EXPECT_EQ(ack.sacks[0], (net::SackBlock{2, 3}));
+}
+
+TEST(ReceiverTest, MultipleSackBlocks) {
+  // TCP SACK semantics: the newest run first, then the most recently
+  // reported other runs.
+  ReceiverFixture f;
+  f.deliver_syn(10);
+  f.deliver_data(1, 10);
+  f.deliver_data(3, 10);
+  f.deliver_data(5, 10);
+  const net::Packet& ack = f.acks.back();
+  EXPECT_EQ(ack.cum_ack, 0u);
+  ASSERT_EQ(ack.sacks.size(), 3u);
+  EXPECT_EQ(ack.sacks[0], (net::SackBlock{5, 6}));
+  EXPECT_EQ(ack.sacks[1], (net::SackBlock{3, 4}));
+  EXPECT_EQ(ack.sacks[2], (net::SackBlock{1, 2}));
+}
+
+TEST(ReceiverTest, SackBlockLimitHonoured) {
+  ReceiverFixture f;
+  f.deliver_syn(20);
+  for (std::uint32_t seq : {1u, 3u, 5u, 7u, 9u}) f.deliver_data(seq, 20);
+  const net::Packet& ack = f.acks.back();
+  EXPECT_EQ(ack.sacks.size(), 3u);  // only the 3 newest runs fit
+  EXPECT_EQ(ack.sacks[0], (net::SackBlock{9, 10}));
+}
+
+TEST(ReceiverTest, SackBlocksMergeAsRunsGrow) {
+  ReceiverFixture f;
+  f.deliver_syn(10);
+  f.deliver_data(2, 10);
+  f.deliver_data(4, 10);
+  f.deliver_data(3, 10);  // joins runs {2} and {4} into {2,3,4}
+  const net::Packet& ack = f.acks.back();
+  ASSERT_GE(ack.sacks.size(), 1u);
+  EXPECT_EQ(ack.sacks[0], (net::SackBlock{2, 5}));
+  // The merged run must not be reported twice.
+  for (std::size_t i = 1; i < ack.sacks.size(); ++i) {
+    EXPECT_NE(ack.sacks[i].begin, 2u);
+  }
+}
+
+TEST(ReceiverTest, HoleFillMergesSacksIntoCum) {
+  ReceiverFixture f;
+  f.deliver_syn(5);
+  f.deliver_data(0, 5);
+  f.deliver_data(2, 5);
+  f.deliver_data(1, 5);  // fills the hole
+  const net::Packet& ack = f.acks.back();
+  EXPECT_EQ(ack.cum_ack, 3u);
+  EXPECT_TRUE(ack.sacks.empty());
+}
+
+TEST(ReceiverTest, DuplicateDataCountedAndStillAcked) {
+  ReceiverFixture f;
+  f.deliver_syn(5);
+  f.deliver_data(0, 5);
+  f.deliver_data(0, 5);
+  EXPECT_EQ(f.receiver->stats().duplicate_segments, 1u);
+  EXPECT_EQ(f.receiver->stats().unique_segments, 1u);
+  EXPECT_EQ(f.acks.size(), 3u);  // SYN-ACK + 2 ACKs (dup ACK too)
+}
+
+TEST(ReceiverTest, AckEchoesTriggerUid) {
+  ReceiverFixture f;
+  f.deliver_syn(5);
+  f.deliver_data(0, 5, /*uid=*/5555);
+  EXPECT_EQ(f.acks.back().echo_uid, 5555u);
+  EXPECT_EQ(f.acks.back().seq, 0u);
+}
+
+TEST(ReceiverTest, CompletionCallbackOnAllSegments) {
+  ReceiverFixture f;
+  bool complete = false;
+  f.receiver->set_completion_callback([&](const Receiver& r) {
+    complete = true;
+    EXPECT_TRUE(r.stats().complete);
+  });
+  f.deliver_syn(3);
+  f.deliver_data(0, 3);
+  f.deliver_data(2, 3);
+  EXPECT_FALSE(complete);
+  f.deliver_data(1, 3);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(f.receiver->cum_ack(), 3u);
+}
+
+TEST(ReceiverTest, CompletionFiresOnce) {
+  ReceiverFixture f;
+  int completions = 0;
+  f.receiver->set_completion_callback([&](const Receiver&) { ++completions; });
+  f.deliver_syn(2);
+  f.deliver_data(0, 2);
+  f.deliver_data(1, 2);
+  f.deliver_data(1, 2);  // duplicate after completion
+  EXPECT_EQ(completions, 1);
+}
+
+struct DelackFixture : ReceiverFixture {
+  DelackFixture() {
+    transport::Receiver::Config config;
+    config.delayed_ack = true;
+    receiver = std::make_unique<Receiver>(sim, net.node(receiver_node), sender_node,
+                                          /*flow=*/42, config);
+    net.node(receiver_node).set_local_handler(
+        [this](net::Packet p) { receiver->on_packet(p); });
+  }
+
+  /// Like deliver_data, but does not run long enough for the 40 ms delack
+  /// timer to fire.
+  void deliver_data_briefly(std::uint32_t seq, std::uint32_t total) {
+    net::Packet d;
+    d.flow = 42;
+    d.type = net::PacketType::data;
+    d.src = sender_node;
+    d.dst = receiver_node;
+    d.size_bytes = net::kSegmentWireBytes;
+    d.seq = seq;
+    d.total_segments = total;
+    d.uid = 1000 + seq;
+    net.node(sender_node).send(d);
+    sim.run_until(sim.now() + 5_ms);
+  }
+};
+
+TEST(ReceiverDelayedAckTest, AcksEverySecondInOrderSegment) {
+  DelackFixture f;
+  f.deliver_syn(10);
+  f.deliver_data_briefly(0, 10);  // held
+  EXPECT_EQ(f.acks.size(), 1u);   // only the SYN-ACK
+  f.deliver_data_briefly(1, 10);  // second in-order arrival -> ACK now
+  ASSERT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks.back().cum_ack, 2u);
+}
+
+TEST(ReceiverDelayedAckTest, TimerFlushesLoneSegment) {
+  DelackFixture f;
+  f.deliver_syn(10);
+  f.deliver_data_briefly(0, 10);
+  EXPECT_EQ(f.acks.size(), 1u);
+  f.sim.run_until(f.sim.now() + 100_ms);  // delack timeout is 40 ms
+  ASSERT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks.back().cum_ack, 1u);
+}
+
+TEST(ReceiverDelayedAckTest, OutOfOrderArrivalAcksImmediately) {
+  DelackFixture f;
+  f.deliver_syn(10);
+  f.deliver_data(2, 10);  // hole at 0,1: dupACK duty, no delay
+  ASSERT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks.back().cum_ack, 0u);
+  ASSERT_EQ(f.acks.back().sacks.size(), 1u);
+}
+
+TEST(ReceiverDelayedAckTest, HalvesAckCountOnBulkTransfer) {
+  DelackFixture f;
+  f.deliver_syn(20);
+  for (std::uint32_t i = 0; i < 20; ++i) f.deliver_data_briefly(i, 20);
+  // ~one ACK per two segments (plus the SYN-ACK).
+  EXPECT_LE(f.acks.size(), 12u);
+  EXPECT_GE(f.acks.size(), 10u);
+  EXPECT_EQ(f.acks.back().cum_ack, 20u);
+}
+
+TEST(ReceiverDelayedAckTest, RoprClockHalvesUnderDelayedAcks) {
+  // The ACK clock drives ROPR: with delayed ACKs at the receiver, Halfback
+  // sends roughly half as many proactive copies (~33% of the flow instead
+  // of ~50%) and the phase still terminates.
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::DumbbellConfig topo;
+  topo.sender_count = 1;
+  topo.receiver_count = 1;
+  net::Dumbbell d = net::build_dumbbell(net, topo);
+  transport::TransportAgent sender_agent{sim, net, d.senders[0]};
+  transport::TransportAgent receiver_agent{sim, net, d.receivers[0]};
+  transport::Receiver::Config rc;
+  rc.delayed_ack = true;
+  receiver_agent.set_receiver_config(rc);
+
+  schemes::SchemeContext context;
+  auto sender = schemes::make_sender(schemes::Scheme::halfback, context, sim,
+                                     net.node(d.senders[0]), d.receivers[0], 1,
+                                     100'000);
+  transport::SenderBase& flow = sender_agent.start_flow(std::move(sender));
+  sim.run();
+  ASSERT_TRUE(flow.complete());
+  EXPECT_LT(flow.record().proactive_retx, 30u);  // vs ~35 with per-packet ACKs
+  EXPECT_GT(flow.record().proactive_retx, 10u);
+}
+
+TEST(ReceiverTest, DataBeforeSynStillWorks) {
+  // SYN-ACK loss can lead to data arriving at a fresh receiver.
+  ReceiverFixture f;
+  f.deliver_data(0, 4);
+  EXPECT_EQ(f.receiver->stats().total_segments, 4u);
+  EXPECT_EQ(f.receiver->stats().unique_segments, 1u);
+  EXPECT_EQ(f.acks.back().cum_ack, 1u);
+}
+
+}  // namespace
+}  // namespace halfback::transport

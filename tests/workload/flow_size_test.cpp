@@ -1,0 +1,110 @@
+#include "workload/flow_size.h"
+
+#include <gtest/gtest.h>
+
+namespace halfback::workload {
+namespace {
+
+TEST(FlowSizeDistTest, RejectsMalformedCdf) {
+  EXPECT_THROW((FlowSizeDist{"x", {{100, 0.0}}}), std::invalid_argument);
+  EXPECT_THROW((FlowSizeDist{"x", {{100, 0.1}, {200, 1.0}}}), std::invalid_argument);
+  EXPECT_THROW((FlowSizeDist{"x", {{100, 0.0}, {200, 0.9}}}), std::invalid_argument);
+  EXPECT_THROW((FlowSizeDist{"x", {{200, 0.0}, {100, 1.0}}}), std::invalid_argument);
+  EXPECT_THROW((FlowSizeDist{"x", {{100, 0.0}, {200, 0.5}, {300, 0.4}, {400, 1.0}}}),
+               std::invalid_argument);
+}
+
+TEST(FlowSizeDistTest, FixedAlwaysReturnsSameSize) {
+  FlowSizeDist d = FlowSizeDist::fixed(100'000);
+  sim::Random rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 100'000u);
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 100'000.0);
+}
+
+TEST(FlowSizeDistTest, SamplesWithinSupport) {
+  for (const FlowSizeDist& d :
+       {FlowSizeDist::internet(), FlowSizeDist::benson(), FlowSizeDist::vl2()}) {
+    sim::Random rng{2};
+    for (int i = 0; i < 5000; ++i) {
+      const double s = static_cast<double>(d.sample(rng));
+      EXPECT_GE(s, d.min_bytes()) << d.name();
+      EXPECT_LE(s, d.max_bytes()) << d.name();
+    }
+  }
+}
+
+TEST(FlowSizeDistTest, EmpiricalCdfMatchesControlPoints) {
+  FlowSizeDist d = FlowSizeDist::internet();
+  sim::Random rng{3};
+  const int n = 50000;
+  int below_100k = 0;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) <= 100'000) ++below_100k;
+  }
+  // Control point: 99% of flows <= 100 KB (§1's "around 99% of flows carry
+  // traffic less than 100 KB").
+  EXPECT_NEAR(static_cast<double>(below_100k) / n, 0.99, 0.01);
+}
+
+TEST(FlowSizeDistTest, MeanMatchesMonteCarlo) {
+  FlowSizeDist d = FlowSizeDist::benson();
+  sim::Random rng{4};
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  const double mc = sum / n;
+  EXPECT_NEAR(d.mean_bytes() / mc, 1.0, 0.1);
+}
+
+TEST(FlowSizeDistTest, InternetByteWeightingMatchesPaper) {
+  // §2.1: "only 34.7% of bytes were carried by flows smaller than 141KB"
+  // even though ~97% of flows are that small.
+  FlowSizeDist d = FlowSizeDist::internet();
+  const double frac = d.byte_weighted_cdf(141'000);
+  EXPECT_NEAR(frac, 0.347, 0.03);
+}
+
+TEST(FlowSizeDistTest, DataCenterBytesAreInElephants) {
+  // §2.1: "less than 1% of transmitted bytes were in flows smaller than
+  // 141KB" in the data-center traces.
+  EXPECT_LT(FlowSizeDist::benson().byte_weighted_cdf(141'000), 0.06);
+  EXPECT_LT(FlowSizeDist::vl2().byte_weighted_cdf(141'000), 0.06);
+}
+
+TEST(FlowSizeDistTest, ByteWeightedCdfIsMonotone) {
+  FlowSizeDist d = FlowSizeDist::vl2();
+  double prev = 0.0;
+  for (double b = 300; b < 2e9; b *= 2) {
+    const double f = d.byte_weighted_cdf(b);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+    prev = f;
+  }
+  EXPECT_NEAR(d.byte_weighted_cdf(2e9), 1.0, 1e-9);
+}
+
+TEST(FlowSizeDistTest, TruncationCapsSamples) {
+  FlowSizeDist d = FlowSizeDist::internet().truncated(1'000'000);
+  sim::Random rng{5};
+  bool saw_cap = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t s = d.sample(rng);
+    EXPECT_LE(s, 1'000'000u);
+    if (s == 1'000'000u) saw_cap = true;
+  }
+  EXPECT_TRUE(saw_cap);  // the truncated mass concentrates at the cap
+}
+
+TEST(FlowSizeDistTest, TruncationAboveSupportIsIdentity) {
+  FlowSizeDist d = FlowSizeDist::internet();
+  FlowSizeDist t = d.truncated(static_cast<std::uint64_t>(d.max_bytes()) * 2);
+  EXPECT_EQ(t.points().size(), d.points().size());
+}
+
+TEST(FlowSizeDistTest, TruncationReducesMean) {
+  FlowSizeDist d = FlowSizeDist::internet();
+  EXPECT_LT(d.truncated(1'000'000).mean_bytes(), d.mean_bytes());
+}
+
+}  // namespace
+}  // namespace halfback::workload
