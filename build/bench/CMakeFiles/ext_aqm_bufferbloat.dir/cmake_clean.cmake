@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_aqm_bufferbloat.dir/ext_aqm_bufferbloat.cpp.o"
+  "CMakeFiles/ext_aqm_bufferbloat.dir/ext_aqm_bufferbloat.cpp.o.d"
+  "ext_aqm_bufferbloat"
+  "ext_aqm_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_aqm_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

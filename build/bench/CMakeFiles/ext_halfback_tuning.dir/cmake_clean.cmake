@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_halfback_tuning.dir/ext_halfback_tuning.cpp.o"
+  "CMakeFiles/ext_halfback_tuning.dir/ext_halfback_tuning.cpp.o.d"
+  "ext_halfback_tuning"
+  "ext_halfback_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_halfback_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parking_lot.dir/ext_parking_lot.cpp.o"
+  "CMakeFiles/ext_parking_lot.dir/ext_parking_lot.cpp.o.d"
+  "ext_parking_lot"
+  "ext_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rc3_comparison.dir/ext_rc3_comparison.cpp.o"
+  "CMakeFiles/ext_rc3_comparison.dir/ext_rc3_comparison.cpp.o.d"
+  "ext_rc3_comparison"
+  "ext_rc3_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rc3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_flowsize_cdf.dir/fig02_flowsize_cdf.cpp.o"
+  "CMakeFiles/fig02_flowsize_cdf.dir/fig02_flowsize_cdf.cpp.o.d"
+  "fig02_flowsize_cdf"
+  "fig02_flowsize_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_flowsize_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

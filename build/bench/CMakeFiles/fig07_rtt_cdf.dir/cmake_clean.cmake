@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rtt_cdf.dir/fig07_rtt_cdf.cpp.o"
+  "CMakeFiles/fig07_rtt_cdf.dir/fig07_rtt_cdf.cpp.o.d"
+  "fig07_rtt_cdf"
+  "fig07_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

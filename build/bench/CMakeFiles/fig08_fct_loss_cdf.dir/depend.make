@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fct_loss_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_homenet.dir/fig09_homenet.cpp.o"
+  "CMakeFiles/fig09_homenet.dir/fig09_homenet.cpp.o.d"
+  "fig09_homenet"
+  "fig09_homenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_homenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bufferbloat.dir/fig10_bufferbloat.cpp.o"
+  "CMakeFiles/fig10_bufferbloat.dir/fig10_bufferbloat.cpp.o.d"
+  "fig10_bufferbloat"
+  "fig10_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

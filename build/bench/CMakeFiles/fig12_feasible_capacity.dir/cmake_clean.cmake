@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_feasible_capacity.dir/fig12_feasible_capacity.cpp.o"
+  "CMakeFiles/fig12_feasible_capacity.dir/fig12_feasible_capacity.cpp.o.d"
+  "fig12_feasible_capacity"
+  "fig12_feasible_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_feasible_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_long_coexist.dir/fig13_long_coexist.cpp.o"
+  "CMakeFiles/fig13_long_coexist.dir/fig13_long_coexist.cpp.o.d"
+  "fig13_long_coexist"
+  "fig13_long_coexist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_long_coexist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

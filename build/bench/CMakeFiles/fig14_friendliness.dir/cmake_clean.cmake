@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_friendliness.dir/fig14_friendliness.cpp.o"
+  "CMakeFiles/fig14_friendliness.dir/fig14_friendliness.cpp.o.d"
+  "fig14_friendliness"
+  "fig14_friendliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_friendliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_throughput_trace.dir/fig15_throughput_trace.cpp.o"
+  "CMakeFiles/fig15_throughput_trace.dir/fig15_throughput_trace.cpp.o.d"
+  "fig15_throughput_trace"
+  "fig15_throughput_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_throughput_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_web_response.cpp" "bench/CMakeFiles/fig16_web_response.dir/fig16_web_response.cpp.o" "gcc" "bench/CMakeFiles/fig16_web_response.dir/fig16_web_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/halfback_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/halfback_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/halfback_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_web_response.dir/fig16_web_response.cpp.o"
+  "CMakeFiles/fig16_web_response.dir/fig16_web_response.cpp.o.d"
+  "fig16_web_response"
+  "fig16_web_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_web_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_incast.dir/datacenter_incast.cpp.o"
+  "CMakeFiles/datacenter_incast.dir/datacenter_incast.cpp.o.d"
+  "datacenter_incast"
+  "datacenter_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/emulab.cpp" "src/exp/CMakeFiles/halfback_exp.dir/emulab.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/emulab.cpp.o.d"
+  "/root/repo/src/exp/homenet.cpp" "src/exp/CMakeFiles/halfback_exp.dir/homenet.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/homenet.cpp.o.d"
+  "/root/repo/src/exp/planetlab.cpp" "src/exp/CMakeFiles/halfback_exp.dir/planetlab.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/planetlab.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/exp/CMakeFiles/halfback_exp.dir/sweep.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/sweep.cpp.o.d"
+  "/root/repo/src/exp/trace.cpp" "src/exp/CMakeFiles/halfback_exp.dir/trace.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/trace.cpp.o.d"
+  "/root/repo/src/exp/web.cpp" "src/exp/CMakeFiles/halfback_exp.dir/web.cpp.o" "gcc" "src/exp/CMakeFiles/halfback_exp.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/halfback_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/halfback_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

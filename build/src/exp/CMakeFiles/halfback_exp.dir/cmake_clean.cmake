@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_exp.dir/emulab.cpp.o"
+  "CMakeFiles/halfback_exp.dir/emulab.cpp.o.d"
+  "CMakeFiles/halfback_exp.dir/homenet.cpp.o"
+  "CMakeFiles/halfback_exp.dir/homenet.cpp.o.d"
+  "CMakeFiles/halfback_exp.dir/planetlab.cpp.o"
+  "CMakeFiles/halfback_exp.dir/planetlab.cpp.o.d"
+  "CMakeFiles/halfback_exp.dir/sweep.cpp.o"
+  "CMakeFiles/halfback_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/halfback_exp.dir/trace.cpp.o"
+  "CMakeFiles/halfback_exp.dir/trace.cpp.o.d"
+  "CMakeFiles/halfback_exp.dir/web.cpp.o"
+  "CMakeFiles/halfback_exp.dir/web.cpp.o.d"
+  "libhalfback_exp.a"
+  "libhalfback_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

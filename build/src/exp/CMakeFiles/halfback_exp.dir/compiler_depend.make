@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for halfback_exp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_net.dir/link.cpp.o"
+  "CMakeFiles/halfback_net.dir/link.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/network.cpp.o"
+  "CMakeFiles/halfback_net.dir/network.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/node.cpp.o"
+  "CMakeFiles/halfback_net.dir/node.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/packet.cpp.o"
+  "CMakeFiles/halfback_net.dir/packet.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/queue.cpp.o"
+  "CMakeFiles/halfback_net.dir/queue.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/topology.cpp.o"
+  "CMakeFiles/halfback_net.dir/topology.cpp.o.d"
+  "CMakeFiles/halfback_net.dir/tracer.cpp.o"
+  "CMakeFiles/halfback_net.dir/tracer.cpp.o.d"
+  "libhalfback_net.a"
+  "libhalfback_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

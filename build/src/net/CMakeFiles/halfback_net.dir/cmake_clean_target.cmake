@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhalfback_net.a"
+)

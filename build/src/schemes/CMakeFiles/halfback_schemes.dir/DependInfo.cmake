@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/factory.cpp" "src/schemes/CMakeFiles/halfback_schemes.dir/factory.cpp.o" "gcc" "src/schemes/CMakeFiles/halfback_schemes.dir/factory.cpp.o.d"
+  "/root/repo/src/schemes/pcp.cpp" "src/schemes/CMakeFiles/halfback_schemes.dir/pcp.cpp.o" "gcc" "src/schemes/CMakeFiles/halfback_schemes.dir/pcp.cpp.o.d"
+  "/root/repo/src/schemes/scheme.cpp" "src/schemes/CMakeFiles/halfback_schemes.dir/scheme.cpp.o" "gcc" "src/schemes/CMakeFiles/halfback_schemes.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

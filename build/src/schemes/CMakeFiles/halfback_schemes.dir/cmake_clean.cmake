@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_schemes.dir/factory.cpp.o"
+  "CMakeFiles/halfback_schemes.dir/factory.cpp.o.d"
+  "CMakeFiles/halfback_schemes.dir/pcp.cpp.o"
+  "CMakeFiles/halfback_schemes.dir/pcp.cpp.o.d"
+  "CMakeFiles/halfback_schemes.dir/scheme.cpp.o"
+  "CMakeFiles/halfback_schemes.dir/scheme.cpp.o.d"
+  "libhalfback_schemes.a"
+  "libhalfback_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/halfback_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/halfback_sim.dir/random.cpp.o"
+  "CMakeFiles/halfback_sim.dir/random.cpp.o.d"
+  "CMakeFiles/halfback_sim.dir/simulator.cpp.o"
+  "CMakeFiles/halfback_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/halfback_sim.dir/time.cpp.o"
+  "CMakeFiles/halfback_sim.dir/time.cpp.o.d"
+  "libhalfback_sim.a"
+  "libhalfback_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

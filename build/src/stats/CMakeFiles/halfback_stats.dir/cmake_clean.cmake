@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_stats.dir/ascii_plot.cpp.o"
+  "CMakeFiles/halfback_stats.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/halfback_stats.dir/feasible_capacity.cpp.o"
+  "CMakeFiles/halfback_stats.dir/feasible_capacity.cpp.o.d"
+  "CMakeFiles/halfback_stats.dir/summary.cpp.o"
+  "CMakeFiles/halfback_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/halfback_stats.dir/table.cpp.o"
+  "CMakeFiles/halfback_stats.dir/table.cpp.o.d"
+  "CMakeFiles/halfback_stats.dir/time_series.cpp.o"
+  "CMakeFiles/halfback_stats.dir/time_series.cpp.o.d"
+  "libhalfback_stats.a"
+  "libhalfback_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

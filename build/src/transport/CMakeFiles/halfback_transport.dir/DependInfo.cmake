@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/agent.cpp" "src/transport/CMakeFiles/halfback_transport.dir/agent.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/agent.cpp.o.d"
+  "/root/repo/src/transport/receiver.cpp" "src/transport/CMakeFiles/halfback_transport.dir/receiver.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/receiver.cpp.o.d"
+  "/root/repo/src/transport/rtt_estimator.cpp" "src/transport/CMakeFiles/halfback_transport.dir/rtt_estimator.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/transport/scoreboard.cpp" "src/transport/CMakeFiles/halfback_transport.dir/scoreboard.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/scoreboard.cpp.o.d"
+  "/root/repo/src/transport/sender.cpp" "src/transport/CMakeFiles/halfback_transport.dir/sender.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/sender.cpp.o.d"
+  "/root/repo/src/transport/tcp_sender.cpp" "src/transport/CMakeFiles/halfback_transport.dir/tcp_sender.cpp.o" "gcc" "src/transport/CMakeFiles/halfback_transport.dir/tcp_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

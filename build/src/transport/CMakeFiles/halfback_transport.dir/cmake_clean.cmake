@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_transport.dir/agent.cpp.o"
+  "CMakeFiles/halfback_transport.dir/agent.cpp.o.d"
+  "CMakeFiles/halfback_transport.dir/receiver.cpp.o"
+  "CMakeFiles/halfback_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/halfback_transport.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/halfback_transport.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/halfback_transport.dir/scoreboard.cpp.o"
+  "CMakeFiles/halfback_transport.dir/scoreboard.cpp.o.d"
+  "CMakeFiles/halfback_transport.dir/sender.cpp.o"
+  "CMakeFiles/halfback_transport.dir/sender.cpp.o.d"
+  "CMakeFiles/halfback_transport.dir/tcp_sender.cpp.o"
+  "CMakeFiles/halfback_transport.dir/tcp_sender.cpp.o.d"
+  "libhalfback_transport.a"
+  "libhalfback_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

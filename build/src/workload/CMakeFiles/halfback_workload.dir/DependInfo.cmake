@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_schedule.cpp" "src/workload/CMakeFiles/halfback_workload.dir/flow_schedule.cpp.o" "gcc" "src/workload/CMakeFiles/halfback_workload.dir/flow_schedule.cpp.o.d"
+  "/root/repo/src/workload/flow_size.cpp" "src/workload/CMakeFiles/halfback_workload.dir/flow_size.cpp.o" "gcc" "src/workload/CMakeFiles/halfback_workload.dir/flow_size.cpp.o.d"
+  "/root/repo/src/workload/web.cpp" "src/workload/CMakeFiles/halfback_workload.dir/web.cpp.o" "gcc" "src/workload/CMakeFiles/halfback_workload.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfback_workload.dir/flow_schedule.cpp.o"
+  "CMakeFiles/halfback_workload.dir/flow_schedule.cpp.o.d"
+  "CMakeFiles/halfback_workload.dir/flow_size.cpp.o"
+  "CMakeFiles/halfback_workload.dir/flow_size.cpp.o.d"
+  "CMakeFiles/halfback_workload.dir/web.cpp.o"
+  "CMakeFiles/halfback_workload.dir/web.cpp.o.d"
+  "libhalfback_workload.a"
+  "libhalfback_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfback_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

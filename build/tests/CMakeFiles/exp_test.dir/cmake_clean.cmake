@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test.dir/exp/emulab_test.cpp.o"
+  "CMakeFiles/exp_test.dir/exp/emulab_test.cpp.o.d"
+  "CMakeFiles/exp_test.dir/exp/env_test.cpp.o"
+  "CMakeFiles/exp_test.dir/exp/env_test.cpp.o.d"
+  "CMakeFiles/exp_test.dir/exp/sweep_test.cpp.o"
+  "CMakeFiles/exp_test.dir/exp/sweep_test.cpp.o.d"
+  "exp_test"
+  "exp_test.pdb"
+  "exp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

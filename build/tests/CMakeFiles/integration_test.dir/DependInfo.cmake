@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cross_feature_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/cross_feature_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/cross_feature_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/link_test.cpp" "tests/CMakeFiles/net_test.dir/net/link_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/link_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/net_test.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/net_test.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/net/queue_test.cpp" "tests/CMakeFiles/net_test.dir/net/queue_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/queue_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/net_test.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/topology_test.cpp.o.d"
+  "/root/repo/tests/net/tracer_test.cpp" "tests/CMakeFiles/net_test.dir/net/tracer_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/tracer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

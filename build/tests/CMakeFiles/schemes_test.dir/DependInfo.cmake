@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schemes/halfback_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes/halfback_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes/halfback_test.cpp.o.d"
+  "/root/repo/tests/schemes/jumpstart_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes/jumpstart_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes/jumpstart_test.cpp.o.d"
+  "/root/repo/tests/schemes/pcp_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes/pcp_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes/pcp_test.cpp.o.d"
+  "/root/repo/tests/schemes/rc3_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes/rc3_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes/rc3_test.cpp.o.d"
+  "/root/repo/tests/schemes/schemes_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes/schemes_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes/schemes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_test.dir/schemes/halfback_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes/halfback_test.cpp.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/jumpstart_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes/jumpstart_test.cpp.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/pcp_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes/pcp_test.cpp.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/rc3_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes/rc3_test.cpp.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/schemes_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes/schemes_test.cpp.o.d"
+  "schemes_test"
+  "schemes_test.pdb"
+  "schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/agent_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/agent_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/agent_test.cpp.o.d"
+  "/root/repo/tests/transport/handshake_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/handshake_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/handshake_test.cpp.o.d"
+  "/root/repo/tests/transport/receiver_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/receiver_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/receiver_test.cpp.o.d"
+  "/root/repo/tests/transport/rtt_estimator_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/rtt_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/rtt_estimator_test.cpp.o.d"
+  "/root/repo/tests/transport/scoreboard_fuzz_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/scoreboard_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/scoreboard_fuzz_test.cpp.o.d"
+  "/root/repo/tests/transport/scoreboard_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/scoreboard_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/scoreboard_test.cpp.o.d"
+  "/root/repo/tests/transport/tcp_sender_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/tcp_sender_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/tcp_sender_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halfback_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halfback_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/halfback_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/halfback_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

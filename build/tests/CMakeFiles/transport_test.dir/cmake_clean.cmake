@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_test.dir/transport/agent_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/agent_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/handshake_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/handshake_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/receiver_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/receiver_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/rtt_estimator_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/rtt_estimator_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/scoreboard_fuzz_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/scoreboard_fuzz_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/scoreboard_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/scoreboard_test.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/tcp_sender_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/tcp_sender_test.cpp.o.d"
+  "transport_test"
+  "transport_test.pdb"
+  "transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
