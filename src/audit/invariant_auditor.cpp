@@ -1,0 +1,311 @@
+#include "audit/invariant_auditor.h"
+
+#include <sstream>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "transport/scoreboard.h"
+
+namespace halfback::audit {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+void InvariantAuditor::mix(std::uint64_t value) {
+  // FNV-1a over the value's eight bytes, keeping the hash order-sensitive.
+  for (int i = 0; i < 8; ++i) {
+    trace_hash_ ^= (value >> (8 * i)) & 0xffULL;
+    trace_hash_ *= kFnvPrime;
+  }
+}
+
+void InvariantAuditor::violation(std::string what) {
+  ++total_violations_;
+  if (violations_.size() < kMaxStoredViolations) violations_.push_back(std::move(what));
+}
+
+std::string InvariantAuditor::report() const {
+  std::ostringstream out;
+  for (const std::string& v : violations_) out << v << '\n';
+  if (total_violations_ > violations_.size()) {
+    out << "... and " << (total_violations_ - violations_.size())
+        << " further violations not stored\n";
+  }
+  return out.str();
+}
+
+InvariantAuditor::QueueShadow& InvariantAuditor::queue_shadow(
+    const net::PacketQueue& queue) {
+  return queues_[&queue];
+}
+
+InvariantAuditor::LinkShadow& InvariantAuditor::link_shadow(const net::Link& link) {
+  return links_[&link];
+}
+
+// --- sim -------------------------------------------------------------------
+
+void InvariantAuditor::on_event_scheduled(sim::Time now, sim::Time at) {
+  if (at < now) {
+    std::ostringstream out;
+    out << "event scheduled in the past: at=" << at.to_string()
+        << " now=" << now.to_string();
+    violation(out.str());
+  }
+}
+
+void InvariantAuditor::on_event_run(sim::Time at, std::uint64_t seq) {
+  if (have_last_event_) {
+    if (at < last_event_time_) {
+      std::ostringstream out;
+      out << "event time went backwards: " << last_event_time_.to_string()
+          << " -> " << at.to_string();
+      violation(out.str());
+    } else if (at == last_event_time_ && seq <= last_event_seq_) {
+      std::ostringstream out;
+      out << "FIFO tie-break violated at " << at.to_string() << ": seq "
+          << last_event_seq_ << " ran before seq " << seq;
+      violation(out.str());
+    }
+  }
+  have_last_event_ = true;
+  last_event_time_ = at;
+  last_event_seq_ = seq;
+  mix(static_cast<std::uint64_t>(at.ns()));
+  mix(seq);
+}
+
+// --- net: links ------------------------------------------------------------
+
+void InvariantAuditor::on_link_registered(const net::Link& link) {
+  link_shadow(link);
+  queue_shadow(link.queue()).link = &link;
+}
+
+void InvariantAuditor::on_link_offered(const net::Link& link,
+                                       const net::Packet& packet) {
+  ++link_shadow(link).offered;
+  if (packet.type == net::PacketType::data) {
+    flows_[packet.flow].wire_seqs.insert(packet.seq);
+  }
+  mix(packet.uid);
+}
+
+void InvariantAuditor::on_link_filtered(const net::Link& link,
+                                        const net::Packet& /*packet*/) {
+  LinkShadow& shadow = link_shadow(link);
+  ++shadow.filtered;
+  if (shadow.accounted() > shadow.offered) {
+    violation("link accounted for more packets than were offered (filter)");
+  }
+}
+
+void InvariantAuditor::on_link_corrupted(const net::Link& link,
+                                         const net::Packet& /*packet*/) {
+  LinkShadow& shadow = link_shadow(link);
+  ++shadow.corrupted;
+  if (shadow.accounted() > shadow.offered) {
+    violation("link accounted for more packets than were offered (corruption)");
+  }
+}
+
+void InvariantAuditor::on_link_delivered(const net::Link& link,
+                                         const net::Packet& packet) {
+  LinkShadow& shadow = link_shadow(link);
+  ++shadow.delivered;
+  if (shadow.accounted() > shadow.offered) {
+    std::ostringstream out;
+    out << "link delivered more packets than were offered: offered="
+        << shadow.offered << " delivered=" << shadow.delivered
+        << " (uid " << packet.uid << ")";
+    violation(out.str());
+  }
+  mix(packet.uid);
+  mix(packet.seq);
+}
+
+// --- net: queues -----------------------------------------------------------
+
+void InvariantAuditor::on_queue_enqueued(const net::PacketQueue& queue,
+                                         const net::Packet& packet) {
+  QueueShadow& shadow = queue_shadow(queue);
+  shadow.bytes += packet.size_bytes;
+  ++shadow.packets;
+  ++shadow.enqueued;
+  if (queue.byte_length() != shadow.bytes) {
+    std::ostringstream out;
+    out << "queue byte accounting diverged after enqueue: queue reports "
+        << queue.byte_length() << " B, audit expects " << shadow.bytes << " B";
+    violation(out.str());
+  }
+  const std::uint64_t capacity = queue.capacity_bytes();
+  if (capacity > 0 && queue.byte_length() > capacity) {
+    std::ostringstream out;
+    out << "queue over-full: holds " << queue.byte_length() << " B, capacity "
+        << capacity << " B";
+    violation(out.str());
+  }
+}
+
+void InvariantAuditor::on_queue_dropped(const net::PacketQueue& queue,
+                                        const net::Packet& packet,
+                                        DropContext context) {
+  QueueShadow& shadow = queue_shadow(queue);
+  ++shadow.dropped;
+  if (context == DropContext::in_queue) {
+    // The discipline removed a resident packet (CoDel's dequeue-side drop).
+    if (shadow.bytes < packet.size_bytes || shadow.packets == 0) {
+      violation("queue dropped a resident packet it never admitted");
+    } else {
+      shadow.bytes -= packet.size_bytes;
+      --shadow.packets;
+    }
+  }
+  if (shadow.link != nullptr) ++link_shadow(*shadow.link).queue_dropped;
+}
+
+void InvariantAuditor::on_queue_dequeued(const net::PacketQueue& queue,
+                                         const net::Packet& packet) {
+  QueueShadow& shadow = queue_shadow(queue);
+  if (shadow.bytes < packet.size_bytes || shadow.packets == 0) {
+    violation("queue released a packet it never admitted");
+  } else {
+    shadow.bytes -= packet.size_bytes;
+    --shadow.packets;
+  }
+  ++shadow.dequeued;
+  if (queue.byte_length() != shadow.bytes) {
+    std::ostringstream out;
+    out << "queue byte accounting diverged after dequeue: queue reports "
+        << queue.byte_length() << " B, audit expects " << shadow.bytes << " B";
+    violation(out.str());
+  }
+}
+
+// --- net: nodes ------------------------------------------------------------
+
+void InvariantAuditor::on_node_received(std::uint32_t node,
+                                        const net::Packet& packet) {
+  // Delivery-uniqueness check at the destination: a wire transmission (one
+  // uid) must reach its destination at most once. Forwarding hops are
+  // excluded — the same uid legitimately transits several nodes.
+  if (packet.type != net::PacketType::data || packet.uid == 0) return;
+  if (packet.dst != node) return;
+  // Note: uniqueness per uid is the invariant; comparing the count of
+  // delivered uids against sender-side sends would be unsound, because some
+  // schemes (RC3's low-priority RLP copies) transmit outside the
+  // SenderBase::send_segment path that feeds on_segment_sent.
+  FlowShadow& flow = flows_[packet.flow];
+  if (!flow.delivered_uids.insert(packet.uid).second) {
+    std::ostringstream out;
+    out << "packet delivered twice to its destination: flow " << packet.flow
+        << " seq " << packet.seq << " uid " << packet.uid;
+    violation(out.str());
+  }
+}
+
+// --- transport -------------------------------------------------------------
+
+void InvariantAuditor::on_segment_sent(const transport::Scoreboard& scoreboard,
+                                       std::uint64_t flow, const std::string& scheme,
+                                       std::uint32_t seq, bool proactive,
+                                       std::uint64_t uid) {
+  FlowShadow& shadow = flows_[flow];
+  if (seq >= scoreboard.total_segments()) {
+    violation("segment sent beyond the flow length");
+  }
+  // Halfback's ROPR property (§3.2): proactive retransmissions walk strictly
+  // backwards from the end of the paced batch. Ablations ("halfback-forward",
+  // Proactive TCP) legitimately differ, so the check is name-gated.
+  if (proactive && scheme == "halfback") {
+    if (shadow.have_proactive && seq >= shadow.last_proactive_seq) {
+      std::ostringstream out;
+      out << "ROPR order violated on flow " << flow << ": proactive retx of seq "
+          << seq << " after seq " << shadow.last_proactive_seq;
+      violation(out.str());
+    }
+    shadow.have_proactive = true;
+    shadow.last_proactive_seq = seq;
+  }
+  mix(uid);
+  mix(seq);
+}
+
+void InvariantAuditor::on_ack_applied(const transport::Scoreboard& scoreboard,
+                                      std::uint64_t flow, const net::Packet& ack,
+                                      const transport::AckUpdate& update) {
+  FlowShadow& shadow = flows_[flow];
+  if (update.cum_ack_after < update.cum_ack_before ||
+      update.cum_ack_before < shadow.cum_ack) {
+    std::ostringstream out;
+    out << "cumulative ACK moved backwards on flow " << flow << ": "
+        << shadow.cum_ack << " -> " << update.cum_ack_after;
+    violation(out.str());
+  }
+  shadow.cum_ack = update.cum_ack_after;
+  if (update.cum_ack_after > scoreboard.total_segments()) {
+    violation("cumulative ACK beyond the flow length");
+  }
+  // sacked => sent: the receiver can only SACK a segment that crossed the
+  // wire, so a SACK for a never-transmitted segment means corrupted
+  // accounting. Checked against both the scoreboard and the wire trace:
+  // RC3's RLP copies legitimately reach the receiver without a scoreboard
+  // entry, but never without a link transmission.
+  for (std::uint32_t seq : update.newly_sacked) {
+    const transport::SegmentState* state = scoreboard.state(seq);
+    const bool in_scoreboard = state != nullptr && state->times_sent > 0;
+    if (!in_scoreboard && !shadow.wire_seqs.contains(seq)) {
+      std::ostringstream out;
+      out << "segment " << seq << " of flow " << flow
+          << " was SACKed but never sent";
+      violation(out.str());
+    }
+  }
+  if (scoreboard.pipe() > scoreboard.total_segments()) {
+    violation("pipe() exceeds the flow length");
+  }
+  mix(ack.cum_ack);
+  mix(static_cast<std::uint64_t>(ack.sacks.size()));
+}
+
+// --- finalize ----------------------------------------------------------------
+
+void InvariantAuditor::finalize(bool drained) {
+  for (const auto& [link, shadow] : links_) {
+    const std::uint64_t queued = link != nullptr ? link->queue().packet_count() : 0;
+    if (shadow.accounted() + queued > shadow.offered) {
+      std::ostringstream out;
+      out << "link conservation violated: offered=" << shadow.offered
+          << " delivered=" << shadow.delivered << " corrupted=" << shadow.corrupted
+          << " filtered=" << shadow.filtered << " dropped=" << shadow.queue_dropped
+          << " queued=" << queued;
+      violation(out.str());
+    }
+    if (drained && shadow.accounted() + queued < shadow.offered) {
+      std::ostringstream out;
+      out << "link lost packets: offered=" << shadow.offered << " but only "
+          << shadow.accounted() << " accounted and " << queued
+          << " queued after the event queue drained";
+      violation(out.str());
+    }
+  }
+  for (const auto& [queue, shadow] : queues_) {
+    if (queue->byte_length() != shadow.bytes ||
+        queue->packet_count() != shadow.packets) {
+      std::ostringstream out;
+      out << "queue residue mismatch at end of run: queue reports "
+          << queue->byte_length() << " B / " << queue->packet_count()
+          << " pkts, audit expects " << shadow.bytes << " B / " << shadow.packets
+          << " pkts";
+      violation(out.str());
+    }
+    if (drained && shadow.enqueued != shadow.dequeued + shadow.packets &&
+        shadow.dropped == 0) {
+      violation("queue packet conservation violated after drain");
+    }
+  }
+}
+
+}  // namespace halfback::audit

@@ -1,0 +1,144 @@
+// Runtime invariant checker for the discrete-event core.
+//
+// Checks, continuously while a simulation runs:
+//  - event-time monotonicity and FIFO tie-break order in the event engine,
+//    and that nothing is scheduled in the past;
+//  - queue byte/packet accounting (a queue's reported byte_length must equal
+//    the bytes of the packets it admitted and has not yet released) and the
+//    capacity bound (drop-tail may never hold more than its configured
+//    bytes);
+//  - per-link packet conservation: every packet offered to a link is
+//    eventually delivered, corrupted, filtered, or dropped by its queue —
+//    never duplicated, never lost without account;
+//  - per-flow delivery uniqueness: no wire transmission (uid) reaches the
+//    destination twice;
+//  - scoreboard consistency: the cumulative ACK is monotone, SACKed
+//    segments were actually sent, and pipe() never exceeds the flow length;
+//  - Halfback's ROPR reverse-order property: proactive retransmissions of a
+//    "halfback" flow walk strictly backwards;
+//  - per-seed determinism, via an order-sensitive hash of the run trace
+//    (event times, dispatch order, deliveries, sends, ACKs) that two
+//    same-seed runs must reproduce exactly.
+//
+// Violations are collected, not thrown: a run completes and the caller
+// inspects ok()/violations(). Install with Network::install_auditor (which
+// also covers the owning Simulator), or Simulator::set_auditor plus
+// PacketQueue::set_auditor for bare components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/auditor.h"
+
+namespace halfback::audit {
+
+/// Concrete Auditor that enforces the engine invariants above.
+class InvariantAuditor final : public Auditor {
+ public:
+  /// Violations recorded beyond this many are counted but not stored.
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+  InvariantAuditor() = default;
+
+  /// True while no invariant has been violated.
+  bool ok() const { return total_violations_ == 0; }
+
+  /// Human-readable description of each stored violation, in order.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Total violations seen, including ones beyond the storage cap.
+  std::uint64_t total_violations() const { return total_violations_; }
+
+  /// Multi-line report of all stored violations (empty string when ok()).
+  std::string report() const;
+
+  /// Order-sensitive FNV-1a hash over the run trace so far. Two runs of the
+  /// same scenario with the same seed must produce identical hashes.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+  /// End-of-run conservation sweep. Pass `drained` = true when the
+  /// simulator's event queue is empty (every in-flight packet must then be
+  /// accounted for); false tolerates packets still in flight or queued.
+  void finalize(bool drained);
+
+  // --- Auditor hooks -------------------------------------------------------
+  void on_event_scheduled(sim::Time now, sim::Time at) override;
+  void on_event_run(sim::Time at, std::uint64_t seq) override;
+  void on_link_registered(const net::Link& link) override;
+  void on_link_offered(const net::Link& link, const net::Packet& packet) override;
+  void on_link_filtered(const net::Link& link, const net::Packet& packet) override;
+  void on_link_corrupted(const net::Link& link, const net::Packet& packet) override;
+  void on_link_delivered(const net::Link& link, const net::Packet& packet) override;
+  void on_queue_enqueued(const net::PacketQueue& queue,
+                         const net::Packet& packet) override;
+  void on_queue_dropped(const net::PacketQueue& queue, const net::Packet& packet,
+                        DropContext context) override;
+  void on_queue_dequeued(const net::PacketQueue& queue,
+                         const net::Packet& packet) override;
+  void on_node_received(std::uint32_t node, const net::Packet& packet) override;
+  void on_segment_sent(const transport::Scoreboard& scoreboard, std::uint64_t flow,
+                       const std::string& scheme, std::uint32_t seq, bool proactive,
+                       std::uint64_t uid) override;
+  void on_ack_applied(const transport::Scoreboard& scoreboard, std::uint64_t flow,
+                      const net::Packet& ack,
+                      const transport::AckUpdate& update) override;
+
+ private:
+  /// Shadow accounting for one queue, mirrored from the hook stream.
+  struct QueueShadow {
+    const net::Link* link = nullptr;  ///< owning link, when known
+    std::uint64_t bytes = 0;          ///< bytes the queue should hold
+    std::uint64_t packets = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Conservation counters for one link.
+  struct LinkShadow {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t queue_dropped = 0;
+    std::uint64_t accounted() const {
+      return delivered + corrupted + filtered + queue_dropped;
+    }
+  };
+
+  /// Sender-side view of one flow.
+  struct FlowShadow {
+    std::uint32_t cum_ack = 0;
+    bool have_proactive = false;
+    std::uint32_t last_proactive_seq = 0;
+    std::unordered_set<std::uint64_t> delivered_uids;
+    /// Segment indices observed as data packets on any link. Some schemes
+    /// (RC3's RLP copies) transmit outside the scoreboard path, so
+    /// sacked=>sent is checked against the wire, not the scoreboard alone.
+    std::unordered_set<std::uint32_t> wire_seqs;
+  };
+
+  void violation(std::string what);
+  void mix(std::uint64_t value);
+  QueueShadow& queue_shadow(const net::PacketQueue& queue);
+  LinkShadow& link_shadow(const net::Link& link);
+
+  std::vector<std::string> violations_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t trace_hash_ = 14695981039346656037ULL;  ///< FNV-1a offset basis
+
+  // Event-engine state.
+  bool have_last_event_ = false;
+  sim::Time last_event_time_;
+  std::uint64_t last_event_seq_ = 0;
+
+  std::unordered_map<const net::PacketQueue*, QueueShadow> queues_;
+  std::unordered_map<const net::Link*, LinkShadow> links_;
+  std::unordered_map<std::uint64_t, FlowShadow> flows_;
+};
+
+}  // namespace halfback::audit

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/invariant_auditor.h"
+
 namespace halfback::exp {
 
 double RunResult::mean_fct_ms(FlowRole role) const {
@@ -46,6 +48,12 @@ std::size_t RunResult::unfinished_count(FlowRole role) const {
 RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
   sim::Simulator simulator{config_.seed};
   net::Network network{simulator};
+
+#ifdef HALFBACK_AUDIT
+  audit::InvariantAuditor auditor;
+  network.install_auditor(auditor);
+#endif
+
   net::Dumbbell dumbbell = net::build_dumbbell(network, config_.dumbbell);
 
   std::vector<std::unique_ptr<transport::TransportAgent>> agents;
@@ -131,6 +139,11 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
       dumbbell.bottleneck_forward->queue().stats().dropped_packets;
   result.bottleneck_utilization =
       dumbbell.bottleneck_forward->utilization(simulator.now());
+#ifdef HALFBACK_AUDIT
+  auditor.finalize(simulator.queue().empty());
+  result.trace_hash = auditor.trace_hash();
+  result.audit_violations = auditor.total_violations();
+#endif
   return result;
 }
 

@@ -36,6 +36,12 @@ struct RunResult {
   double bottleneck_utilization = 0.0;
   sim::Time sim_end;
 
+  /// Filled when the build compiles audit hooks (HALFBACK_AUDIT): run-trace
+  /// hash (same seed + schedules => same hash) and invariant-violation
+  /// count (0 = clean run).
+  std::uint64_t trace_hash = 0;
+  std::uint64_t audit_violations = 0;
+
   /// Mean FCT in ms over finished flows of `role`; unfinished flows are
   /// included at their censored (elapsed) time so collapse shows up
   /// instead of being silently excluded.

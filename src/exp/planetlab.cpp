@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/invariant_auditor.h"
 #include "exp/parallel.h"
 #include "schemes/factory.h"
 #include "sim/random.h"
@@ -39,6 +40,13 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
                                   std::uint64_t trial_seed) const {
   sim::Simulator simulator{trial_seed};
   net::Network network{simulator};
+
+#ifdef HALFBACK_AUDIT
+  // One auditor per trial: shards share nothing (see parallel_for), so each
+  // simulator carries its own invariant checker and determinism hash.
+  audit::InvariantAuditor auditor;
+  network.install_auditor(auditor);
+#endif
 
   net::AccessPathConfig apc;
   apc.rtt = path.rtt;
@@ -103,6 +111,11 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
       result.record.completed = false;
     }
   }
+#ifdef HALFBACK_AUDIT
+  auditor.finalize(simulator.queue().empty());
+  result.trace_hash = auditor.trace_hash();
+  result.audit_violations = auditor.total_violations();
+#endif
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audit/auditor.h"
+
 namespace halfback::net {
 
 Link::Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
@@ -18,8 +20,10 @@ Link::Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
 }
 
 void Link::send(Packet p) {
+  HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_offered(*this, p));
   if (packet_filter_ && !packet_filter_(p)) {
     ++stats_.corrupted_packets;
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_filtered(*this, p));
     return;
   }
   if (transmitting_) {
@@ -39,10 +43,12 @@ void Link::begin_transmission(Packet p) {
     const bool corrupted = random_loss_rate_ > 0.0 && loss_rng_.bernoulli(random_loss_rate_);
     if (corrupted) {
       ++stats_.corrupted_packets;
+      HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_corrupted(*this, p));
     } else {
       simulator_.schedule(delay_, [this, p = std::move(p)]() mutable {
         ++stats_.delivered_packets;
         stats_.delivered_bytes += p.size_bytes;
+        HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_delivered(*this, p));
         if (receiver_) receiver_(std::move(p));
       });
     }

@@ -3,6 +3,8 @@
 #include <queue>
 #include <utility>
 
+#include "audit/auditor.h"
+
 namespace halfback::net {
 
 NodeId Network::add_node() {
@@ -36,11 +38,32 @@ Link* Network::make_link(NodeId from, NodeId to, const LinkConfig& config) {
   auto link = std::make_unique<Link>(simulator_, config.rate, config.delay,
                                      std::move(queue), config.random_loss_rate);
   Link* raw = link.get();
-  raw->set_receiver([this, to](Packet p) { nodes_.at(to)->handle(std::move(p)); });
+  raw->set_receiver([this, to](Packet p) {
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_node_received(to, p));
+    nodes_.at(to)->handle(std::move(p));
+  });
   nodes_.at(from)->add_egress(to, raw);
   links_.push_back(std::move(link));
   edges_.push_back(Edge{from, to});
+#ifdef HALFBACK_AUDIT
+  if (audit::Auditor* auditor = simulator_.auditor()) {
+    raw->queue().set_auditor(auditor);
+    auditor->on_link_registered(*raw);
+  }
+#endif
   return raw;
+}
+
+void Network::install_auditor(audit::Auditor& auditor) {
+#ifdef HALFBACK_AUDIT
+  simulator_.set_auditor(&auditor);
+  for (const auto& link : links_) {
+    link->queue().set_auditor(&auditor);
+    auditor.on_link_registered(*link);
+  }
+#else
+  (void)auditor;
+#endif
 }
 
 LinkPair Network::connect(NodeId a, NodeId b, const LinkConfig& forward,

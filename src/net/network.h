@@ -62,6 +62,13 @@ class Network {
   /// Total packets dropped by all queues in the network.
   std::uint64_t total_queue_drops() const;
 
+  /// Install `auditor` on the simulator, every existing link's queue, and
+  /// every link created afterwards, and register each link with it. Call
+  /// before traffic starts so the auditor's shadow accounting is complete.
+  /// The auditor is owned by the caller and must outlive the run; a no-op
+  /// unless the build defines HALFBACK_AUDIT.
+  void install_auditor(audit::Auditor& auditor);
+
  private:
   Link* make_link(NodeId from, NodeId to, const LinkConfig& config);
 

@@ -4,6 +4,26 @@
 
 namespace halfback::net {
 
+void PacketQueue::record_enqueue(const Packet& p) {
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += p.size_bytes;
+  stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, byte_length());
+  HALFBACK_AUDIT_HOOK(auditor_, on_queue_enqueued(*this, p));
+}
+
+void PacketQueue::record_drop(const Packet& p, audit::DropContext context) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += p.size_bytes;
+  HALFBACK_AUDIT_HOOK(auditor_, on_queue_dropped(*this, p, context));
+  if (drop_callback_) drop_callback_(p);
+}
+
+void PacketQueue::record_dequeue(const Packet& p) {
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  HALFBACK_AUDIT_HOOK(auditor_, on_queue_dequeued(*this, p));
+}
+
 bool DropTailQueue::enqueue(Packet p, sim::Time /*now*/) {
   if (bytes_ + p.size_bytes > capacity_bytes_) {
     record_drop(p);
@@ -20,6 +40,7 @@ std::optional<Packet> DropTailQueue::dequeue(sim::Time /*now*/) {
   Packet p = std::move(packets_.front());
   packets_.pop_front();
   bytes_ -= p.size_bytes;
+  record_dequeue(p);
   return p;
 }
 
@@ -41,6 +62,7 @@ std::optional<Packet> PriorityQueue::dequeue(sim::Time /*now*/) {
     Packet p = std::move(bands_[band].front());
     bands_[band].pop_front();
     bytes_[band] -= p.size_bytes;
+    record_dequeue(p);
     return p;
   }
   return std::nullopt;
@@ -72,12 +94,14 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
       // Sojourn back under control: leave the dropping state.
       first_above_time_ = sim::Time::zero();
       if (dropping_) dropping_ = false;
+      record_dequeue(entry.packet);
       return entry.packet;
     }
 
     if (first_above_time_.is_zero()) {
       // Start the grace interval before the first drop.
       first_above_time_ = now + config_.interval;
+      record_dequeue(entry.packet);
       return entry.packet;
     }
 
@@ -86,9 +110,10 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
         dropping_ = true;
         drop_count_ = std::max(1, drop_count_ / 2);  // CoDel's hysteresis
         drop_next_ = control_law(now);
-        record_drop(entry.packet);
+        record_drop(entry.packet, audit::DropContext::in_queue);
         continue;  // drop and look at the next packet
       }
+      record_dequeue(entry.packet);
       return entry.packet;
     }
 
@@ -96,9 +121,10 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
     if (now >= drop_next_) {
       ++drop_count_;
       drop_next_ = control_law(drop_next_);
-      record_drop(entry.packet);
+      record_drop(entry.packet, audit::DropContext::in_queue);
       continue;
     }
+    record_dequeue(entry.packet);
     return entry.packet;
   }
   return std::nullopt;
@@ -136,6 +162,7 @@ std::optional<Packet> RedQueue::dequeue(sim::Time /*now*/) {
   Packet p = std::move(packets_.front());
   packets_.pop_front();
   bytes_ -= p.size_bytes;
+  record_dequeue(p);
   return p;
 }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "audit/auditor.h"
 #include "net/packet.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -26,6 +27,8 @@ enum class QueueKind : std::uint8_t {
 struct QueueStats {
   std::uint64_t enqueued_packets = 0;
   std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dequeued_packets = 0;
+  std::uint64_t dequeued_bytes = 0;
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t max_backlog_bytes = 0;
@@ -49,7 +52,17 @@ class PacketQueue {
   virtual std::uint64_t byte_length() const = 0;
   virtual std::size_t packet_count() const = 0;
 
+  /// Hard byte bound the discipline enforces, 0 when unbounded/unknown.
+  /// The invariant auditor checks byte_length() never exceeds this.
+  virtual std::uint64_t capacity_bytes() const { return 0; }
+
   const QueueStats& stats() const { return stats_; }
+
+  /// Install an audit observer (nullptr detaches; owned by the caller).
+  /// Network::install_auditor and Network::make_link call this for every
+  /// link's queue; set it manually for bare queues in tests.
+  void set_auditor(audit::Auditor* auditor) { auditor_ = auditor; }
+  audit::Auditor* auditor() const { return auditor_; }
 
   /// Invoked for every dropped packet (for per-flow loss accounting).
   void set_drop_callback(std::function<void(const Packet&)> cb) {
@@ -61,20 +74,19 @@ class PacketQueue {
   }
 
  protected:
-  void record_enqueue(const Packet& p) {
-    ++stats_.enqueued_packets;
-    stats_.enqueued_bytes += p.size_bytes;
-    stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, byte_length());
-  }
-  void record_drop(const Packet& p) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += p.size_bytes;
-    if (drop_callback_) drop_callback_(p);
-  }
+  /// Implementations call these at every admission, drop, and release so
+  /// the stats and the audit hooks see one consistent stream. `record_drop`
+  /// distinguishes admission drops (packet never entered the backlog) from
+  /// in-queue drops (CoDel discarding a resident packet at dequeue).
+  void record_enqueue(const Packet& p);
+  void record_drop(const Packet& p,
+                   audit::DropContext context = audit::DropContext::admission);
+  void record_dequeue(const Packet& p);
 
  private:
   QueueStats stats_;
   std::function<void(const Packet&)> drop_callback_;
+  audit::Auditor* auditor_ = nullptr;
 };
 
 /// Classic FIFO drop-tail queue bounded in bytes — the discipline used at
@@ -88,8 +100,7 @@ class DropTailQueue final : public PacketQueue {
   std::optional<Packet> dequeue(sim::Time now) override;
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
-
-  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t capacity_bytes() const override { return capacity_bytes_; }
 
  private:
   std::uint64_t capacity_bytes_;
@@ -115,6 +126,7 @@ class CoDelQueue final : public PacketQueue {
   std::optional<Packet> dequeue(sim::Time now) override;
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
+  std::uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
 
   bool dropping() const { return dropping_; }
 
@@ -153,6 +165,8 @@ class PriorityQueue final : public PacketQueue {
   std::size_t packet_count() const override {
     return bands_[0].size() + bands_[1].size();
   }
+  /// Each band has its own full-capacity budget.
+  std::uint64_t capacity_bytes() const override { return 2 * band_capacity_bytes_; }
 
   std::uint64_t band_bytes(int band) const {
     return bytes_[static_cast<std::size_t>(band)];
@@ -184,6 +198,7 @@ class RedQueue final : public PacketQueue {
   std::optional<Packet> dequeue(sim::Time now) override;
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
+  std::uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
 
   double average_backlog_bytes() const { return avg_bytes_; }
 

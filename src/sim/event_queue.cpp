@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audit/auditor.h"
+
 namespace halfback::sim {
 
 void EventHandle::cancel() {
@@ -42,6 +44,7 @@ Time EventQueue::run_next() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   entry.state->fired = true;
+  HALFBACK_AUDIT_HOOK(auditor_, on_event_run(entry.at, entry.seq));
   entry.fn();
   return entry.at;
 }

@@ -9,6 +9,10 @@
 
 #include "sim/time.h"
 
+namespace halfback::audit {
+class Auditor;
+}  // namespace halfback::audit
+
 namespace halfback::sim {
 
 /// Cancellable handle to a scheduled event.
@@ -57,6 +61,13 @@ class EventQueue {
   /// Drop all pending events.
   void clear();
 
+  /// Install an audit observer (nullptr detaches). The queue reports each
+  /// dispatch so the auditor can verify time monotonicity and FIFO
+  /// tie-break order. Owned by the caller; ignored unless the build defines
+  /// HALFBACK_AUDIT.
+  void set_auditor(audit::Auditor* auditor) { auditor_ = auditor; }
+  audit::Auditor* auditor() const { return auditor_; }
+
  private:
   struct Entry {
     Time at;
@@ -76,6 +87,7 @@ class EventQueue {
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  audit::Auditor* auditor_ = nullptr;
 };
 
 }  // namespace halfback::sim

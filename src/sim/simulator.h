@@ -5,6 +5,7 @@
 #include <functional>
 #include <utility>
 
+#include "audit/auditor.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -29,11 +30,13 @@ class Simulator {
 
   /// Schedule `fn` to run after `delay` (>= 0) from now.
   EventHandle schedule(Time delay, std::function<void()> fn) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 
   /// Schedule `fn` at absolute time `at` (>= now).
   EventHandle schedule_at(Time at, std::function<void()> fn) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
     return queue_.schedule(at, std::move(fn));
   }
 
@@ -55,12 +58,24 @@ class Simulator {
   /// Number of events executed so far (for diagnostics and benchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Install an audit observer for this run (nullptr detaches). The pointer
+  /// is shared with the event queue; network components reach it through
+  /// their Simulator&. Owned by the caller and ignored unless the build
+  /// defines HALFBACK_AUDIT. Install before any traffic starts so the
+  /// auditor's shadow accounting sees every transition.
+  void set_auditor(audit::Auditor* auditor) {
+    auditor_ = auditor;
+    queue_.set_auditor(auditor);
+  }
+  audit::Auditor* auditor() const { return auditor_; }
+
  private:
   Time now_ = Time::zero();
   EventQueue queue_;
   Random random_;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  audit::Auditor* auditor_ = nullptr;
 };
 
 }  // namespace halfback::sim

@@ -1,6 +1,7 @@
 #include "transport/scoreboard.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace halfback::transport {
@@ -38,8 +39,12 @@ void Scoreboard::on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now,
   if (seq < cum_ack_) return;  // stale retransmission of an acked segment
   SegmentState& s = ensure_state(seq);
   if (s.times_sent == 0) s.first_sent = now;
-  ++s.times_sent;
-  if (proactive) ++s.proactive_sent;
+  // Saturate rather than wrap: a pathological retransmit storm (RTO backoff
+  // bugs, fuzzed traces) could otherwise overflow the 16-bit counters and
+  // make a 65536th transmission look like a first send to Karn's filter.
+  constexpr auto kMaxSent = std::numeric_limits<std::uint16_t>::max();
+  if (s.times_sent < kMaxSent) ++s.times_sent;
+  if (proactive && s.proactive_sent < kMaxSent) ++s.proactive_sent;
   s.last_sent = now;
   s.last_uid = uid;
   if (s.lost && !proactive) s.retx_after_loss = true;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audit/auditor.h"
+
 namespace halfback::transport {
 
 std::uint32_t segments_for_bytes(std::uint64_t bytes) {
@@ -75,6 +77,8 @@ void SenderBase::on_packet(const net::Packet& packet) {
       ++record_.acks_received;
       take_rtt_sample(packet);
       AckUpdate update = scoreboard_.apply_ack(packet.cum_ack, packet.sacks);
+      HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                          on_ack_applied(scoreboard_, record_.flow, packet, update));
       if (update.advanced()) {
         rtt_.reset_backoff();
         if (!scoreboard_.complete()) arm_rto();
@@ -137,6 +141,9 @@ void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
   p.sent_at = simulator_.now();
 
   scoreboard_.on_sent(seq, p.uid, simulator_.now(), proactive);
+  HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                      on_segment_sent(scoreboard_, record_.flow, record_.scheme,
+                                      seq, proactive, p.uid));
   ++record_.data_packets_sent;
   if (retx) {
     if (proactive) {

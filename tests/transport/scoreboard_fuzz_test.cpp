@@ -3,6 +3,7 @@
 // must produce identical pipe counts, ACK deltas and completion state.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -13,6 +14,15 @@ namespace halfback::transport {
 namespace {
 
 using namespace halfback::sim::literals;
+
+/// Trial count, overridable via HALFBACK_FUZZ_ITERS so CI sanitizer jobs can
+/// run a deeper sweep than the default local/developer run.
+int fuzz_iterations(int fallback) {
+  const char* env = std::getenv("HALFBACK_FUZZ_ITERS");
+  if (env == nullptr) return fallback;
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : fallback;
+}
 
 /// Straightforward O(n)-everything reference model.
 class ReferenceScoreboard {
@@ -86,7 +96,8 @@ class ReferenceScoreboard {
 
 TEST(ScoreboardFuzzTest, MatchesReferenceModelOnRandomTraces) {
   sim::Random rng{2024};
-  for (int trial = 0; trial < 200; ++trial) {
+  const int trials = fuzz_iterations(200);
+  for (int trial = 0; trial < trials; ++trial) {
     const auto total = static_cast<std::uint32_t>(rng.uniform_int(1, 60));
     Scoreboard real{total};
     ReferenceScoreboard ref{total};
@@ -143,7 +154,8 @@ TEST(ScoreboardFuzzTest, MatchesReferenceModelOnRandomTraces) {
 
 TEST(ScoreboardFuzzTest, NextLostNeedingRetxNeverReturnsAckedSegments) {
   sim::Random rng{77};
-  for (int trial = 0; trial < 100; ++trial) {
+  const int trials = fuzz_iterations(100);
+  for (int trial = 0; trial < trials; ++trial) {
     const auto total = static_cast<std::uint32_t>(rng.uniform_int(2, 40));
     Scoreboard sb{total};
     std::uint64_t uid = 1;

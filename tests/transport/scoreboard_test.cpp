@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace halfback::transport {
 namespace {
 
@@ -223,6 +225,20 @@ TEST(ScoreboardTest, TimesSentTracksRetransmissions) {
   EXPECT_EQ(s->last_uid, 2u);
   EXPECT_EQ(s->first_sent, 1_ms);
   EXPECT_EQ(s->last_sent, 2_ms);
+}
+
+TEST(ScoreboardTest, TimesSentSaturatesInsteadOfWrapping) {
+  constexpr int kMax = std::numeric_limits<std::uint16_t>::max();
+  Scoreboard sb{1};
+  for (int i = 0; i < kMax + 100; ++i) {
+    sb.on_sent(0, static_cast<std::uint64_t>(i + 1), 1_ms, /*proactive=*/true);
+  }
+  const SegmentState* s = sb.state(0);
+  ASSERT_NE(s, nullptr);
+  // A wrap would land these back near zero, making the 65636th transmission
+  // look like a fresh first send to Karn's filter.
+  EXPECT_EQ(s->times_sent, kMax);
+  EXPECT_EQ(s->proactive_sent, kMax);
 }
 
 }  // namespace
