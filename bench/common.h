@@ -6,6 +6,7 @@
 // paper-vs-measured values for both settings.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +30,33 @@ struct Options {
   std::string csv_dir;        ///< write result tables as CSV here
 };
 
+/// Parse a strictly numeric, non-negative value for `flag`; exits with a
+/// diagnostic on junk like `--threads=abc`, `--pairs=-3`, or `--reps=` —
+/// silently treating those as 0 (the old atoi behaviour) turned typos into
+/// hour-long misconfigured campaigns.
+inline std::uint64_t parse_count(const char* flag, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (*v == '\0' || end == nullptr || *end != '\0' || *v == '-' || errno != 0) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got \"%s\"\n", flag, v);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+inline double parse_seconds(const char* flag, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (*v == '\0' || end == nullptr || *end != '\0' || errno != 0 || parsed < 0.0) {
+    std::fprintf(stderr, "%s expects a non-negative number of seconds, got \"%s\"\n",
+                 flag, v);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 inline Options parse_options(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -40,15 +68,15 @@ inline Options parse_options(int argc, char** argv) {
     if (arg == "--full") {
       opt.full = true;
     } else if (const char* v = value("--seed=")) {
-      opt.seed = std::strtoull(v, nullptr, 10);
+      opt.seed = parse_count("--seed", v);
     } else if (const char* v = value("--threads=")) {
-      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      opt.threads = static_cast<unsigned>(parse_count("--threads", v));
     } else if (const char* v = value("--pairs=")) {
-      opt.pairs = std::atoi(v);
+      opt.pairs = static_cast<int>(parse_count("--pairs", v));
     } else if (const char* v = value("--duration=")) {
-      opt.duration_s = std::atof(v);
+      opt.duration_s = parse_seconds("--duration", v);
     } else if (const char* v = value("--reps=")) {
-      opt.replications = std::atoi(v);
+      opt.replications = static_cast<int>(parse_count("--reps", v));
     } else if (const char* v = value("--csv=")) {
       opt.csv_dir = v;
     } else if (arg == "--help" || arg == "-h") {

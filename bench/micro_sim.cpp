@@ -1,13 +1,28 @@
 // Microbenchmarks of the simulation substrate (google-benchmark): event
 // queue throughput, link forwarding, and end-to-end flow simulation cost.
 // These bound how large the figure campaigns can be scaled.
+//
+// `--json=FILE` switches to a self-contained perf-smoke mode that measures
+// the two hot-loop rates the ROADMAP tracks — event dispatch and per-hop
+// packet forwarding — and writes them as JSON. BENCH_micro_sim.json at the
+// repo root records the committed trajectory; CI re-runs this mode and
+// diffs against it (report-only).
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "exp/emulab.h"
 #include "net/topology.h"
 #include "transport/receiver.h"
 #include "schemes/factory.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "transport/agent.h"
 
 namespace {
@@ -44,6 +59,25 @@ void BM_EventCancellation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventCancellation);
+
+void BM_TimerRearmFire(benchmark::State& state) {
+  // Steady-state timer churn through the intrusive core: each fire re-arms
+  // in place, so the whole loop is allocation-free after setup.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    std::uint64_t fired = 0;
+    sim::Timer timer;
+    timer.bind(simulator, [&] {
+      if (++fired < n) timer.schedule_after(sim::Time::microseconds(5));
+    });
+    timer.schedule_after(sim::Time::microseconds(5));
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimerRearmFire)->Arg(100000);
 
 void BM_LinkForwarding(benchmark::State& state) {
   for (auto _ : state) {
@@ -172,6 +206,135 @@ void BM_UtilizationSweepCell(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilizationSweepCell);
 
+// --- perf-smoke JSON mode ---------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Event-engine throughput on the steady-state hot path: a population of
+/// recurring timers, each re-arming itself from its own callback — the
+/// access pattern of retransmission timers, pacers, delayed ACKs, and link
+/// clocks, which is what dominates real runs. (The seed measured the same
+/// workload through its std::function re-schedule chains, the only API it
+/// had; BENCH_micro_sim.json records that number as the baseline.) Returns
+/// timer fires/second of wall time (best of `reps` to damp scheduler
+/// noise).
+double measure_events_per_sec(int reps) {
+  constexpr int kTimers = 512;
+  constexpr std::uint64_t kFires = 1'000'000;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulator simulator{1};
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::Timer>> timers;
+    timers.reserve(kTimers);
+    for (int i = 0; i < kTimers; ++i) {
+      timers.push_back(std::make_unique<sim::Timer>());
+      sim::Timer* timer = timers.back().get();
+      const auto period = sim::Time::microseconds(1 + i % 97);
+      timer->bind(simulator, [&fired, timer, period] {
+        if (++fired < kFires) timer->schedule_after(period);
+      });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimers; ++i) {
+      timers[i]->schedule_after(sim::Time::microseconds(1 + i % 97));
+    }
+    simulator.run();
+    const double elapsed = seconds_since(t0);
+    benchmark::DoNotOptimize(simulator.events_executed());
+    if (elapsed > 0.0) {
+      best = std::max(best, static_cast<double>(fired) / elapsed);
+    }
+  }
+  return best;
+}
+
+/// Per-hop packet cost through the full net path (queue + serialization +
+/// propagation events). Returns delivered packets/second of wall time (best
+/// of `reps`).
+double measure_packets_per_sec(int reps) {
+  constexpr int kWaves = 50;
+  constexpr int kPacketsPerWave = 1000;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulator simulator{1};
+    net::Network network{simulator};
+    net::NodeId a = network.add_node();
+    net::NodeId b = network.add_node();
+    net::LinkConfig link;
+    link.rate = sim::DataRate::gigabits_per_second(10);
+    link.delay = 1_ms;
+    network.connect(a, b, link);
+    network.compute_routes();
+    std::uint64_t delivered = 0;
+    network.node(b).set_local_handler([&](net::Packet) { ++delivered; });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int w = 0; w < kWaves; ++w) {
+      for (int i = 0; i < kPacketsPerWave; ++i) {
+        net::Packet p;
+        p.type = net::PacketType::data;
+        p.src = a;
+        p.dst = b;
+        p.seq = static_cast<std::uint32_t>(i);
+        p.size_bytes = 1500;
+        p.uid = static_cast<std::uint64_t>(w) * kPacketsPerWave + i + 1;
+        network.node(a).send(std::move(p));
+      }
+      simulator.run();
+    }
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && delivered > 0) {
+      best = std::max(best, static_cast<double>(delivered) / elapsed);
+    }
+  }
+  return best;
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+int run_json_mode(const char* path) {
+  const double events = measure_events_per_sec(/*reps=*/5);
+  const double packets = measure_packets_per_sec(/*reps=*/5);
+  const std::uint64_t rss = peak_rss_bytes();
+  std::FILE* out = std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_sim: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"packets_per_sec\": %.0f,\n"
+               "  \"peak_rss_bytes\": %llu\n"
+               "}\n",
+               events, packets, static_cast<unsigned long long>(rss));
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("events_per_sec=%.0f packets_per_sec=%.0f peak_rss_bytes=%llu\n",
+                events, packets, static_cast<unsigned long long>(rss));
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return run_json_mode(argv[i] + 7);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,11 @@ namespace halfback::exp {
 
 /// Run `fn(i)` for i in [0, count) on up to `threads` workers (defaults to
 /// hardware concurrency). `fn` must only touch data owned by index i.
+///
+/// If a task throws, the first exception (by completion order) is captured,
+/// the remaining queue is drained without running further tasks, and the
+/// exception is rethrown on the calling thread after all workers join —
+/// instead of std::terminate tearing the process down mid-campaign.
 inline void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                          unsigned threads = 0) {
   if (count == 0) return;
@@ -25,18 +32,29 @@ inline void parallel_for(std::size_t count, const std::function<void(std::size_t
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (unsigned w = 0; w < n; ++w) {
     workers.emplace_back([&] {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t i = next.fetch_add(1);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace halfback::exp

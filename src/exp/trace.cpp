@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "sim/timer.h"
 #include "transport/tcp_sender.h"
 
 namespace halfback::exp {
@@ -101,8 +102,9 @@ std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenar
       break;
   }
 
-  // Sample receiver progress every bucket.
-  std::function<void()> sample = [&] {
+  // Sample receiver progress every bucket, on one reusable timer.
+  sim::Timer sampler;
+  sampler.bind(simulator, [&] {
     for (auto& t : tracked) {
       transport::Receiver* r = client_agents[t->pair]->receiver(t->flow);
       if (r == nullptr) continue;
@@ -117,10 +119,10 @@ std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenar
       }
     }
     if (simulator.now() < config.duration) {
-      simulator.schedule(config.bucket, sample);
+      sampler.schedule_after(config.bucket);
     }
-  };
-  simulator.schedule(config.bucket, sample);
+  });
+  sampler.schedule_after(config.bucket);
 
   simulator.run_until(config.duration);
 

@@ -8,15 +8,21 @@
 namespace halfback::net {
 
 Link::Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
-           std::unique_ptr<PacketQueue> queue, double random_loss_rate)
+           std::unique_ptr<PacketQueue> queue, double random_loss_rate,
+           PacketPool* pool)
     : simulator_{simulator},
       rate_{rate},
       delay_{delay},
       queue_{std::move(queue)},
       random_loss_rate_{random_loss_rate},
-      loss_rng_{simulator.random().fork(0x11bbULL)} {
+      loss_rng_{simulator.random().fork(0x11bbULL)},
+      pool_{pool} {
   if (rate_.is_zero()) throw std::invalid_argument{"Link rate must be positive"};
   if (!queue_) throw std::invalid_argument{"Link requires a queue"};
+  if (pool_ == nullptr) {
+    fallback_pool_ = std::make_unique<PacketPool>();
+    pool_ = fallback_pool_.get();
+  }
 }
 
 void Link::send(Packet p) {
@@ -37,23 +43,39 @@ void Link::begin_transmission(Packet p) {
   transmitting_ = true;
   const sim::Time tx = rate_.transmission_time(p.size_bytes);
   stats_.busy_time += tx;
-  simulator_.schedule(tx, [this, p = std::move(p)]() mutable {
-    // Serialization done: launch the packet into the propagation pipe.
-    // Multiple packets can be in flight in the pipe simultaneously.
-    const bool corrupted = random_loss_rate_ > 0.0 && loss_rng_.bernoulli(random_loss_rate_);
-    if (corrupted) {
-      ++stats_.corrupted_packets;
-      HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_corrupted(*this, p));
-    } else {
-      simulator_.schedule(delay_, [this, p = std::move(p)]() mutable {
-        ++stats_.delivered_packets;
-        stats_.delivered_bytes += p.size_bytes;
-        HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_delivered(*this, p));
-        if (receiver_) receiver_(std::move(p));
-      });
-    }
-    on_transmission_complete();
-  });
+  tx_packet_ = std::move(p);
+  simulator_.schedule_event(tx, tx_done_);
+}
+
+void Link::on_serialization_done() {
+  // Serialization done: launch the packet into the propagation pipe.
+  // Multiple packets can be in flight in the pipe simultaneously, so each
+  // launch takes a pooled node; the single tx_done_ event is free to be
+  // re-armed for the next packet in on_transmission_complete().
+  const bool corrupted =
+      random_loss_rate_ > 0.0 && loss_rng_.bernoulli(random_loss_rate_);
+  if (corrupted) {
+    ++stats_.corrupted_packets;
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_corrupted(*this, tx_packet_));
+  } else {
+    PacketEvent& node = pool_->acquire(&Link::deliver_trampoline, this);
+    node.packet = std::move(tx_packet_);
+    simulator_.schedule_event(delay_, node);
+  }
+  on_transmission_complete();
+}
+
+void Link::deliver_trampoline(void* context, PacketEvent& node) {
+  static_cast<Link*>(context)->deliver(node);
+}
+
+void Link::deliver(PacketEvent& node) {
+  Packet p = std::move(node.packet);
+  pool_->release(node);
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += p.size_bytes;
+  HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_delivered(*this, p));
+  if (receiver_) receiver_(std::move(p));
 }
 
 void Link::on_transmission_complete() {

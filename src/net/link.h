@@ -6,8 +6,10 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "sim/data_rate.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace halfback::net {
@@ -25,10 +27,21 @@ struct LinkStats {
 /// Models serialization at `rate`, propagation over `delay`, an egress
 /// queue for contention, and (optionally, for wireless access profiles) a
 /// random per-packet error rate applied after serialization.
+///
+/// Event model: the transmitter serializes one packet at a time, so the
+/// serialization-done event is a single reusable intrusive event embedded
+/// in the link (`tx_done_`) and the in-service packet parks in
+/// `tx_packet_`. The propagation pipe holds many packets at once, so each
+/// launch draws a PacketEvent from the packet pool and returns it on
+/// delivery. Steady-state forwarding therefore allocates nothing per hop.
 class Link {
  public:
+  /// `pool` is the recycling pool for in-flight packets, normally the
+  /// owning Network's. Links built bare (tests, micro-benchmarks) may pass
+  /// nullptr to get a private fallback pool.
   Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
-       std::unique_ptr<PacketQueue> queue, double random_loss_rate = 0.0);
+       std::unique_ptr<PacketQueue> queue, double random_loss_rate = 0.0,
+       PacketPool* pool = nullptr);
 
   /// Where delivered packets go (the far-end node).
   void set_receiver(std::function<void(Packet)> receiver) {
@@ -54,14 +67,32 @@ class Link {
   const PacketQueue& queue() const { return *queue_; }
   const LinkStats& stats() const { return stats_; }
 
+  /// The pool this link draws in-flight packet nodes from.
+  PacketPool& packet_pool() { return *pool_; }
+
   /// Fraction of [0, now] this link spent serializing packets.
   double utilization(sim::Time now) const {
     return now.is_zero() ? 0.0 : stats_.busy_time / now;
   }
 
  private:
+  /// Serialization-complete event; one per link, reused for every packet
+  /// (the transmitter serializes strictly one at a time).
+  class TxDoneEvent final : public sim::Event {
+   public:
+    explicit TxDoneEvent(Link& link) : link_{link} {}
+
+   private:
+    void fire() override { link_.on_serialization_done(); }
+    Link& link_;
+  };
+
   void begin_transmission(Packet p);
+  void on_serialization_done();
   void on_transmission_complete();
+
+  static void deliver_trampoline(void* context, PacketEvent& node);
+  void deliver(PacketEvent& node);
 
   sim::Simulator& simulator_;
   sim::DataRate rate_;
@@ -73,6 +104,11 @@ class Link {
   std::function<bool(const Packet&)> packet_filter_;
   bool transmitting_ = false;
   LinkStats stats_;
+
+  std::unique_ptr<PacketPool> fallback_pool_;  ///< only for bare links
+  PacketPool* pool_;
+  TxDoneEvent tx_done_{*this};
+  Packet tx_packet_;  ///< the packet currently serializing; valid while transmitting_
 };
 
 }  // namespace halfback::net

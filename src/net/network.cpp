@@ -36,7 +36,8 @@ Link* Network::make_link(NodeId from, NodeId to, const LinkConfig& config) {
       break;
   }
   auto link = std::make_unique<Link>(simulator_, config.rate, config.delay,
-                                     std::move(queue), config.random_loss_rate);
+                                     std::move(queue), config.random_loss_rate,
+                                     &pool_);
   Link* raw = link.get();
   raw->set_receiver([this, to](Packet p) {
     HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_node_received(to, p));

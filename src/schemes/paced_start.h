@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "sim/timer.h"
 #include "transport/tcp_sender.h"
 
 namespace halfback::schemes {
@@ -36,9 +37,9 @@ class PacedStartSender : public transport::TcpSender {
                   flow_bytes, config,    std::move(scheme_name)},
         pacing_threshold_segments_{pacing_threshold_segments},
         pacing_quantum_{pacing_quantum},
-        initial_burst_segments_{initial_burst_segments} {}
-
-  ~PacedStartSender() override { pace_event_.cancel(); }
+        initial_burst_segments_{initial_burst_segments} {
+    pace_timer_.bind(simulator, [this] { pace_next(); });
+  }
 
   bool pacing_done() const { return pacing_done_; }
   std::uint32_t batch_end() const { return batch_end_; }
@@ -127,14 +128,13 @@ class PacedStartSender : public transport::TcpSender {
       finish_pacing();
       return;
     }
-    pace_event_ = simulator_.schedule(pace_interval_ * static_cast<double>(due),
-                                      [this] { pace_next(); });
+    pace_timer_.schedule_after(pace_interval_ * static_cast<double>(due));
   }
 
   void finish_pacing() {
     if (pacing_done_) return;
     pacing_done_ = true;
-    pace_event_.cancel();
+    pace_timer_.cancel();
     // The pacer may finish within one timer tick (RTT shorter than the
     // pacing quantum); the retransmission timer must be armed regardless,
     // or a fully-lost batch would never recover.
@@ -148,7 +148,7 @@ class PacedStartSender : public transport::TcpSender {
   std::uint32_t batch_end_ = 0;
   sim::Time pace_interval_;
   bool pacing_done_ = false;
-  sim::EventHandle pace_event_;
+  sim::Timer pace_timer_;  ///< one-shot pacing tick, re-armed per clump
 };
 
 }  // namespace halfback::schemes

@@ -8,13 +8,15 @@ PcpSender::PcpSender(sim::Simulator& simulator, net::Node& local_node,
                      net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
                      transport::SenderConfig config)
     : SenderBase{simulator, local_node, peer,  flow,
-                 flow_bytes, config,    "pcp"} {}
-
-PcpSender::~PcpSender() {
-  tick_event_.cancel();
-  round_event_.cancel();
-  train_event_.cancel();
+                 flow_bytes, config,    "pcp"} {
+  tick_timer_.bind(simulator, [this] {
+    tick_pending_ = false;
+    data_tick();
+  });
+  round_timer_.bind(simulator, [this] { end_round(); });
 }
+
+PcpSender::~PcpSender() { train_event_.cancel(); }
 
 void PcpSender::on_established() {
   // Initial verified rate: two segments per RTT (a slow-start-like floor);
@@ -40,7 +42,7 @@ std::optional<std::uint32_t> PcpSender::next_to_send() {
 void PcpSender::begin_round() {
   round_has_sample_ = false;
   send_probe_train();
-  round_event_ = simulator_.schedule(smoothed_rtt(), [this] { end_round(); });
+  round_timer_.schedule_after(smoothed_rtt());
 }
 
 void PcpSender::send_probe_train() {
@@ -81,10 +83,7 @@ void PcpSender::schedule_data_tick() {
   if (tick_pending_ || complete()) return;
   tick_pending_ = true;
   const sim::Time interval = sim::Time::seconds(1.0 / std::max(base_rate_, 1.0));
-  tick_event_ = simulator_.schedule(interval, [this] {
-    tick_pending_ = false;
-    data_tick();
-  });
+  tick_timer_.schedule_after(interval);
 }
 
 void PcpSender::handle_ack(const net::Packet& /*ack*/,

@@ -21,6 +21,7 @@
 //     retransmissions of all schemes (Fig. 10b).
 #pragma once
 
+#include "sim/timer.h"
 #include "transport/sender.h"
 
 namespace halfback::schemes {
@@ -61,8 +62,11 @@ class PcpSender final : public transport::SenderBase {
 
   bool tick_pending_ = false;
   bool idle_ = false;
-  sim::EventHandle tick_event_;
-  sim::EventHandle round_event_;
+  sim::Timer tick_timer_;   ///< paced data clock, one outstanding tick
+  sim::Timer round_timer_;  ///< per-RTT probe-round boundary
+  // Probe trains deliberately stay on the std::function shim: a new round
+  // can start while the previous round's train is still stepping, and those
+  // chains must coexist (a reusable Timer would cancel the older chain).
   sim::EventHandle train_event_;
 
   bool round_has_sample_ = false;

@@ -3,6 +3,7 @@
 // converting tail losses into SACK-recoverable episodes.
 #pragma once
 
+#include "sim/timer.h"
 #include "transport/tcp_sender.h"
 
 namespace halfback::schemes {
@@ -20,9 +21,9 @@ class ReactiveSender final : public transport::TcpSender {
   ReactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                  net::FlowId flow, std::uint64_t flow_bytes,
                  transport::SenderConfig config)
-      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "reactive"} {}
-
-  ~ReactiveSender() override { pto_event_.cancel(); }
+      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "reactive"} {
+    pto_timer_.bind(simulator, [this] { fire_probe(); });
+  }
 
  protected:
   void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override {
@@ -37,16 +38,16 @@ class ReactiveSender final : public transport::TcpSender {
   }
 
   void on_timeout() override {
-    pto_event_.cancel();
+    pto_timer_.cancel();
     TcpSender::on_timeout();
   }
 
  private:
   void rearm_pto() {
-    pto_event_.cancel();
+    pto_timer_.cancel();
     if (complete() || probe_sent_ || scoreboard_.pipe() == 0) return;
     sim::Time pto = std::max(smoothed_rtt() * 2.0, sim::Time::milliseconds(10));
-    pto_event_ = simulator_.schedule(pto, [this] { fire_probe(); });
+    pto_timer_.schedule_after(pto);
   }
 
   void fire_probe() {
@@ -64,7 +65,7 @@ class ReactiveSender final : public transport::TcpSender {
     }
   }
 
-  sim::EventHandle pto_event_;
+  sim::Timer pto_timer_;
   bool probe_sent_ = false;
 };
 

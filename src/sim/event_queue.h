@@ -1,10 +1,23 @@
 // The event queue at the heart of the discrete-event engine.
+//
+// The queue is an indexed binary min-heap over *intrusive* events: an Event
+// carries its own deadline, FIFO sequence number, and heap slot, so
+// scheduling, O(log n) cancellation, and in-place reschedule never allocate.
+// Components that fire the same logical event repeatedly (retransmission
+// timers, pacers, link transmissions) embed an Event subclass — usually via
+// sim::Timer — and reuse it for the lifetime of the component.
+//
+// A thin `schedule(Time, std::function)` shim remains for tests, examples,
+// and one-shot experiment setup (see docs/architecture.md, "Event & memory
+// model", for when the shim is acceptable). Shim events are drawn from a
+// slab of recycled FunctionEvent nodes owned by the queue, so even the shim
+// does not malloc per event in steady state — only when the number of
+// simultaneously-pending shim events reaches a new high-water mark.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -15,16 +28,54 @@ class Auditor;
 
 namespace halfback::sim {
 
-/// Cancellable handle to a scheduled event.
+class EventQueue;
+class FunctionEvent;
+
+/// Base class for intrusive events.
+///
+/// An Event is scheduled into at most one EventQueue at a time. The queue
+/// does not own it: the embedding component does, and must keep it alive
+/// while queued (destroying a queued Event removes it from its queue
+/// first). Dispatch removes the event from the queue *before* calling
+/// fire(), so a callback may immediately reschedule the same object.
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  virtual ~Event();
+
+  /// True while the event sits in a queue awaiting dispatch.
+  bool queued() const { return heap_index_ != kNotQueued; }
+
+  /// Absolute dispatch time; meaningful only while queued().
+  Time deadline() const { return at_; }
+
+ protected:
+  /// Dispatch hook. Called with the event already removed from the queue.
+  virtual void fire() = 0;
+
+ private:
+  friend class EventQueue;
+  static constexpr std::size_t kNotQueued = static_cast<std::size_t>(-1);
+
+  Time at_;
+  std::uint64_t seq_ = 0;            ///< FIFO tie-break, fresh per (re)schedule
+  std::size_t heap_index_ = kNotQueued;
+  EventQueue* queue_ = nullptr;      ///< the queue holding us, while queued
+};
+
+/// Cancellable handle to an event scheduled through the std::function shim.
 ///
 /// EventHandle is a weak reference: cancelling after the event fired (or was
 /// already cancelled) is a no-op. A default-constructed handle refers to
-/// nothing.
+/// nothing. Handles must not outlive the queue that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Prevent the event from firing. Safe to call at any time.
+  /// Prevent the event from firing. Safe to call at any time while the
+  /// issuing queue is alive.
   void cancel();
 
   /// True if the event is still scheduled to fire.
@@ -32,34 +83,61 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_{std::move(state)} {}
-  std::shared_ptr<State> state_;
+  EventHandle(FunctionEvent* node, std::uint64_t token)
+      : node_{node}, token_{token} {}
+
+  FunctionEvent* node_ = nullptr;
+  std::uint64_t token_ = 0;  ///< incarnation the handle refers to
 };
 
-/// Time-ordered queue of callbacks. Events at equal times fire in
-/// scheduling order (FIFO), which keeps runs deterministic. Cancelled
-/// entries are discarded lazily when they reach the head of the queue.
+/// Time-ordered queue of events. Events at equal times fire in scheduling
+/// order (FIFO), which keeps runs deterministic; a reschedule counts as a
+/// fresh scheduling for tie-break purposes.
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at`.
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
+
+  // --- intrusive API (the allocation-free fast path) -----------------------
+
+  /// Insert `event` at absolute time `at`. The event must not be queued.
+  void schedule_event(Event& event, Time at);
+
+  /// Move `event` to absolute time `at`, in place, whether or not it is
+  /// currently queued. Equivalent to cancel + schedule (the event receives
+  /// a fresh FIFO sequence number) but without touching the heap twice.
+  void reschedule_event(Event& event, Time at);
+
+  /// Remove `event` if queued; no-op otherwise.
+  void cancel_event(Event& event);
+
+  // --- std::function shim --------------------------------------------------
+
+  /// Schedule `fn` at absolute time `at` on a recycled slab node.
   EventHandle schedule(Time at, std::function<void()> fn);
 
-  /// True if no live (non-cancelled) event remains.
-  bool empty() const;
+  // --- queue driving -------------------------------------------------------
 
-  /// Time of the earliest live event. Requires !empty().
+  /// True if no event remains.
+  bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event. Requires !empty().
   Time next_time() const;
 
-  /// Pop and run the earliest live event; returns its time.
-  /// Requires !empty().
+  /// Pop and run the earliest event; returns its time. Requires !empty().
   Time run_next();
 
   /// Drop all pending events.
   void clear();
+
+  /// Number of shim slab nodes ever allocated (diagnostics: steady-state
+  /// shim traffic must not grow this).
+  std::size_t shim_slab_size() const { return slab_.size(); }
 
   /// Install an audit observer (nullptr detaches). The queue reports each
   /// dispatch so the auditor can verify time monotonicity and FIFO
@@ -69,24 +147,49 @@ class EventQueue {
   audit::Auditor* auditor() const { return auditor_; }
 
  private:
-  struct Entry {
+  friend class EventHandle;
+  friend class FunctionEvent;
+
+  /// Heap entry: the ordering key is replicated next to the event pointer
+  /// so sift comparisons read the contiguous heap array instead of chasing
+  /// pointers to scattered Event nodes (the dominant cost at depth).
+  struct HeapSlot {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    Event* event;
   };
 
-  /// Discard cancelled events at the head.
-  void skip_cancelled() const;
+  /// Heap branching factor (4-ary: shallower than binary, and the extra
+  /// per-level compares all hit contiguous slots).
+  static constexpr std::size_t kArity = 4;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Heap ordering: earliest deadline first, FIFO on ties.
+  static bool earlier(const HeapSlot& a, const HeapSlot& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, const HeapSlot& s) {
+    heap_[i] = s;
+    s.event->heap_index_ = i;
+  }
+
+  /// Detach the heap root (marking it unqueued) and restore heap order.
+  Event* pop_root();
+
+  FunctionEvent* acquire_shim();
+  void release_shim(FunctionEvent* node);
+
+  std::vector<HeapSlot> heap_;
   std::uint64_t next_seq_ = 0;
+
+  // Shim slab: every FunctionEvent ever created lives here; free nodes are
+  // chained through their next_free_ pointers.
+  std::vector<std::unique_ptr<FunctionEvent>> slab_;
+  FunctionEvent* free_head_ = nullptr;
+
   audit::Auditor* auditor_ = nullptr;
 };
 

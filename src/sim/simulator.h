@@ -28,7 +28,10 @@ class Simulator {
   /// Current virtual time.
   Time now() const { return now_; }
 
-  /// Schedule `fn` to run after `delay` (>= 0) from now.
+  /// Schedule `fn` to run after `delay` (>= 0) from now. This is the
+  /// std::function shim over the intrusive event core — fine for tests,
+  /// examples, and one-shot setup; hot-path components embed an Event or
+  /// sim::Timer and use the schedule_event family below instead.
   EventHandle schedule(Time delay, std::function<void()> fn) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
     return queue_.schedule(now_ + delay, std::move(fn));
@@ -39,6 +42,37 @@ class Simulator {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
     return queue_.schedule(at, std::move(fn));
   }
+
+  /// Schedule an intrusive event after `delay` (>= 0) from now. The event
+  /// must not already be queued; the caller keeps ownership and must keep
+  /// it alive until it fires or is cancelled.
+  void schedule_event(Time delay, Event& event) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
+    queue_.schedule_event(event, now_ + delay);
+  }
+
+  /// Schedule an intrusive event at absolute time `at` (>= now).
+  void schedule_event_at(Time at, Event& event) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
+    queue_.schedule_event(event, at);
+  }
+
+  /// Move an intrusive event to `delay` from now, scheduling it if idle.
+  /// Equivalent to cancel + schedule (fresh FIFO tie-break) without
+  /// touching the heap twice.
+  void reschedule_event(Time delay, Event& event) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
+    queue_.reschedule_event(event, now_ + delay);
+  }
+
+  /// Move an intrusive event to absolute time `at`, scheduling it if idle.
+  void reschedule_event_at(Time at, Event& event) {
+    HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
+    queue_.reschedule_event(event, at);
+  }
+
+  /// Remove an intrusive event if queued; no-op otherwise.
+  void cancel_event(Event& event) { queue_.cancel_event(event); }
 
   /// Run until the event queue drains or stop() is called.
   void run();

@@ -1,0 +1,66 @@
+// Reusable one-shot timer over the intrusive event core.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace halfback::sim {
+
+/// A timer a component embeds once and re-arms for its whole lifetime: the
+/// callback is bound at construction (one allocation, ever), and arming,
+/// re-arming, and cancelling are heap operations on the embedded event —
+/// nothing on the per-event path allocates. This is what retransmission
+/// timers, pacers, delayed-ACK timers, and link transmissions use instead
+/// of the `Simulator::schedule` std::function shim.
+///
+/// A Timer is one-shot: it fires once per arming and must be re-armed from
+/// the callback for periodic behaviour. Arming while pending replaces the
+/// deadline (semantically cancel + schedule: the timer moves to the back of
+/// the FIFO tie-break at its new time).
+///
+/// Lifetime: the owning component must not outlive the Simulator while the
+/// timer is pending. Destroying a pending Timer cancels it.
+class Timer final : public Event {
+ public:
+  /// An unbound timer; call bind() before the first schedule.
+  Timer() = default;
+
+  Timer(Simulator& simulator, std::function<void()> callback) {
+    bind(simulator, std::move(callback));
+  }
+
+  ~Timer() override { cancel(); }
+
+  /// Attach the simulator and callback. Must be called exactly once, before
+  /// the first schedule_after/schedule_at.
+  void bind(Simulator& simulator, std::function<void()> callback) {
+    simulator_ = &simulator;
+    callback_ = std::move(callback);
+  }
+  bool bound() const { return simulator_ != nullptr; }
+
+  /// (Re)arm to fire after `delay` (>= 0) from now.
+  void schedule_after(Time delay) { simulator_->reschedule_event(delay, *this); }
+
+  /// (Re)arm to fire at absolute time `at` (>= now).
+  void schedule_at(Time at) { simulator_->reschedule_event_at(at, *this); }
+
+  /// Disarm; no-op if not pending. Safe to call from inside the callback.
+  void cancel() {
+    if (queued()) simulator_->cancel_event(*this);
+  }
+
+  /// True while armed and not yet fired.
+  bool pending() const { return queued(); }
+
+ private:
+  void fire() override { callback_(); }
+
+  Simulator* simulator_ = nullptr;
+  std::function<void()> callback_;
+};
+
+}  // namespace halfback::sim

@@ -10,9 +10,12 @@ Receiver::Receiver(sim::Simulator& simulator, net::Node& local_node, net::NodeId
       node_{local_node},
       peer_{peer},
       flow_{flow},
-      config_{config} {}
+      config_{config} {
+  delack_timer_.bind(simulator_, [this] { fire_delayed_ack(); });
+}
 
-Receiver::~Receiver() { delack_timer_.cancel(); }
+// delack_timer_ cancels itself on destruction.
+Receiver::~Receiver() = default;
 
 void Receiver::on_packet(const net::Packet& packet) {
   switch (packet.type) {
@@ -86,8 +89,7 @@ void Receiver::maybe_ack(const net::Packet& trigger, bool in_order) {
     return;
   }
   if (!delack_timer_.pending()) {
-    delack_timer_ = simulator_.schedule(config_.delayed_ack_timeout,
-                                        [this] { fire_delayed_ack(); });
+    delack_timer_.schedule_after(config_.delayed_ack_timeout);
   }
 }
 

@@ -8,6 +8,7 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 
 namespace halfback::transport {
 
@@ -80,7 +81,7 @@ class Receiver {
   net::FlowId flow_;
   Config config_;
   CompletionCallback on_complete_;
-  sim::EventHandle delack_timer_;
+  sim::Timer delack_timer_;
   int unacked_arrivals_ = 0;
   net::Packet pending_trigger_;  ///< newest data packet awaiting an ACK
 

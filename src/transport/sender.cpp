@@ -27,12 +27,12 @@ SenderBase::SenderBase(sim::Simulator& simulator, net::Node& local_node,
   record_.scheme = std::move(scheme_name);
   record_.flow_bytes = flow_bytes;
   record_.total_segments = scoreboard_.total_segments();
+  rto_timer_.bind(simulator_, [this] { on_rto(); });
+  syn_timer_.bind(simulator_, [this] { on_syn_timeout(); });
 }
 
-SenderBase::~SenderBase() {
-  rto_event_.cancel();
-  syn_timer_.cancel();
-}
+// Timer members cancel themselves on destruction.
+SenderBase::~SenderBase() = default;
 
 void SenderBase::start() {
   record_.start_time = simulator_.now();
@@ -54,10 +54,9 @@ void SenderBase::send_syn() {
   if (syn_tries_ > 1) ++record_.syn_retx;
   node_.send(std::move(syn));
 
-  syn_timer_.cancel();
   sim::Time timeout = config_.syn_timeout;
   for (int i = 1; i < syn_tries_; ++i) timeout = timeout * 2.0;
-  syn_timer_ = simulator_.schedule(timeout, [this] { on_syn_timeout(); });
+  syn_timer_.schedule_after(timeout);
 }
 
 void SenderBase::on_syn_timeout() {
@@ -160,17 +159,16 @@ void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
   after_transmit(seq, proactive);
 }
 
-void SenderBase::arm_rto() {
-  rto_event_.cancel();
-  rto_event_ = simulator_.schedule(rtt_.rto(), [this] {
-    if (record_.completed) return;
-    ++record_.timeouts;
-    rtt_.backoff();
-    on_timeout();
-  });
+void SenderBase::arm_rto() { rto_timer_.schedule_after(rtt_.rto()); }
+
+void SenderBase::on_rto() {
+  if (record_.completed) return;
+  ++record_.timeouts;
+  rtt_.backoff();
+  on_timeout();
 }
 
-void SenderBase::cancel_rto() { rto_event_.cancel(); }
+void SenderBase::cancel_rto() { rto_timer_.cancel(); }
 
 sim::Time SenderBase::smoothed_rtt() const {
   if (rtt_.has_sample()) return rtt_.srtt();

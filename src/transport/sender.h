@@ -9,6 +9,7 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "transport/rtt_estimator.h"
 #include "transport/scoreboard.h"
 
@@ -127,7 +128,7 @@ class SenderBase {
   /// (Re)arm the retransmission timer at the current RTO.
   void arm_rto();
   void cancel_rto();
-  bool rto_armed() const { return rto_event_.pending(); }
+  bool rto_armed() const { return rto_timer_.pending(); }
 
   /// Estimated RTT to use before any ACK sample exists (handshake value).
   sim::Time smoothed_rtt() const;
@@ -146,14 +147,17 @@ class SenderBase {
  private:
   void send_syn();
   void on_syn_timeout();
+  void on_rto();
   void handle_syn_ack(const net::Packet& packet);
   void take_rtt_sample(const net::Packet& ack);
   void maybe_complete();
   std::uint64_t next_uid() { return (record_.flow << 24) + (++uid_counter_); }
 
   CompletionCallback on_complete_;
-  sim::EventHandle rto_event_;
-  sim::EventHandle syn_timer_;
+  // Embedded reusable timers: bound once at construction, re-armed in place
+  // for the flow's whole life. Their destructors cancel any pending arm.
+  sim::Timer rto_timer_;
+  sim::Timer syn_timer_;
   sim::Time syn_last_sent_;
   int syn_tries_ = 0;
   bool established_ = false;

@@ -1,0 +1,81 @@
+// bench::parse_options argument validation: numeric flags must reject junk
+// instead of silently reading 0 (the old atoi/strtoul behaviour), which
+// turned typos into misconfigured hour-long campaigns.
+#include "common.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace halfback::bench {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench_test");
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()));
+}
+
+TEST(ParseOptions, ParsesValidNumericFlags) {
+  const Options opt = parse({"--seed=42", "--threads=8", "--pairs=20",
+                             "--duration=2.5", "--reps=3"});
+  EXPECT_EQ(opt.seed, 42u);
+  EXPECT_EQ(opt.threads, 8u);
+  EXPECT_EQ(opt.pairs, 20);
+  EXPECT_DOUBLE_EQ(opt.duration_s, 2.5);
+  EXPECT_EQ(opt.replications, 3);
+}
+
+TEST(ParseOptions, DefaultsSurviveWhenFlagsAbsent) {
+  const Options opt = parse({"--full"});
+  EXPECT_TRUE(opt.full);
+  EXPECT_EQ(opt.threads, 0u);
+  EXPECT_EQ(opt.pairs, -1);
+  EXPECT_DOUBLE_EQ(opt.duration_s, -1.0);
+  EXPECT_EQ(opt.replications, 1);
+}
+
+using ParseOptionsDeath = ::testing::Test;
+
+TEST(ParseOptionsDeath, RejectsNonNumericThreads) {
+  EXPECT_EXIT(parse({"--threads=abc"}), ::testing::ExitedWithCode(2),
+              "--threads expects a non-negative integer");
+}
+
+TEST(ParseOptionsDeath, RejectsNegativeThreads) {
+  EXPECT_EXIT(parse({"--threads=-2"}), ::testing::ExitedWithCode(2),
+              "--threads expects a non-negative integer");
+}
+
+TEST(ParseOptionsDeath, RejectsEmptyPairs) {
+  EXPECT_EXIT(parse({"--pairs="}), ::testing::ExitedWithCode(2),
+              "--pairs expects a non-negative integer");
+}
+
+TEST(ParseOptionsDeath, RejectsNegativePairs) {
+  EXPECT_EXIT(parse({"--pairs=-3"}), ::testing::ExitedWithCode(2),
+              "--pairs expects a non-negative integer");
+}
+
+TEST(ParseOptionsDeath, RejectsTrailingJunkInReps) {
+  EXPECT_EXIT(parse({"--reps=3x"}), ::testing::ExitedWithCode(2),
+              "--reps expects a non-negative integer");
+}
+
+TEST(ParseOptionsDeath, RejectsNonNumericDuration) {
+  EXPECT_EXIT(parse({"--duration=fast"}), ::testing::ExitedWithCode(2),
+              "--duration expects a non-negative number of seconds");
+}
+
+TEST(ParseOptionsDeath, RejectsNegativeDuration) {
+  EXPECT_EXIT(parse({"--duration=-1.5"}), ::testing::ExitedWithCode(2),
+              "--duration expects a non-negative number of seconds");
+}
+
+TEST(ParseOptionsDeath, RejectsUnknownOption) {
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown option");
+}
+
+}  // namespace
+}  // namespace halfback::bench
