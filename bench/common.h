@@ -65,19 +65,20 @@ inline Options parse_options(int argc, char** argv) {
       const std::size_t n = std::strlen(prefix);
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
+    const char* v = nullptr;
     if (arg == "--full") {
       opt.full = true;
-    } else if (const char* v = value("--seed=")) {
+    } else if ((v = value("--seed="))) {
       opt.seed = parse_count("--seed", v);
-    } else if (const char* v = value("--threads=")) {
+    } else if ((v = value("--threads="))) {
       opt.threads = static_cast<unsigned>(parse_count("--threads", v));
-    } else if (const char* v = value("--pairs=")) {
+    } else if ((v = value("--pairs="))) {
       opt.pairs = static_cast<int>(parse_count("--pairs", v));
-    } else if (const char* v = value("--duration=")) {
+    } else if ((v = value("--duration="))) {
       opt.duration_s = parse_seconds("--duration", v);
-    } else if (const char* v = value("--reps=")) {
+    } else if ((v = value("--reps="))) {
       opt.replications = static_cast<int>(parse_count("--reps", v));
-    } else if (const char* v = value("--csv=")) {
+    } else if ((v = value("--csv="))) {
       opt.csv_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(

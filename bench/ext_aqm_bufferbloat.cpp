@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
         exp::WorkloadPart bg{schemes::Scheme::tcp, background,
                              exp::FlowRole::background, bulk};
         exp::RunResult run = runner.run(
-            {exp::WorkloadPart{cell.scheme, shorts, exp::FlowRole::primary}, bg});
+            {exp::WorkloadPart{cell.scheme, shorts, exp::FlowRole::primary, {}}, bg});
         cell.mean_fct_ms = run.mean_fct_ms(exp::FlowRole::primary);
         cell.bg_share = run.bottleneck_utilization;
       },

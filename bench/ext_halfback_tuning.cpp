@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
       exp::EmulabRunner runner{config};
       exp::WorkloadPart part{schemes::Scheme::halfback,
                              {{sim::Time::zero(), kb * 1000}},
-                             exp::FlowRole::primary};
+                             exp::FlowRole::primary,
+                             {}};
       exp::RunResult run = runner.run({part});
       row.push_back(stats::Table::num(run.mean_fct_ms(exp::FlowRole::primary), 0));
     }
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
         exp::EmulabRunner runner{config};
         exp::RunResult run = runner.run(
             {exp::WorkloadPart{schemes::Scheme::halfback, schedule,
-                               exp::FlowRole::primary}});
+                               exp::FlowRole::primary, {}}});
         stats::Summary fct = run.fct_ms(exp::FlowRole::primary);
         stats::Summary proactive =
             run.metric(exp::FlowRole::primary, [](const exp::FlowResult& f) {

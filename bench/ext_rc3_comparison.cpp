@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
         config.dumbbell.bottleneck_queue = cell.queue;
         exp::EmulabRunner runner{config};
         exp::RunResult run = runner.run(
-            {exp::WorkloadPart{cell.scheme, schedule, exp::FlowRole::primary}});
+            {exp::WorkloadPart{cell.scheme, schedule, exp::FlowRole::primary, {}}});
         stats::Summary fct = run.fct_ms(exp::FlowRole::primary);
         cell.mean_fct_ms = fct.mean();
         cell.median_fct_ms = fct.median();

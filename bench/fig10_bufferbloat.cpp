@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
         exp::WorkloadPart bg{schemes::Scheme::tcp, background,
                              exp::FlowRole::background, bulk_config};
         exp::RunResult run = runner.run(
-            {exp::WorkloadPart{scheme, shorts, exp::FlowRole::primary}, bg});
+            {exp::WorkloadPart{scheme, shorts, exp::FlowRole::primary, {}}, bg});
         Cell cell;
         cell.mean_fct_ms = run.mean_fct_ms(exp::FlowRole::primary);
         stats::Summary retx =

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     config.runner.seed = opt.seed;
     config.sizes = dist;
     config.threads = opt.threads;
-    config.bin_kb = 50.0;
+    config.bin_bytes = sim::Bytes::kilobytes(50);
     config.duration = sim::Time::seconds(
         opt.duration_s > 0 ? opt.duration_s : (opt.full ? 300.0 : 60.0));
 

@@ -200,7 +200,7 @@ void BM_UtilizationSweepCell(benchmark::State& state) {
         workload::make_schedule(workload::FlowSizeDist::fixed(100'000), sc, rng);
     exp::RunResult run = runner.run(
         {exp::WorkloadPart{schemes::Scheme::halfback, schedule,
-                           exp::FlowRole::primary}});
+                           exp::FlowRole::primary, {}}});
     benchmark::DoNotOptimize(run.flows.size());
   }
 }

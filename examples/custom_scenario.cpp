@@ -1,8 +1,7 @@
 // Custom scenario runner: a small CLI over the library so you can explore
 // any (scheme, path, flow) combination without writing code.
 //
-//   $ ./examples/custom_scenario scheme=halfback bytes=200000 rtt_ms=80 \
-//         rate_mbps=10 buffer_kb=64 loss=0.01 flows=5 trace=1
+//   $ ./examples/custom_scenario scheme=halfback bytes=200000 rtt_ms=80 rate_mbps=10 buffer_kb=64 loss=0.01 flows=5 trace=1
 //
 // Every key is optional; defaults reproduce the paper's Emulab bottleneck.
 #include <cstdio>

@@ -121,7 +121,13 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
 
   RunResult result;
   result.sim_end = simulator.now();
-  for (auto& [flow, live_flow] : live) {
+  // Walk flows in id (creation) order: iterating the unordered map directly
+  // would make result order — and FCT stats under start-time ties — depend
+  // on hash layout.
+  for (net::FlowId flow = 1; flow < next_flow; ++flow) {
+    const auto live_it = live.find(flow);
+    if (live_it == live.end()) continue;  // arrival never fired (past drain)
+    LiveFlow& live_flow = live_it->second;
     FlowResult fr;
     fr.record = live_flow.sender->record();
     fr.role = live_flow.role;

@@ -33,8 +33,9 @@ HomeNetEnv::HomeNetEnv(HomeNetConfig config) : config_{config} {
   sim::Random rng{config_.seed};
   server_rtts_.reserve(static_cast<std::size_t>(config_.server_count));
   for (int i = 0; i < config_.server_count; ++i) {
-    const double rtt_ms = std::clamp(rng.lognormal(std::log(60.0), 1.0), 2.0, 400.0);
-    server_rtts_.push_back(sim::Time::milliseconds(rtt_ms));
+    // Sampled in ms, converted to sim::Time at the boundary.
+    server_rtts_.push_back(sim::Time::milliseconds(
+        std::clamp(rng.lognormal(std::log(60.0), 1.0), 2.0, 400.0)));
   }
 }
 

@@ -7,17 +7,18 @@
 #include <vector>
 
 #include "exp/planetlab.h"
+#include "sim/bytes.h"
 
 namespace halfback::exp {
 
 /// An access-link profile standing in for one of the paper's measured home
 /// connections (provider-level parameters; see DESIGN.md substitutions).
 struct HomeNetProfile {
-  const char* name;
+  const char* name = "";
   sim::DataRate downlink;
   sim::DataRate uplink;
-  double loss_rate;            ///< wireless residual loss
-  std::uint64_t buffer_bytes;  ///< access-router buffer (DSL = bloated)
+  double loss_rate = 0.0;  ///< wireless residual loss
+  sim::Bytes buffer_bytes;  ///< access-router buffer (DSL = bloated)
 };
 
 /// The four §4.2.2 profiles.
@@ -25,7 +26,7 @@ std::span<const HomeNetProfile> home_profiles();
 
 struct HomeNetConfig {
   int server_count = 170;
-  std::uint64_t flow_bytes = 100'000;
+  sim::Bytes flow_bytes = 100'000;
   std::uint64_t seed = 7;
   transport::SenderConfig sender_config;
   sim::Time per_trial_timeout = sim::Time::seconds(120);

@@ -17,9 +17,11 @@ PlanetLabEnv::PlanetLabEnv(PlanetLabConfig config) : config_{config} {
   for (int i = 0; i < config_.pair_count; ++i) {
     PathSample p;
     // RTT: heavy-tailed around a 60 ms median (continental to
-    // intercontinental), clamped to the paper's observed 0.2-400 ms.
-    const double rtt_ms = std::clamp(rng.lognormal(std::log(60.0), 1.1), 0.2, 400.0);
-    p.rtt = sim::Time::milliseconds(rtt_ms);
+    // intercontinental), clamped to the paper's observed 0.2-400 ms. The
+    // sample becomes a sim::Time here, at the boundary; no raw unit-bearing
+    // double escapes.
+    p.rtt = sim::Time::milliseconds(
+        std::clamp(rng.lognormal(std::log(60.0), 1.1), 0.2, 400.0));
     // Bottleneck bandwidth: PlanetLab sites are well connected; a log-
     // uniform spread 8 Mbps - 1 Gbps captures the occasional slow site.
     p.bottleneck = sim::DataRate::megabits_per_second(rng.log_uniform(8.0, 1000.0));

@@ -16,6 +16,7 @@
 
 #include "net/topology.h"
 #include "schemes/scheme.h"
+#include "sim/bytes.h"
 #include "transport/sender.h"
 
 namespace halfback::exp {
@@ -24,7 +25,7 @@ namespace halfback::exp {
 struct PathSample {
   sim::Time rtt;
   sim::DataRate bottleneck;
-  std::uint64_t buffer_bytes = 0;
+  sim::Bytes buffer_bytes;
   double random_loss = 0.0;       ///< residual wireless/overload loss
   bool cross_traffic = false;     ///< a competing TCP flow shares the path
 };
@@ -45,7 +46,7 @@ struct TrialResult {
 
 struct PlanetLabConfig {
   int pair_count = 2600;
-  std::uint64_t flow_bytes = 100'000;
+  sim::Bytes flow_bytes = 100'000;
   std::uint64_t seed = 42;
   transport::SenderConfig sender_config;
   sim::Time per_trial_timeout = sim::Time::seconds(120);

@@ -169,8 +169,8 @@ std::vector<MixCell> mix_sweep(const MixSweepConfig& config,
       u_count,
       [&](std::size_t u) {
         EmulabRunner runner{config.runner};
-        WorkloadPart shorts{schemes::Scheme::tcp, schedules[u].shorts, FlowRole::primary};
-        WorkloadPart longs{schemes::Scheme::tcp, schedules[u].longs, FlowRole::background};
+        WorkloadPart shorts{schemes::Scheme::tcp, schedules[u].shorts, FlowRole::primary, {}};
+        WorkloadPart longs{schemes::Scheme::tcp, schedules[u].longs, FlowRole::background, {}};
         RunResult run = runner.run({shorts, longs});
         base_short[u] = run.mean_fct_ms(FlowRole::primary);
         base_long[u] = run.mean_fct_ms(FlowRole::background);
@@ -178,8 +178,8 @@ std::vector<MixCell> mix_sweep(const MixSweepConfig& config,
       config.threads);
 
   struct Job {
-    schemes::Scheme scheme;
-    std::size_t u;
+    schemes::Scheme scheme = schemes::Scheme::tcp;
+    std::size_t u = 0;
   };
   std::vector<Job> jobs;
   for (std::size_t u = 0; u < u_count; ++u) {
@@ -191,9 +191,9 @@ std::vector<MixCell> mix_sweep(const MixSweepConfig& config,
       [&](std::size_t i) {
         const Job& job = jobs[i];
         EmulabRunner runner{config.runner};
-        WorkloadPart shorts{job.scheme, schedules[job.u].shorts, FlowRole::primary};
+        WorkloadPart shorts{job.scheme, schedules[job.u].shorts, FlowRole::primary, {}};
         WorkloadPart longs{schemes::Scheme::tcp, schedules[job.u].longs,
-                           FlowRole::background};
+                           FlowRole::background, {}};
         RunResult run = runner.run({shorts, longs});
         MixCell cell;
         cell.scheme = job.scheme;
@@ -242,14 +242,14 @@ std::vector<FriendlinessPoint> friendliness_matrix(
       [&](std::size_t u) {
         EmulabRunner runner{config.runner};
         RunResult run = runner.run(
-            {WorkloadPart{schemes::Scheme::tcp, schedules[u], FlowRole::primary}});
+            {WorkloadPart{schemes::Scheme::tcp, schedules[u], FlowRole::primary, {}}});
         tcp_reference[u] = run.mean_fct_ms(FlowRole::primary);
       },
       config.threads);
 
   struct Job {
-    schemes::Scheme scheme;
-    std::size_t u;
+    schemes::Scheme scheme = schemes::Scheme::tcp;
+    std::size_t u = 0;
   };
   std::vector<Job> jobs;
   for (schemes::Scheme s : schemes) {
@@ -265,14 +265,14 @@ std::vector<FriendlinessPoint> friendliness_matrix(
         // All-scheme reference.
         EmulabRunner ref_runner{config.runner};
         RunResult ref_run = ref_runner.run(
-            {WorkloadPart{job.scheme, schedules[job.u], FlowRole::primary}});
+            {WorkloadPart{job.scheme, schedules[job.u], FlowRole::primary, {}}});
         const double scheme_reference = ref_run.mean_fct_ms(FlowRole::primary);
 
         // Mixed run.
         EmulabRunner runner{config.runner};
         RunResult mixed = runner.run(
-            {WorkloadPart{job.scheme, scheme_half, FlowRole::primary},
-             WorkloadPart{schemes::Scheme::tcp, tcp_half, FlowRole::competing}});
+            {WorkloadPart{job.scheme, scheme_half, FlowRole::primary, {}},
+             WorkloadPart{schemes::Scheme::tcp, tcp_half, FlowRole::competing, {}}});
 
         FriendlinessPoint p;
         p.scheme = job.scheme;
@@ -312,19 +312,19 @@ std::vector<FlowSizeCell> flow_size_sweep(const FlowSizeSweepConfig& config,
       [&](std::size_t si) {
         EmulabRunner runner{config.runner};
         RunResult run =
-            runner.run({WorkloadPart{schemes[si], schedule, FlowRole::primary}});
+            runner.run({WorkloadPart{schemes[si], schedule, FlowRole::primary, {}}});
         // Bin FCT by flow size.
-        const double bin_bytes = config.bin_kb * 1000.0;
+        const double bin_width = static_cast<double>(config.bin_bytes);
         std::map<std::size_t, stats::Summary> bins;
         for (const FlowResult& f : run.flows) {
           const auto bin = static_cast<std::size_t>(
-              static_cast<double>(f.record.flow_bytes) / bin_bytes);
+              static_cast<double>(f.record.flow_bytes) / bin_width);
           bins[bin].add(f.finished ? f.record.fct().to_ms() : f.censored_fct.to_ms());
         }
         for (auto& [bin, summary] : bins) {
           FlowSizeCell cell;
           cell.scheme = schemes[si];
-          cell.bin_center_kb = (static_cast<double>(bin) + 0.5) * config.bin_kb;
+          cell.bin_center_kb = (static_cast<double>(bin) + 0.5) * config.bin_bytes.to_kb();
           cell.mean_fct_ms = summary.mean();
           cell.flows = summary.count();
           per_scheme[si].push_back(cell);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exp/emulab.h"
+#include "sim/bytes.h"
 #include "schemes/scheme.h"
 #include "stats/feasible_capacity.h"
 
@@ -14,8 +15,8 @@ namespace halfback::exp {
 struct SweepCell {
   schemes::Scheme scheme;
   double utilization = 0.0;
-  double mean_fct_ms = 0.0;
-  double median_fct_ms = 0.0;
+  double mean_fct_ms = 0.0;    // lint: unit-ok(statistics edge: report column in ms)
+  double median_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
   double mean_normal_retx = 0.0;
   double mean_proactive_retx = 0.0;
   double mean_timeouts = 0.0;
@@ -28,7 +29,7 @@ struct SweepCell {
 struct UtilizationSweepConfig {
   EmulabRunner::Config runner;
   std::vector<double> utilizations;       ///< e.g. 0.05 .. 0.90
-  std::uint64_t flow_bytes = 100'000;
+  sim::Bytes flow_bytes = 100'000;
   sim::Time duration = sim::Time::seconds(60);
   unsigned threads = 0;
   /// Independent replications per cell (distinct seeds and schedules);
@@ -56,8 +57,8 @@ std::map<schemes::Scheme, double> low_load_fct(const std::vector<SweepCell>& swe
 struct MixSweepConfig {
   EmulabRunner::Config runner;
   std::vector<double> utilizations;  ///< e.g. 0.30 .. 0.85
-  std::uint64_t short_bytes = 100'000;
-  std::uint64_t long_bytes = 5'000'000;  ///< paper: 100 MB; scaled by default
+  sim::Bytes short_bytes = 100'000;
+  sim::Bytes long_bytes = 5'000'000;  ///< paper: 100 MB; scaled by default
   double short_traffic_fraction = 0.10;
   sim::Time duration = sim::Time::seconds(60);
   unsigned threads = 0;
@@ -66,8 +67,8 @@ struct MixSweepConfig {
 struct MixCell {
   schemes::Scheme scheme;
   double utilization = 0.0;
-  double short_fct_ms = 0.0;
-  double long_fct_ms = 0.0;
+  double short_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
+  double long_fct_ms = 0.0;   // lint: unit-ok(statistics edge: report column in ms)
   /// Normalized by the same-utilization all-TCP baseline (1.0 = no change).
   double short_fct_normalized = 0.0;
   double long_fct_normalized = 0.0;
@@ -81,7 +82,7 @@ std::vector<MixCell> mix_sweep(const MixSweepConfig& config,
 struct FriendlinessConfig {
   EmulabRunner::Config runner;
   std::vector<double> utilizations{0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
-  std::uint64_t flow_bytes = 100'000;
+  sim::Bytes flow_bytes = 100'000;
   sim::Time duration = sim::Time::seconds(60);
   unsigned threads = 0;
 };
@@ -105,16 +106,16 @@ struct FlowSizeSweepConfig {
   EmulabRunner::Config runner;
   workload::FlowSizeDist sizes = workload::FlowSizeDist::internet();
   double utilization = 0.25;
-  std::uint64_t truncate_bytes = 1'000'000;
+  sim::Bytes truncate_bytes = 1'000'000;
   sim::Time duration = sim::Time::seconds(60);
-  double bin_kb = 25.0;  ///< FCT reported per flow-size bin
+  sim::Bytes bin_bytes = sim::Bytes::kilobytes(25);  ///< FCT reported per flow-size bin
   unsigned threads = 0;
 };
 
 struct FlowSizeCell {
   schemes::Scheme scheme;
-  double bin_center_kb = 0.0;
-  double mean_fct_ms = 0.0;
+  double bin_center_kb = 0.0;  // lint: unit-ok(statistics edge: bin center in KB for the Fig. 11 axis)
+  double mean_fct_ms = 0.0;    // lint: unit-ok(statistics edge: report column in ms)
   std::size_t flows = 0;
 };
 

@@ -43,7 +43,7 @@ std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenar
   struct Tracked {
     std::string label;
     net::FlowId flow;
-    std::size_t pair;
+    std::size_t pair = 0;
     stats::TimeSeries series;
     std::uint32_t seen_segments = 0;
     transport::SenderBase* sender = nullptr;

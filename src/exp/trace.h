@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exp/emulab.h"
+#include "sim/bytes.h"
 #include "stats/time_series.h"
 
 namespace halfback::exp {
@@ -25,8 +26,8 @@ struct TraceConfig {
   std::uint64_t seed = 1;
   transport::SenderConfig sender_config;
   schemes::HalfbackConfig halfback_config;
-  std::uint64_t short_bytes = 100'000;
-  std::uint64_t background_bytes = 20'000'000;
+  sim::Bytes short_bytes = 100'000;
+  sim::Bytes background_bytes = 20'000'000;
   sim::Time short_start = sim::Time::seconds(1);  ///< after bg reaches full rate
   sim::Time bucket = sim::Time::milliseconds(60); ///< the paper's 60 ms bins
   sim::Time duration = sim::Time::seconds(4);

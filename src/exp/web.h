@@ -24,7 +24,7 @@ struct PageResult {
 /// Aggregate statistics over the individual object flows of a web run.
 struct WebFlowStats {
   std::size_t flows = 0;
-  double mean_fct_ms = 0.0;
+  double mean_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
   double mean_timeouts = 0.0;
   double mean_normal_retx = 0.0;
   double mean_proactive_retx = 0.0;

@@ -1,3 +1,4 @@
+// lint: hot-path — per-packet code; no per-packet allocation or type erasure.
 #include "net/link.h"
 
 #include <stdexcept>
@@ -8,7 +9,7 @@
 namespace halfback::net {
 
 Link::Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
-           std::unique_ptr<PacketQueue> queue, double random_loss_rate,
+           std::unique_ptr<PacketQueue> queue, LossRate random_loss_rate,
            PacketPool* pool)
     : simulator_{simulator},
       rate_{rate},
@@ -52,8 +53,8 @@ void Link::on_serialization_done() {
   // Multiple packets can be in flight in the pipe simultaneously, so each
   // launch takes a pooled node; the single tx_done_ event is free to be
   // re-armed for the next packet in on_transmission_complete().
-  const bool corrupted =
-      random_loss_rate_ > 0.0 && loss_rng_.bernoulli(random_loss_rate_);
+  const bool corrupted = !random_loss_rate_.is_zero() &&
+                         loss_rng_.bernoulli(random_loss_rate_.value());
   if (corrupted) {
     ++stats_.corrupted_packets;
     HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_corrupted(*this, tx_packet_));

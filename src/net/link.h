@@ -1,23 +1,49 @@
 // Unidirectional point-to-point link with an egress queue.
+//
+// lint: hot-path — per-packet code; no per-packet allocation or type erasure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
+#include "sim/bytes.h"
 #include "sim/data_rate.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace halfback::net {
 
+/// A per-packet random-loss probability, validated at construction: an
+/// out-of-range rate fails loudly at topology build time instead of running
+/// a silently absurd experiment. Converts implicitly from double so config
+/// literals like `0.01` keep working.
+class LossRate {
+ public:
+  constexpr LossRate() = default;
+  constexpr LossRate(double rate) : rate_{validated(rate)} {}  // NOLINT(google-explicit-constructor)
+
+  constexpr double value() const { return rate_; }
+  constexpr bool is_zero() const { return rate_ <= 0.0; }
+
+ private:
+  static constexpr double validated(double rate) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {  // negated so NaN is rejected too
+      throw std::invalid_argument{"loss rate must be within [0, 1]"};
+    }
+    return rate;
+  }
+  double rate_ = 0.0;
+};
+
 /// Counters a link maintains.
 struct LinkStats {
   std::uint64_t delivered_packets = 0;
-  std::uint64_t delivered_bytes = 0;
+  sim::Bytes delivered_bytes;
   std::uint64_t corrupted_packets = 0;  ///< random-loss drops
   sim::Time busy_time;                  ///< total serialization time
 };
@@ -40,19 +66,22 @@ class Link {
   /// owning Network's. Links built bare (tests, micro-benchmarks) may pass
   /// nullptr to get a private fallback pool.
   Link(sim::Simulator& simulator, sim::DataRate rate, sim::Time delay,
-       std::unique_ptr<PacketQueue> queue, double random_loss_rate = 0.0,
+       std::unique_ptr<PacketQueue> queue, LossRate random_loss_rate = {},
        PacketPool* pool = nullptr);
 
   /// Where delivered packets go (the far-end node).
+  // lint: function-ok(bound once at wiring time; invoked, never rebound, per packet)
   void set_receiver(std::function<void(Packet)> receiver) {
     receiver_ = std::move(receiver);
   }
   /// Current delivery target (empty if none) — lets taps chain.
+  // lint: function-ok(accessor for the once-bound delivery target)
   const std::function<void(Packet)>& receiver() const { return receiver_; }
 
   /// Fault-injection hook: packets for which the filter returns false are
   /// dropped before entering the queue (counted as corrupted). Used by
   /// tests and the Fig. 3 walkthrough to force specific losses.
+  // lint: function-ok(test-only fault-injection hook, unset in experiments)
   void set_packet_filter(std::function<bool(const Packet&)> filter) {
     packet_filter_ = std::move(filter);
   }
@@ -83,6 +112,7 @@ class Link {
     explicit TxDoneEvent(Link& link) : link_{link} {}
 
    private:
+    // lint: fire-may-throw(drains the queue into transport logic whose invariant checks throw; exceptions must reach run()'s caller)
     void fire() override { link_.on_serialization_done(); }
     Link& link_;
   };
@@ -98,10 +128,10 @@ class Link {
   sim::DataRate rate_;
   sim::Time delay_;
   std::unique_ptr<PacketQueue> queue_;
-  double random_loss_rate_;
+  LossRate random_loss_rate_;
   sim::Random loss_rng_;
-  std::function<void(Packet)> receiver_;
-  std::function<bool(const Packet&)> packet_filter_;
+  std::function<void(Packet)> receiver_;            // lint: function-ok(bound once at wiring time)
+  std::function<bool(const Packet&)> packet_filter_;  // lint: function-ok(test-only hook)
   bool transmitting_ = false;
   LinkStats stats_;
 

@@ -18,8 +18,8 @@ namespace halfback::net {
 struct LinkConfig {
   sim::DataRate rate;
   sim::Time delay;
-  std::uint64_t queue_bytes = 150000;
-  double random_loss_rate = 0.0;
+  sim::Bytes queue_bytes = 150000;
+  LossRate random_loss_rate;
   QueueKind queue_kind = QueueKind::drop_tail;
 };
 

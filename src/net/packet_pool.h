@@ -1,5 +1,7 @@
 // Recycling pool for in-flight packet events.
 //
+// lint: hot-path — per-hop code; no per-packet allocation or type erasure.
+//
 // Every packet crossing a link needs a simulator event to land it at the far
 // end of the propagation pipe, and many such packets are in flight at once.
 // Before this pool existed each hop heap-allocated a type-erased callback
@@ -42,6 +44,7 @@ class PacketEvent final : public sim::Event {
  private:
   friend class PacketPool;
 
+  // lint: fire-may-throw(delivery runs transport logic whose invariant checks throw; exceptions must reach run()'s caller)
   void fire() override { handler_(context_, *this); }
 
   Handler handler_ = nullptr;

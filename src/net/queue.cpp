@@ -7,11 +7,13 @@ namespace halfback::net {
 void PacketQueue::record_enqueue(const Packet& p) {
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += p.size_bytes;
-  stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, byte_length());
+  stats_.max_backlog_bytes =
+      std::max(stats_.max_backlog_bytes, sim::Bytes{byte_length()});
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_enqueued(*this, p));
 }
 
-void PacketQueue::record_drop(const Packet& p, audit::DropContext context) {
+void PacketQueue::record_drop(const Packet& p,
+                              [[maybe_unused]] audit::DropContext context) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += p.size_bytes;
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_dropped(*this, p, context));

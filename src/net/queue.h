@@ -10,6 +10,7 @@
 
 #include "audit/auditor.h"
 #include "net/packet.h"
+#include "sim/bytes.h"
 #include "sim/random.h"
 #include "sim/time.h"
 
@@ -26,12 +27,12 @@ enum class QueueKind : std::uint8_t {
 /// Counters every queue maintains.
 struct QueueStats {
   std::uint64_t enqueued_packets = 0;
-  std::uint64_t enqueued_bytes = 0;
+  sim::Bytes enqueued_bytes;
   std::uint64_t dequeued_packets = 0;
-  std::uint64_t dequeued_bytes = 0;
+  sim::Bytes dequeued_bytes;
   std::uint64_t dropped_packets = 0;
-  std::uint64_t dropped_bytes = 0;
-  std::uint64_t max_backlog_bytes = 0;
+  sim::Bytes dropped_bytes;
+  sim::Bytes max_backlog_bytes;
 };
 
 /// Interface for an egress queue attached to a link.
@@ -93,7 +94,7 @@ class PacketQueue {
 /// the paper's Emulab bottleneck.
 class DropTailQueue final : public PacketQueue {
  public:
-  explicit DropTailQueue(std::uint64_t capacity_bytes)
+  explicit DropTailQueue(sim::Bytes capacity_bytes)
       : capacity_bytes_{capacity_bytes} {}
 
   bool enqueue(Packet p, sim::Time now) override;
@@ -103,7 +104,7 @@ class DropTailQueue final : public PacketQueue {
   std::uint64_t capacity_bytes() const override { return capacity_bytes_; }
 
  private:
-  std::uint64_t capacity_bytes_;
+  sim::Bytes capacity_bytes_;
   std::uint64_t bytes_ = 0;
   std::deque<Packet> packets_;
 };
@@ -115,7 +116,7 @@ class DropTailQueue final : public PacketQueue {
 class CoDelQueue final : public PacketQueue {
  public:
   struct Config {
-    std::uint64_t capacity_bytes = 0;              ///< hard limit
+    sim::Bytes capacity_bytes;                      ///< hard limit
     sim::Time target = sim::Time::milliseconds(5);  ///< acceptable sojourn
     sim::Time interval = sim::Time::milliseconds(100);
   };
@@ -156,7 +157,7 @@ class CoDelQueue final : public PacketQueue {
 /// can never cause a normal-priority drop.
 class PriorityQueue final : public PacketQueue {
  public:
-  explicit PriorityQueue(std::uint64_t capacity_bytes)
+  explicit PriorityQueue(sim::Bytes capacity_bytes)
       : band_capacity_bytes_{capacity_bytes} {}
 
   bool enqueue(Packet p, sim::Time now) override;
@@ -173,7 +174,7 @@ class PriorityQueue final : public PacketQueue {
   }
 
  private:
-  std::uint64_t band_capacity_bytes_;
+  sim::Bytes band_capacity_bytes_;
   std::uint64_t bytes_[2] = {0, 0};
   std::deque<Packet> bands_[2];
 };
@@ -184,7 +185,7 @@ class PriorityQueue final : public PacketQueue {
 class RedQueue final : public PacketQueue {
  public:
   struct Config {
-    std::uint64_t capacity_bytes = 0;  ///< hard limit
+    sim::Bytes capacity_bytes;         ///< hard limit
     double min_threshold_frac = 0.25;  ///< of capacity
     double max_threshold_frac = 0.75;  ///< of capacity
     double max_drop_probability = 0.1;
@@ -206,7 +207,7 @@ class RedQueue final : public PacketQueue {
   Config config_;
   sim::Random rng_;
   std::uint64_t bytes_ = 0;
-  double avg_bytes_ = 0.0;
+  double avg_bytes_ = 0.0;  // lint: unit-ok(RED's EWMA backlog is intrinsically fractional)
   std::deque<Packet> packets_;
 };
 

@@ -17,8 +17,8 @@ struct DumbbellConfig {
   sim::DataRate access_rate = sim::DataRate::gigabits_per_second(1);
   sim::DataRate bottleneck_rate = sim::DataRate::megabits_per_second(15);
   sim::Time rtt = sim::Time::milliseconds(60);
-  std::uint64_t bottleneck_buffer_bytes = 115000;
-  std::uint64_t access_buffer_bytes = 4u << 20;
+  sim::Bytes bottleneck_buffer_bytes = 115000;
+  sim::Bytes access_buffer_bytes = 4u << 20;
   QueueKind bottleneck_queue = QueueKind::drop_tail;
 };
 
@@ -50,8 +50,8 @@ struct AccessPathConfig {
   sim::DataRate downlink_rate = sim::DataRate::megabits_per_second(25);
   sim::DataRate uplink_rate = sim::DataRate::megabits_per_second(10);
   sim::Time rtt = sim::Time::milliseconds(60);
-  std::uint64_t downlink_buffer_bytes = 64000;
-  double downlink_loss_rate = 0.0;  ///< random loss (wireless profiles)
+  sim::Bytes downlink_buffer_bytes = 64000;
+  LossRate downlink_loss_rate;  ///< random loss (wireless profiles)
 };
 
 struct AccessPath {
@@ -76,7 +76,7 @@ struct ParkingLotConfig {
   sim::DataRate access_rate = sim::DataRate::gigabits_per_second(1);
   sim::DataRate bottleneck_rate = sim::DataRate::megabits_per_second(15);
   sim::Time per_hop_rtt = sim::Time::milliseconds(20);
-  std::uint64_t buffer_bytes = 115'000;
+  sim::Bytes buffer_bytes = 115'000;
 };
 
 struct ParkingLot {

@@ -14,7 +14,7 @@ namespace halfback::schemes {
 std::unique_ptr<transport::SenderBase> make_sender(
     Scheme scheme, SchemeContext& context, sim::Simulator& simulator,
     net::Node& local_node, net::NodeId peer, net::FlowId flow,
-    std::uint64_t flow_bytes) {
+    sim::Bytes flow_bytes) {
   transport::SenderConfig config = context.sender_config;
   switch (scheme) {
     case Scheme::tcp:

@@ -28,6 +28,6 @@ struct SchemeContext {
 std::unique_ptr<transport::SenderBase> make_sender(
     Scheme scheme, SchemeContext& context, sim::Simulator& simulator,
     net::Node& local_node, net::NodeId peer, net::FlowId flow,
-    std::uint64_t flow_bytes);
+    sim::Bytes flow_bytes);
 
 }  // namespace halfback::schemes

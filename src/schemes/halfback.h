@@ -66,7 +66,7 @@ struct HalfbackConfig {
 class HalfbackSender final : public PacedStartSender {
  public:
   HalfbackSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                 net::FlowId flow, std::uint64_t flow_bytes,
+                 net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config, HalfbackConfig halfback_config,
                  std::string scheme_name = "halfback",
                  std::shared_ptr<ThroughputHistory> history = nullptr)

@@ -16,7 +16,7 @@ namespace halfback::schemes {
 class JumpStartSender final : public PacedStartSender {
  public:
   JumpStartSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                  net::FlowId flow, std::uint64_t flow_bytes,
+                  net::FlowId flow, sim::Bytes flow_bytes,
                   transport::SenderConfig config)
       : PacedStartSender{simulator,
                          local_node,

@@ -28,7 +28,7 @@ class PacedStartSender : public transport::TcpSender {
   static constexpr auto kDefaultPacingQuantum = sim::Time::milliseconds(10);
 
   PacedStartSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                   net::FlowId flow, std::uint64_t flow_bytes,
+                   net::FlowId flow, sim::Bytes flow_bytes,
                    transport::SenderConfig config, std::uint32_t pacing_threshold_segments,
                    std::string scheme_name,
                    sim::Time pacing_quantum = kDefaultPacingQuantum,

@@ -5,7 +5,7 @@
 namespace halfback::schemes {
 
 PcpSender::PcpSender(sim::Simulator& simulator, net::Node& local_node,
-                     net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
+                     net::NodeId peer, net::FlowId flow, sim::Bytes flow_bytes,
                      transport::SenderConfig config)
     : SenderBase{simulator, local_node, peer,  flow,
                  flow_bytes, config,    "pcp"} {
@@ -20,9 +20,11 @@ PcpSender::~PcpSender() { train_event_.cancel(); }
 
 void PcpSender::on_established() {
   // Initial verified rate: two segments per RTT (a slow-start-like floor);
-  // the first probe immediately tests double that.
-  const double rtt_s = std::max(record_.handshake_rtt.to_seconds(), 1e-4);
-  base_rate_ = 2.0 / rtt_s;
+  // the first probe immediately tests double that. The floor is applied in
+  // the time domain so no raw seconds value floats around.
+  const sim::Time rtt =
+      std::max(record_.handshake_rtt, sim::Time::microseconds(100.0));
+  base_rate_ = 2.0 / rtt.to_seconds();
   probe_rate_ = 2.0 * base_rate_;
   begin_round();
   schedule_data_tick();

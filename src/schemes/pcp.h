@@ -29,7 +29,7 @@ namespace halfback::schemes {
 class PcpSender final : public transport::SenderBase {
  public:
   PcpSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-            net::FlowId flow, std::uint64_t flow_bytes, transport::SenderConfig config);
+            net::FlowId flow, sim::Bytes flow_bytes, transport::SenderConfig config);
   ~PcpSender() override;
 
   double base_rate_segments_per_second() const { return base_rate_; }

@@ -16,7 +16,7 @@ class ProactiveSender final : public transport::TcpSender {
   using TcpSender::TcpSender;
 
   ProactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                  net::FlowId flow, std::uint64_t flow_bytes,
+                  net::FlowId flow, sim::Bytes flow_bytes,
                   transport::SenderConfig config)
       : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "proactive"} {}
 

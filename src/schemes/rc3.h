@@ -27,7 +27,7 @@ namespace halfback::schemes {
 class Rc3Sender final : public transport::TcpSender {
  public:
   Rc3Sender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-            net::FlowId flow, std::uint64_t flow_bytes,
+            net::FlowId flow, sim::Bytes flow_bytes,
             transport::SenderConfig config)
       : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "rc3"} {}
 

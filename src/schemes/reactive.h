@@ -19,7 +19,7 @@ namespace halfback::schemes {
 class ReactiveSender final : public transport::TcpSender {
  public:
   ReactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                 net::FlowId flow, std::uint64_t flow_bytes,
+                 net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config)
       : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "reactive"} {
     pto_timer_.bind(simulator, [this] { fire_probe(); });

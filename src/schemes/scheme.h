@@ -25,14 +25,14 @@ enum class Scheme : std::uint8_t {
 
 /// Design-space row for Table 1: how each scheme starts up and recovers.
 struct SchemeInfo {
-  Scheme scheme;
-  const char* name;               ///< short identifier, e.g. "halfback"
-  const char* display_name;       ///< the paper's name, e.g. "Halfback"
-  const char* startup;            ///< startup-phase description
-  const char* extra_bandwidth;    ///< proactive bandwidth overhead
-  const char* retx_order;         ///< retransmission direction
-  const char* retx_rate;          ///< retransmission pacing
-  bool sender_side_only;
+  Scheme scheme = Scheme::tcp;
+  const char* name = "";            ///< short identifier, e.g. "halfback"
+  const char* display_name = "";    ///< the paper's name, e.g. "Halfback"
+  const char* startup = "";         ///< startup-phase description
+  const char* extra_bandwidth = ""; ///< proactive bandwidth overhead
+  const char* retx_order = "";      ///< retransmission direction
+  const char* retx_rate = "";       ///< retransmission pacing
+  bool sender_side_only = false;
 };
 
 /// Metadata for every scheme (Table 1's design-space axes).

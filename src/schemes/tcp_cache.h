@@ -55,7 +55,7 @@ class PathCache {
 class TcpCacheSender final : public transport::TcpSender {
  public:
   TcpCacheSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-                 net::FlowId flow, std::uint64_t flow_bytes,
+                 net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config, std::shared_ptr<PathCache> cache)
       : TcpSender{simulator, local_node, peer,  flow,
                   flow_bytes, config,    "tcp-cache"},

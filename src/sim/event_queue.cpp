@@ -1,3 +1,4 @@
+// lint: hot-path — event dispatch; no per-event allocation or type erasure.
 #include "sim/event_queue.h"
 
 #include <algorithm>
@@ -19,16 +20,18 @@ class FunctionEvent final : public Event {
   friend class EventQueue;
   friend class EventHandle;
 
+  // lint: fire-may-throw(runs an arbitrary user callback; throws must reach run()'s caller)
   void fire() override {
     // Move the callback out and recycle the node first, so the callback can
     // schedule (and the queue can reuse this node) while it runs.
+    // lint: function-ok(shim node; only setup/test events reach this path)
     std::function<void()> fn = std::move(fn_);
     owner_->release_shim(this);
     fn();
   }
 
   EventQueue* owner_;
-  std::function<void()> fn_;
+  std::function<void()> fn_;  // lint: function-ok(shim node storage)
   std::uint64_t token_ = 0;
   FunctionEvent* next_free_ = nullptr;
 };
@@ -162,6 +165,7 @@ void EventQueue::release_shim(FunctionEvent* node) {
   free_head_ = node;
 }
 
+// lint: function-ok(the one sanctioned shim; setup/test path, slab-recycled)
 EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
   FunctionEvent* node = acquire_shim();
   node->fn_ = std::move(fn);

@@ -13,6 +13,8 @@
 // slab of recycled FunctionEvent nodes owned by the queue, so even the shim
 // does not malloc per event in steady state — only when the number of
 // simultaneously-pending shim events reaches a new high-water mark.
+//
+// lint: hot-path — per-event code; no per-event allocation or type erasure.
 #pragma once
 
 #include <cstdint>
@@ -116,6 +118,7 @@ class EventQueue {
   // --- std::function shim --------------------------------------------------
 
   /// Schedule `fn` at absolute time `at` on a recycled slab node.
+  // lint: function-ok(the one sanctioned shim; setup/test path, slab-recycled)
   EventHandle schedule(Time at, std::function<void()> fn);
 
   // --- queue driving -------------------------------------------------------
@@ -155,8 +158,8 @@ class EventQueue {
   /// pointers to scattered Event nodes (the dominant cost at depth).
   struct HeapSlot {
     Time at;
-    std::uint64_t seq;
-    Event* event;
+    std::uint64_t seq = 0;
+    Event* event = nullptr;
   };
 
   /// Heap branching factor (4-ary: shallower than binary, and the extra

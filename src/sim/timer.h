@@ -1,4 +1,7 @@
 // Reusable one-shot timer over the intrusive event core.
+//
+// lint: hot-path — arming/cancelling happen per packet; nothing here may
+// allocate after bind().
 #pragma once
 
 #include <functional>
@@ -28,6 +31,7 @@ class Timer final : public Event {
   /// An unbound timer; call bind() before the first schedule.
   Timer() = default;
 
+  // lint: function-ok(callback bound once at construction, never per event)
   Timer(Simulator& simulator, std::function<void()> callback) {
     bind(simulator, std::move(callback));
   }
@@ -36,6 +40,7 @@ class Timer final : public Event {
 
   /// Attach the simulator and callback. Must be called exactly once, before
   /// the first schedule_after/schedule_at.
+  // lint: function-ok(callback bound once at bind() time, never per event)
   void bind(Simulator& simulator, std::function<void()> callback) {
     simulator_ = &simulator;
     callback_ = std::move(callback);
@@ -57,10 +62,11 @@ class Timer final : public Event {
   bool pending() const { return queued(); }
 
  private:
+  // lint: fire-may-throw(runs an arbitrary user callback; throws must reach run()'s caller)
   void fire() override { callback_(); }
 
   Simulator* simulator_ = nullptr;
-  std::function<void()> callback_;
+  std::function<void()> callback_;  // lint: function-ok(bound once, reused)
 };
 
 }  // namespace halfback::sim

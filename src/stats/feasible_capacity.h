@@ -13,8 +13,8 @@ namespace halfback::stats {
 /// One sweep point: utilization (fraction) and the mean FCT measured there
 /// (any consistent unit).
 struct SweepPoint {
-  double utilization;
-  double mean_fct;
+  double utilization = 0.0;
+  double mean_fct = 0.0;
 };
 
 struct CollapseCriterion {

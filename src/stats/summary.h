@@ -31,8 +31,8 @@ class Summary {
   /// CDF points (value, percent-of-samples <= value), one per sample,
   /// optionally downsampled to at most `max_points`.
   struct CdfPoint {
-    double value;
-    double percent;
+    double value = 0.0;
+    double percent = 0.0;
   };
   std::vector<CdfPoint> cdf(std::size_t max_points = 200) const;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/bytes.h"
 #include "sim/data_rate.h"
 #include "sim/time.h"
 
@@ -20,7 +21,7 @@ class TimeSeries {
 
   struct Sample {
     sim::Time bucket_start;
-    double mbps;
+    double mbps = 0.0;
   };
 
   /// Throughput per bucket from 0 to the last nonempty bucket.
@@ -32,7 +33,7 @@ class TimeSeries {
  private:
   sim::Time bucket_width_;
   std::vector<std::uint64_t> buckets_;
-  std::uint64_t total_bytes_ = 0;
+  sim::Bytes total_bytes_;
 };
 
 }  // namespace halfback::stats

@@ -15,7 +15,7 @@ std::uint32_t segments_for_bytes(std::uint64_t bytes) {
 }
 
 SenderBase::SenderBase(sim::Simulator& simulator, net::Node& local_node,
-                       net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
+                       net::NodeId peer, net::FlowId flow, sim::Bytes flow_bytes,
                        SenderConfig config, std::string scheme_name)
     : simulator_{simulator},
       node_{local_node},
@@ -132,7 +132,7 @@ void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
       static_cast<std::uint64_t>(seq) * net::kSegmentPayloadBytes;
   const std::uint64_t payload =
       std::min<std::uint64_t>(net::kSegmentPayloadBytes,
-                              std::max<std::uint64_t>(record_.flow_bytes - std::min(record_.flow_bytes, offset), 1));
+                              std::max<std::uint64_t>(record_.flow_bytes - std::min<std::uint64_t>(record_.flow_bytes, offset), 1));
   p.size_bytes = static_cast<std::uint32_t>(payload) + net::kHeaderBytes;
   p.is_retx = retx;
   p.is_proactive = proactive;

@@ -8,6 +8,7 @@
 
 #include "net/node.h"
 #include "net/packet.h"
+#include "sim/bytes.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "transport/rtt_estimator.h"
@@ -32,7 +33,7 @@ struct SenderConfig {
 struct FlowRecord {
   net::FlowId flow = 0;
   std::string scheme;
-  std::uint64_t flow_bytes = 0;
+  sim::Bytes flow_bytes = 0;
   std::uint32_t total_segments = 0;
 
   sim::Time start_time;
@@ -77,7 +78,7 @@ class SenderBase {
   using CompletionCallback = std::function<void(const FlowRecord&)>;
 
   SenderBase(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-             net::FlowId flow, std::uint64_t flow_bytes, SenderConfig config,
+             net::FlowId flow, sim::Bytes flow_bytes, SenderConfig config,
              std::string scheme_name);
   virtual ~SenderBase();
 
@@ -133,7 +134,7 @@ class SenderBase {
   /// Estimated RTT to use before any ACK sample exists (handshake value).
   sim::Time smoothed_rtt() const;
 
-  std::uint64_t flow_bytes() const { return record_.flow_bytes; }
+  sim::Bytes flow_bytes() const { return record_.flow_bytes; }
   std::uint32_t total_segments() const { return record_.total_segments; }
 
   sim::Simulator& simulator_;

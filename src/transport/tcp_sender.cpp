@@ -5,7 +5,7 @@
 namespace halfback::transport {
 
 TcpSender::TcpSender(sim::Simulator& simulator, net::Node& local_node,
-                     net::NodeId peer, net::FlowId flow, std::uint64_t flow_bytes,
+                     net::NodeId peer, net::FlowId flow, sim::Bytes flow_bytes,
                      SenderConfig config, std::string scheme_name)
     : SenderBase{simulator, local_node, peer,    flow,
                  flow_bytes, config,     std::move(scheme_name)} {}

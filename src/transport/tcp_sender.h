@@ -14,7 +14,7 @@ namespace halfback::transport {
 class TcpSender : public SenderBase {
  public:
   TcpSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-            net::FlowId flow, std::uint64_t flow_bytes, SenderConfig config,
+            net::FlowId flow, sim::Bytes flow_bytes, SenderConfig config,
             std::string scheme_name = "tcp");
 
   double cwnd() const { return cwnd_; }

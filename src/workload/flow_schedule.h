@@ -18,7 +18,7 @@ namespace halfback::workload {
 /// One planned flow.
 struct FlowArrival {
   sim::Time at;
-  std::uint64_t bytes;
+  std::uint64_t bytes = 0;
 };
 
 /// Poisson arrivals of flows drawn from a size distribution, paced to hit a

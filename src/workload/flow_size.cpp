@@ -92,7 +92,7 @@ std::uint64_t FlowSizeDist::sample(sim::Random& rng) const {
   return static_cast<std::uint64_t>(points_.back().bytes);
 }
 
-FlowSizeDist FlowSizeDist::truncated(std::uint64_t max_bytes) const {
+FlowSizeDist FlowSizeDist::truncated(sim::Bytes max_bytes) const {
   const double cap = static_cast<double>(max_bytes);
   if (cap >= points_.back().bytes) return *this;
   if (cap <= points_.front().bytes) return fixed(max_bytes);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/bytes.h"
 #include "sim/random.h"
 
 namespace halfback::workload {
@@ -21,8 +22,8 @@ class FlowSizeDist {
  public:
   /// A control point: `cum_fraction` of flows are of size <= `bytes`.
   struct Point {
-    double bytes;
-    double cum_fraction;
+    double bytes = 0.0;
+    double cum_fraction = 0.0;
   };
 
   FlowSizeDist(std::string name, std::vector<Point> points);
@@ -40,7 +41,7 @@ class FlowSizeDist {
 
   /// The same distribution with all mass above `max_bytes` moved to
   /// `max_bytes` (Fig. 11 truncates at 1 MB: "longer flows would use TCP").
-  FlowSizeDist truncated(std::uint64_t max_bytes) const;
+  FlowSizeDist truncated(sim::Bytes max_bytes) const;
 
   /// Mean flow size in bytes (analytic, from the piecewise form).
   double mean_bytes() const;

@@ -70,7 +70,7 @@ class WebsiteCatalog {
 /// One planned page request.
 struct WebRequest {
   sim::Time at;
-  std::size_t page_index;
+  std::size_t page_index = 0;
 };
 
 /// Poisson page requests paced to a target utilization (given the catalog's

@@ -20,7 +20,7 @@ TEST(EmulabRunnerTest, LightLoadAllFlowsFinish) {
   EmulabRunner::Config config;
   EmulabRunner runner{config};
   WorkloadPart part{schemes::Scheme::tcp, fixed_schedule(10, 1_s, 100'000),
-                    FlowRole::primary};
+                    FlowRole::primary, {}};
   RunResult result = runner.run({part});
   EXPECT_EQ(result.flows.size(), 10u);
   EXPECT_EQ(result.finished_count(FlowRole::primary), 10u);
@@ -32,7 +32,7 @@ TEST(EmulabRunnerTest, LightLoadAllFlowsFinish) {
 TEST(EmulabRunnerTest, DeterministicGivenSeed) {
   EmulabRunner::Config config;
   WorkloadPart part{schemes::Scheme::halfback, fixed_schedule(5, 500_ms, 100'000),
-                    FlowRole::primary};
+                    FlowRole::primary, {}};
   RunResult a = EmulabRunner{config}.run({part});
   RunResult b = EmulabRunner{config}.run({part});
   ASSERT_EQ(a.flows.size(), b.flows.size());
@@ -46,9 +46,9 @@ TEST(EmulabRunnerTest, RolesSeparated) {
   EmulabRunner::Config config;
   EmulabRunner runner{config};
   WorkloadPart shorts{schemes::Scheme::halfback, fixed_schedule(4, 1_s, 100'000),
-                      FlowRole::primary};
+                      FlowRole::primary, {}};
   WorkloadPart longs{schemes::Scheme::tcp, fixed_schedule(1, 1_s, 2'000'000),
-                     FlowRole::background};
+                     FlowRole::background, {}};
   RunResult result = runner.run({shorts, longs});
   EXPECT_EQ(result.fct_ms(FlowRole::primary).count(), 4u);
   EXPECT_EQ(result.fct_ms(FlowRole::background).count(), 1u);
@@ -63,7 +63,7 @@ TEST(EmulabRunnerTest, OverloadRecordsDropsAndCensored) {
   config.drain = 2_s;
   EmulabRunner runner{config};
   WorkloadPart part{schemes::Scheme::jumpstart, fixed_schedule(200, 10_ms, 100'000),
-                    FlowRole::primary};
+                    FlowRole::primary, {}};
   RunResult result = runner.run({part});
   EXPECT_GT(result.bottleneck_drops_total, 0u);
   std::uint32_t per_flow_drops = 0;
@@ -79,7 +79,7 @@ TEST(EmulabRunnerTest, UtilizationReported) {
   EmulabRunner runner{config};
   // 30 x 100 KB over ~3 s at 15 Mbps ~ 53% while active.
   WorkloadPart part{schemes::Scheme::tcp, fixed_schedule(30, 100_ms, 100'000),
-                    FlowRole::primary};
+                    FlowRole::primary, {}};
   RunResult result = runner.run({part});
   EXPECT_GT(result.bottleneck_utilization, 0.0);
   EXPECT_LE(result.bottleneck_utilization, 1.0);

@@ -131,7 +131,7 @@ TEST(FlowSizeSweepTest, BinsCoverDistribution) {
   FlowSizeSweepConfig config;
   config.duration = 10_s;
   config.threads = 2;
-  config.bin_kb = 100.0;
+  config.bin_bytes = sim::Bytes::kilobytes(100);
   constexpr std::array<schemes::Scheme, 1> set{schemes::Scheme::tcp};
   auto cells = flow_size_sweep(config, set);
   ASSERT_FALSE(cells.empty());

@@ -39,8 +39,8 @@ INSTANTIATE_TEST_SUITE_P(Schemes, DelayedAckSchemeTest,
                          ::testing::Values(Scheme::tcp, Scheme::tcp10,
                                            Scheme::reactive, Scheme::jumpstart,
                                            Scheme::halfback, Scheme::pcp),
-                         [](const ::testing::TestParamInfo<Scheme>& info) {
-                           std::string n = schemes::name(info.param);
+                         [](const ::testing::TestParamInfo<Scheme>& param_info) {
+                           std::string n = schemes::name(param_info.param);
                            for (char& c : n) {
                              if (c == '-') c = '_';
                            }

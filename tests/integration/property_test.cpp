@@ -94,9 +94,9 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return trials;
     }()),
-    [](const ::testing::TestParamInfo<LossyTrial>& info) {
-      return scheme_label(info.param.scheme) + "_loss" +
-             std::to_string(static_cast<int>(info.param.loss_rate * 100));
+    [](const ::testing::TestParamInfo<LossyTrial>& param_info) {
+      return scheme_label(param_info.param.scheme) + "_loss" +
+             std::to_string(static_cast<int>(param_info.param.loss_rate * 100));
     });
 
 // ------------------------------------------------------------- flow sizes
@@ -135,9 +135,9 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return trials;
     }()),
-    [](const ::testing::TestParamInfo<SizeTrial>& info) {
-      return scheme_label(info.param.scheme) + "_" +
-             std::to_string(info.param.bytes) + "b";
+    [](const ::testing::TestParamInfo<SizeTrial>& param_info) {
+      return scheme_label(param_info.param.scheme) + "_" +
+             std::to_string(param_info.param.bytes) + "b";
     });
 
 // ------------------------------------------------------------ determinism
@@ -163,8 +163,8 @@ TEST_P(DeterminismTest, IdenticalSeedsIdenticalOutcomes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, DeterminismTest, ::testing::ValuesIn(kAllSchemes),
-                         [](const ::testing::TestParamInfo<Scheme>& info) {
-                           return scheme_label(info.param);
+                         [](const ::testing::TestParamInfo<Scheme>& param_info) {
+                           return scheme_label(param_info.param);
                          });
 
 // ------------------------------------------------------- mixed concurrency

@@ -1,0 +1,28 @@
+// Fixture for the "naked-new-delete" rule. Linted as src/fixture/alloc.cpp.
+// Expected findings: 2.
+
+namespace fixture {
+
+struct Widget {
+  int value = 0;
+};
+
+Widget* make_widget() {
+  return new Widget{};  // EXPECT: naked new
+}
+
+void unmake_widget(Widget* w) {
+  delete w;  // EXPECT: naked delete
+}
+
+struct NonCopyable {
+  NonCopyable() = default;
+  NonCopyable(const NonCopyable&) = delete;  // deleted function: not flagged
+  void* operator new(unsigned long) = delete;  // operator new: not flagged
+};
+
+Widget* justified() {
+  return new Widget{};  // lint: new-ok(fixture exercises the suppression)
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Negative fixture: tricky-looking content that must produce ZERO findings
+// across every rule. The banned names below appear only inside comments,
+// string literals, and raw strings — the tokenizer must not see them as
+// code: rand(), time(nullptr), std::random_device, new, delete,
+// std::function, for (auto& x : counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Clean {
+  int count = 0;
+  double fraction = 0.0;
+  std::uint64_t total = 0;
+};
+
+inline std::string describe() {
+  return "calls rand() and time(nullptr), mentions system_clock and new";
+}
+
+inline std::string raw_description() {
+  return R"(delete everything; std::random_device rd; double rtt_ms;)";
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture for the "noexcept-fire" rule. Linted as src/fixture/fire.h.
+// Expected findings: 1.
+#pragma once
+
+namespace fixture {
+
+struct Event {
+  virtual ~Event() = default;
+  virtual void fire() = 0;  // the pure-virtual base is not an override
+};
+
+struct Bad final : Event {
+  void fire() override {}  // EXPECT: override without noexcept
+};
+
+struct Good final : Event {
+  void fire() noexcept override {}
+};
+
+struct Justified final : Event {
+  // lint: fire-may-throw(fixture: forwards a user callback that may throw)
+  void fire() override {}
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// lint: hot-path
+// Fixture for the "hot-path-std-function" rule. Linted as
+// src/fixture/hot.cpp. Expected findings: 1.
+#include <functional>
+
+namespace fixture {
+
+struct Dispatcher {
+  std::function<void()> callback;  // EXPECT: type-erased alloc on a hot path
+  // lint: function-ok(fixture: bound once at setup, never rebound)
+  std::function<void()> justified;
+};
+
+}  // namespace fixture

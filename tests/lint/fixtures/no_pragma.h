@@ -1,0 +1,6 @@
+// Fixture for the "pragma-once" rule: a header with no include guard at
+// all. Linted as src/fixture/no_pragma.h. Expected findings: 1.
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture for the "nondeterminism" rule. Linted as src/fixture/nondet.cpp;
+// the sites marked EXPECT must each produce exactly one finding, everything
+// else must stay silent. tests/lint/lint_test.cpp pins the total at 6.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long wall_clock_seed() {
+  long t = time(nullptr);  // EXPECT: call to banned time()
+  t += rand();             // EXPECT: call to banned rand()
+  t += std::rand();        // EXPECT: std-qualified rand() is still banned
+  return t;
+}
+
+void banned_types() {
+  std::random_device rd;                        // EXPECT: random_device
+  auto now = std::chrono::system_clock::now();  // EXPECT: system_clock
+  (void)rd;
+  (void)now;
+}
+
+void timestamp(struct timeval* tv) {
+  gettimeofday(tv, nullptr);  // EXPECT: call to banned gettimeofday()
+}
+
+// --- everything below is deliberately NOT a finding ---
+
+struct Host {
+  long time() const { return 0; }  // declaration of an accessor, not a call
+};
+
+long member_call(const Host& h) { return h.time(); }  // member access
+
+namespace other {
+long time(long);
+}
+long qualified_call() { return other::time(3); }  // non-std qualifier
+
+long suppressed() {
+  return rand();  // lint: nondet-ok(fixture exercises the suppression)
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture for the "uninitialized-pod-member" rule. Linted as
+// src/fixture/pod.h. Expected findings: 4.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Uninitialized {
+  int count;            // EXPECT: garbage on a missed brace-init field
+  double fraction;      // EXPECT
+  std::uint32_t flags;  // EXPECT
+  char* buffer;         // EXPECT: wild pointer
+  int ready = 0;        // initialized: fine
+  bool armed;  // lint: init-ok(fixture exercises the suppression)
+};
+
+struct WithCtor {
+  WithCtor() : started(false) {}
+  bool started;  // a ctor-owning class is left to the sanitizers
+};
+
+enum class Mode { off, on };  // not a class body
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture for the "raw-unit-type" rule. Linted as src/fixture/units.h (the
+// rule only watches public headers under src/). Expected findings: 3.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct PathConfig {
+  double rtt_ms = 0.0;             // EXPECT: unit in the name, not the type
+  std::uint64_t buffer_bytes = 0;  // EXPECT: should be sim::Bytes
+  double utilization = 0.0;        // unit-less: fine
+  double mean_fct_ms = 0.0;  // lint: unit-ok(fixture: statistics-edge column)
+};
+
+void set_rate(double rate_mbps);  // EXPECT: parameter should be sim::DataRate
+void set_fraction(double fraction);  // unit-less: fine
+
+}  // namespace fixture

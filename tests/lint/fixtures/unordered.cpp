@@ -1,0 +1,37 @@
+// Fixture for the "unordered-iteration" rule. Linted as
+// src/exp/fixture_unordered.cpp (the rule only watches the trace-hashed
+// directories). Expected findings: 2.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int iterate_everything() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<std::string> names;
+  std::map<int, int> ordered;
+  int total = 0;
+
+  for (const auto& [key, value] : counts) {  // EXPECT: range-for, unordered
+    total += key + value;
+  }
+
+  for (auto it = names.begin(); it != names.end(); ++it) {  // EXPECT: .begin()
+    total += static_cast<int>(it->size());
+  }
+
+  for (const auto& [key, value] : ordered) {  // std::map: order is defined
+    total += key + value;
+  }
+
+  // lint: ordered-ok(fixture: the loop only accumulates a commutative sum)
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+
+  return total;
+}
+
+}  // namespace fixture

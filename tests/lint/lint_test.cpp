@@ -1,0 +1,277 @@
+// Pins halfback-lint's behaviour: each fixture under tests/lint/fixtures/
+// carries a known number of violations per rule, the clean fixture carries
+// none, and — the teeth — the live src/ tree lints clean against the empty
+// checked-in baseline. The fixtures lint files on disk through the same
+// `--as` logical-path mechanism the CLI exposes, so these tests cover the
+// exact code path CI runs.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline.h"
+#include "rules.h"
+#include "runner.h"
+#include "source_file.h"
+
+namespace lint = halfback::lint;
+
+namespace {
+
+std::filesystem::path fixture_dir() { return HALFBACK_LINT_FIXTURES; }
+std::filesystem::path repo_root() { return HALFBACK_REPO_ROOT; }
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot read fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Load a fixture from disk, posing as `logical_path` (the path rules scope
+/// on), exactly like `halfback-lint --as`.
+lint::SourceFile fixture(const std::string& name, std::string logical_path) {
+  return {std::move(logical_path), slurp(fixture_dir() / name)};
+}
+
+std::vector<lint::Finding> run_rule(const lint::SourceFile& file,
+                                    std::string_view rule) {
+  return lint::lint_file(file, rule);
+}
+
+std::string describe(const std::vector<lint::Finding>& findings) {
+  std::ostringstream out;
+  for (const lint::Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return std::move(out).str();
+}
+
+TEST(NondeterminismRule, FixtureHasExactlySixFindings) {
+  const auto file = fixture("nondet.cpp", "src/fixture/nondet.cpp");
+  const auto findings = run_rule(file, "nondeterminism");
+  EXPECT_EQ(findings.size(), 6u) << describe(findings);
+}
+
+TEST(NondeterminismRule, IgnoresFilesOutsideSrc) {
+  const auto file = fixture("nondet.cpp", "tools/fixture/nondet.cpp");
+  EXPECT_TRUE(run_rule(file, "nondeterminism").empty());
+}
+
+TEST(NondeterminismRule, AccessorDeclarationIsNotACall) {
+  // The regression that motivated the declaration heuristic: an accessor
+  // named like a banned function (sim::Simulator::random()).
+  const lint::SourceFile file{"src/fixture/accessor.h",
+                              "#pragma once\n"
+                              "struct S {\n"
+                              "  Random& random() { return rng_; }\n"
+                              "  double time() const;\n"
+                              "};\n"};
+  EXPECT_TRUE(run_rule(file, "nondeterminism").empty());
+}
+
+TEST(NondeterminismRule, StatementKeywordBeforeNameIsACall) {
+  const lint::SourceFile file{"src/fixture/call.cpp",
+                              "long f() { return time(nullptr); }\n"};
+  EXPECT_EQ(run_rule(file, "nondeterminism").size(), 1u);
+}
+
+TEST(NondeterminismRule, SameLineSuppressionSilencesTheFinding) {
+  const lint::SourceFile file{
+      "src/fixture/sup.cpp",
+      "long f() { return rand(); }  // lint: nondet-ok(test)\n"};
+  EXPECT_TRUE(run_rule(file, "nondeterminism").empty());
+}
+
+TEST(UnorderedIterationRule, FixtureHasExactlyTwoFindings) {
+  const auto file = fixture("unordered.cpp", "src/exp/fixture_unordered.cpp");
+  const auto findings = run_rule(file, "unordered-iteration");
+  EXPECT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(UnorderedIterationRule, OnlyWatchesTraceHashedDirs) {
+  // The same iteration is legal in, say, src/net/ — order there never
+  // reaches a trace or a results table.
+  const auto file = fixture("unordered.cpp", "src/net/fixture_unordered.cpp");
+  EXPECT_TRUE(run_rule(file, "unordered-iteration").empty());
+}
+
+TEST(RawUnitTypeRule, FixtureHasExactlyThreeFindings) {
+  const auto file = fixture("units.h", "src/fixture/units.h");
+  const auto findings = run_rule(file, "raw-unit-type");
+  EXPECT_EQ(findings.size(), 3u) << describe(findings);
+}
+
+TEST(RawUnitTypeRule, OnlyWatchesHeaders) {
+  const auto file = fixture("units.h", "src/fixture/units.cpp");
+  EXPECT_TRUE(run_rule(file, "raw-unit-type").empty());
+}
+
+TEST(RawUnitTypeRule, SuggestsTheMatchingStrongType) {
+  const auto file = fixture("units.h", "src/fixture/units.h");
+  const auto findings = run_rule(file, "raw-unit-type");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_NE(findings[0].message.find("sim::Time"), std::string::npos)
+      << findings[0].message;  // rtt_ms
+  EXPECT_NE(findings[1].message.find("sim::Bytes"), std::string::npos)
+      << findings[1].message;  // buffer_bytes
+  EXPECT_NE(findings[2].message.find("sim::DataRate"), std::string::npos)
+      << findings[2].message;  // rate_mbps
+}
+
+TEST(NakedNewDeleteRule, FixtureHasExactlyTwoFindings) {
+  const auto file = fixture("alloc.cpp", "src/fixture/alloc.cpp");
+  const auto findings = run_rule(file, "naked-new-delete");
+  EXPECT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(UninitializedPodMemberRule, FixtureHasExactlyFourFindings) {
+  const auto file = fixture("pod.h", "src/fixture/pod.h");
+  const auto findings = run_rule(file, "uninitialized-pod-member");
+  EXPECT_EQ(findings.size(), 4u) << describe(findings);
+  // The pointer member gets the sharper message.
+  EXPECT_NE(findings[3].message.find("wild pointer"), std::string::npos)
+      << findings[3].message;
+}
+
+TEST(PragmaOnceRule, FlagsGuardlessHeader) {
+  const auto file = fixture("no_pragma.h", "src/fixture/no_pragma.h");
+  const auto findings = run_rule(file, "pragma-once");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(PragmaOnceRule, IgnoresSourceFiles) {
+  const auto file = fixture("alloc.cpp", "src/fixture/alloc.cpp");
+  EXPECT_TRUE(run_rule(file, "pragma-once").empty());
+}
+
+TEST(HotPathFunctionRule, FixtureHasExactlyOneFinding) {
+  const auto file = fixture("hot.cpp", "src/fixture/hot.cpp");
+  const auto findings = run_rule(file, "hot-path-std-function");
+  EXPECT_EQ(findings.size(), 1u) << describe(findings);
+}
+
+TEST(HotPathFunctionRule, UnannotatedFilesAreExempt) {
+  // Identical content minus the first line (the hot-path annotation).
+  std::string text = slurp(fixture_dir() / "hot.cpp");
+  text.erase(0, text.find('\n') + 1);
+  const lint::SourceFile file{"src/fixture/cold.cpp", std::move(text)};
+  EXPECT_TRUE(run_rule(file, "hot-path-std-function").empty());
+}
+
+TEST(NoexceptFireRule, FixtureHasExactlyOneFinding) {
+  const auto file = fixture("fire.h", "src/fixture/fire.h");
+  const auto findings = run_rule(file, "noexcept-fire");
+  EXPECT_EQ(findings.size(), 1u) << describe(findings);
+}
+
+TEST(CleanFixture, ProducesZeroFindingsAcrossAllRules) {
+  // Banned names live only in comments, strings, and raw strings here — a
+  // tokenizer that leaked them into code tokens would fail this test.
+  const auto file = fixture("clean.h", "src/fixture/clean.h");
+  const auto findings = lint::lint_file(file);
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(BrokenFixture, TripsExactlyTheThreeExpectedRules) {
+  // CI's red proof runs the CLI over this file and asserts exit 1; this
+  // test pins what it trips on so the proof cannot silently go stale.
+  const auto file = fixture("broken.cpp", "src/fixture/broken.cpp");
+  const auto findings = lint::lint_file(file);
+  std::set<std::string> rules;
+  for (const lint::Finding& f : findings) rules.insert(f.rule);
+  EXPECT_EQ(findings.size(), 3u) << describe(findings);
+  EXPECT_EQ(rules, (std::set<std::string>{"naked-new-delete",
+                                          "nondeterminism",
+                                          "uninitialized-pod-member"}));
+}
+
+TEST(Registry, EveryRuleHasAStableIdAndDescription) {
+  std::set<std::string_view> ids;
+  for (const auto& rule : lint::all_rules()) {
+    EXPECT_FALSE(rule->id().empty());
+    EXPECT_FALSE(rule->description().empty());
+    EXPECT_TRUE(ids.insert(rule->id()).second)
+        << "duplicate rule id " << rule->id();
+  }
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(BaselineFile, ParsesEntriesAndMatchesFindings) {
+  lint::Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.parse("# comment\n"
+                             "\n"
+                             "nondeterminism src/exp/trace.cpp:42\n"
+                             "raw-unit-type src/net/link.h:7\n",
+                             error))
+      << error;
+  EXPECT_EQ(baseline.size(), 2u);
+  EXPECT_TRUE(baseline.contains(
+      {"nondeterminism", "src/exp/trace.cpp", 42, "msg ignored"}));
+  EXPECT_FALSE(baseline.contains(
+      {"nondeterminism", "src/exp/trace.cpp", 43, "different line"}));
+}
+
+TEST(BaselineFile, RejectsMalformedLinesLoudly) {
+  // A silently ignored typo would neither suppress nor un-suppress —
+  // malformed lines must be a hard error.
+  lint::Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(baseline.parse("nondeterminism src/exp/trace.cpp\n", error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BaselineFile, RenderRoundTripsThroughParse) {
+  const std::vector<lint::Finding> findings{
+      {"pragma-once", "src/fixture/no_pragma.h", 1, "missing"},
+      {"naked-new-delete", "src/fixture/alloc.cpp", 11, "naked new"},
+  };
+  lint::Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.parse(lint::Baseline::render(findings), error)) << error;
+  EXPECT_EQ(baseline.size(), 2u);
+  for (const lint::Finding& f : findings) EXPECT_TRUE(baseline.contains(f));
+}
+
+TEST(CheckedInBaseline, ExistsAndIsEmptyByPolicy) {
+  lint::Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.parse(slurp(repo_root() / "tools/lint/baseline.txt"),
+                             error))
+      << error;
+  EXPECT_EQ(baseline.size(), 0u)
+      << "policy: fix or justify findings inline, do not grow the baseline";
+}
+
+TEST(Tree, DiscoveryIsSortedAndFindsTheCore) {
+  const auto files = lint::discover_files(repo_root());
+  ASSERT_FALSE(files.empty());
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  const auto has = [&](std::string_view tail) {
+    for (const auto& f : files) {
+      if (f.generic_string().ends_with(tail)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("src/sim/simulator.h"));
+  EXPECT_TRUE(has("src/net/link.cpp"));
+}
+
+TEST(Tree, SrcLintsCleanAgainstTheEmptyBaseline) {
+  // The sweep's teeth: any regression anywhere under src/ fails here with
+  // the full finding text, mirroring the `lint-halfback` build target.
+  const auto findings = lint::lint_tree(repo_root());
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+}  // namespace

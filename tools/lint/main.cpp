@@ -1,0 +1,155 @@
+// halfback-lint: the project's determinism & unit-safety static analysis.
+//
+//   halfback-lint --root <repo>                 lint src/ under <repo>
+//   halfback-lint --root <repo> <file> [...]    lint specific files
+//   halfback-lint --root <repo> --as src/x.cpp <file>
+//                                               lint a file under a logical
+//                                               path (fixture testing)
+//   --baseline <file>       tolerate findings listed in <file>
+//   --update-baseline <file>  write current findings to <file> and exit 0
+//   --rule <id>             run a single rule
+//   --list-rules            print the rule table and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+#include "runner.h"
+
+namespace {
+
+using namespace halfback::lint;
+
+struct Options {
+  std::filesystem::path root = ".";
+  std::string baseline_path;
+  std::string update_baseline_path;
+  std::string only_rule;
+  std::string as_path;
+  std::vector<std::string> files;
+  bool list_rules = false;
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage: halfback-lint --root <repo> [--baseline <file>] "
+         "[--update-baseline <file>]\n"
+         "                     [--rule <id>] [--list-rules] "
+         "[--as <logical-path>] [files...]\n";
+  return code;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    std::string root_value;
+    if (arg == "--root") {
+      if (!value(root_value)) return false;
+      opts.root = root_value;
+    } else if (arg == "--baseline") {
+      if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--update-baseline") {
+      if (!value(opts.update_baseline_path)) return false;
+    } else if (arg == "--rule") {
+      if (!value(opts.only_rule)) return false;
+    } else if (arg == "--as") {
+      if (!value(opts.as_path)) return false;
+    } else if (arg == "--list-rules") {
+      opts.list_rules = true;
+    } else if (arg.starts_with("--")) {
+      return false;
+    } else {
+      opts.files.emplace_back(arg);
+    }
+  }
+  return !(opts.as_path.size() && opts.files.size() != 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage(std::cerr, 2);
+
+  if (opts.list_rules) {
+    for (const auto& rule : all_rules()) {
+      std::cout << rule->id() << "\n    " << rule->description();
+      if (!rule->suppression_tag().empty()) {
+        std::cout << "\n    suppression: // lint: " << rule->suppression_tag()
+                  << "(reason)";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!opts.baseline_path.empty()) {
+    std::ifstream in{opts.baseline_path};
+    if (!in) {
+      std::cerr << "halfback-lint: cannot read baseline " << opts.baseline_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!baseline.parse(text.str(), error)) {
+      std::cerr << "halfback-lint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Finding> findings;
+  try {
+    if (opts.files.empty()) {
+      findings = lint_tree(opts.root, opts.only_rule);
+    } else {
+      for (const std::string& f : opts.files) {
+        const std::string logical =
+            !opts.as_path.empty()
+                ? opts.as_path
+                : std::filesystem::relative(f, opts.root).generic_string();
+        auto file_findings = lint_path(f, logical, opts.only_rule);
+        findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "halfback-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!opts.update_baseline_path.empty()) {
+    std::ofstream out{opts.update_baseline_path};
+    out << Baseline::render(findings);
+    std::cout << "halfback-lint: wrote " << findings.size() << " finding(s) to "
+              << opts.update_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    if (baseline.contains(f)) continue;
+    ++reported;
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+              << "\n";
+  }
+  if (reported == 0) {
+    std::cout << "halfback-lint: clean (" << findings.size()
+              << " finding(s) total, " << baseline.size()
+              << " baseline entr(ies))\n";
+    return 0;
+  }
+  std::cout << "halfback-lint: " << reported << " finding(s)\n";
+  return 1;
+}

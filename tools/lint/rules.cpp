@@ -1,0 +1,76 @@
+#include "rules.h"
+
+#include "rules_internal.h"
+
+namespace halfback::lint {
+
+void Rule::report(const SourceFile& file, int line, std::string message,
+                  std::vector<Finding>& out) const {
+  const std::string_view tag = suppression_tag();
+  if (!tag.empty() && file.suppressed(line, tag)) return;
+  out.push_back(Finding{std::string{id()}, file.path(), line, std::move(message)});
+}
+
+const std::vector<std::unique_ptr<Rule>>& all_rules() {
+  static const std::vector<std::unique_ptr<Rule>> rules = [] {
+    std::vector<std::unique_ptr<Rule>> r;
+    r.push_back(make_nondeterminism_rule());
+    r.push_back(make_unordered_iteration_rule());
+    r.push_back(make_raw_unit_type_rule());
+    r.push_back(make_naked_new_delete_rule());
+    r.push_back(make_uninitialized_member_rule());
+    r.push_back(make_pragma_once_rule());
+    r.push_back(make_hot_path_function_rule());
+    r.push_back(make_noexcept_fire_rule());
+    return r;
+  }();
+  return rules;
+}
+
+std::vector<Finding> lint_file(const SourceFile& file, std::string_view only_rule) {
+  std::vector<Finding> findings;
+  for (const auto& rule : all_rules()) {
+    if (!only_rule.empty() && rule->id() != only_rule) continue;
+    rule->check(file, findings);
+  }
+  return findings;
+}
+
+namespace scan {
+
+bool ident_at(const std::vector<Token>& code, std::size_t i, std::string_view text) {
+  return i < code.size() && code[i].kind == TokenKind::identifier &&
+         code[i].text == text;
+}
+
+bool punct_at(const std::vector<Token>& code, std::size_t i, std::string_view text) {
+  return i < code.size() && code[i].kind == TokenKind::punct && code[i].text == text;
+}
+
+std::size_t skip_angles(const std::vector<Token>& code, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < code.size(); ++j) {
+    if (punct_at(code, j, "<")) ++depth;
+    else if (punct_at(code, j, ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (punct_at(code, j, ";")) {
+      break;  // statement ended without closing: not a template argument list
+    }
+  }
+  return i;
+}
+
+std::size_t skip_group(const std::vector<Token>& code, std::size_t i,
+                       std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (std::size_t j = i; j < code.size(); ++j) {
+    if (punct_at(code, j, open)) ++depth;
+    else if (punct_at(code, j, close)) {
+      if (--depth == 0) return j + 1;
+    }
+  }
+  return code.size();
+}
+
+}  // namespace scan
+}  // namespace halfback::lint

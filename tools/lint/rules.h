@@ -1,0 +1,53 @@
+// Rule framework: a Finding, the Rule interface, and the registry of all
+// project rules. Rule semantics are documented in docs/static-analysis.md;
+// tests/lint/ pins each rule's behaviour on fixture files.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source_file.h"
+
+namespace halfback::lint {
+
+struct Finding {
+  std::string rule;     ///< rule id, e.g. "nondeterminism"
+  std::string path;     ///< logical (repo-relative) path
+  int line = 0;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable id used in output, baselines, and `--rule` filters.
+  virtual std::string_view id() const = 0;
+
+  /// One-line description for `--list-rules`.
+  virtual std::string_view description() const = 0;
+
+  /// The suppression tag that silences this rule on a line ("" = none).
+  virtual std::string_view suppression_tag() const = 0;
+
+  /// Append findings for `file`. Implementations scope themselves (headers
+  /// only, specific directories, annotated files) from file.path().
+  virtual void check(const SourceFile& file, std::vector<Finding>& out) const = 0;
+
+ protected:
+  /// Emit unless the site carries this rule's suppression tag.
+  void report(const SourceFile& file, int line, std::string message,
+              std::vector<Finding>& out) const;
+};
+
+/// All rules, in the order they run and print.
+const std::vector<std::unique_ptr<Rule>>& all_rules();
+
+/// Run every rule (or just `only_rule`, when nonempty) over `file`.
+std::vector<Finding> lint_file(const SourceFile& file, std::string_view only_rule = {});
+
+}  // namespace halfback::lint

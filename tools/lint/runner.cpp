@@ -1,0 +1,50 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace halfback::lint {
+
+std::vector<std::filesystem::path> discover_files(
+    const std::filesystem::path& root, const std::string& subdir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  const fs::path base = root / subdir;
+  if (!fs::exists(base)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator{base}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_path(const std::filesystem::path& file,
+                               const std::string& logical_path,
+                               std::string_view only_rule) {
+  std::ifstream in{file, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot read " + file.string()};
+  std::ostringstream text;
+  text << in.rdbuf();
+  const SourceFile source{logical_path, std::move(text).str()};
+  return lint_file(source, only_rule);
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               std::string_view only_rule) {
+  std::vector<Finding> findings;
+  for (const auto& file : discover_files(root)) {
+    const std::string logical =
+        std::filesystem::relative(file, root).generic_string();
+    auto file_findings = lint_path(file, logical, only_rule);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace halfback::lint

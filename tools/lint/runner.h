@@ -1,0 +1,28 @@
+// File discovery and whole-tree linting, shared by the CLI and the tests.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace halfback::lint {
+
+/// All lintable files (*.h, *.cpp) under `root`/`subdir`, sorted by their
+/// repo-relative path so output and finding order are deterministic.
+std::vector<std::filesystem::path> discover_files(
+    const std::filesystem::path& root, const std::string& subdir = "src");
+
+/// Lint one on-disk file as `logical_path`. Throws std::runtime_error when
+/// the file cannot be read.
+std::vector<Finding> lint_path(const std::filesystem::path& file,
+                               const std::string& logical_path,
+                               std::string_view only_rule = {});
+
+/// Lint every discovered file under root/src. Findings are ordered by path,
+/// then by rule registration order within a file.
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               std::string_view only_rule = {});
+
+}  // namespace halfback::lint

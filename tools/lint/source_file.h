@@ -1,0 +1,51 @@
+// A lint input: one file's tokens plus the raw line text, with helpers for
+// the suppression-comment and file-annotation conventions described in
+// docs/static-analysis.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "token.h"
+
+namespace halfback::lint {
+
+class SourceFile {
+ public:
+  /// `logical_path` is the repo-relative path rules scope on (e.g.
+  /// "src/exp/planetlab.cpp"). Fixture tests lint files that live under
+  /// tests/ but pose as src/ files through this parameter.
+  SourceFile(std::string logical_path, std::string text);
+
+  const std::string& path() const { return path_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// Code tokens only (comments stripped) — what most rules scan.
+  const std::vector<Token>& code() const { return code_; }
+
+  bool is_header() const;
+
+  /// True if path() starts with any of `prefixes`.
+  bool in_any_dir(std::initializer_list<std::string_view> prefixes) const;
+
+  /// Suppression check: the finding's own line, or the line directly above
+  /// it, carries a comment containing "lint: <tag>".
+  bool suppressed(int line, std::string_view tag) const;
+
+  /// File-level annotation: a comment within the first `search_lines` lines
+  /// contains "lint: <tag>" (e.g. "lint: hot-path").
+  bool annotated(std::string_view tag, int search_lines = 40) const;
+
+  /// Raw text of 1-based line `line` ("" out of range).
+  std::string_view line_text(int line) const;
+
+ private:
+  std::string path_;
+  std::string text_;
+  std::vector<std::string_view> lines_;  ///< views into text_
+  std::vector<Token> tokens_;            ///< full stream, comments included
+  std::vector<Token> code_;              ///< comments and pp directives stripped
+};
+
+}  // namespace halfback::lint

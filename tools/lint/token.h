@@ -1,0 +1,40 @@
+// Token model for halfback-lint.
+//
+// The linter never parses C++ properly; it pattern-matches over a token
+// stream that is *faithful about what is code and what is not*: comments,
+// string literals (including raw strings), character literals, and
+// preprocessor directives are each single tokens, so a rule looking for
+// `rand(` can never fire on a word inside a comment or a log message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace halfback::lint {
+
+enum class TokenKind {
+  identifier,   ///< keywords are identifiers too; rules match by text
+  number,       ///< pp-number: covers 0x1f, 1e-9, 100'000, 1.5f, ...
+  string_lit,   ///< "..." including raw strings and encoding prefixes
+  char_lit,     ///< '...'
+  punct,        ///< single punctuation char, plus the digraphs "::" and "->"
+  pp_directive, ///< a whole preprocessor line (continuations folded in)
+  comment,      ///< // or /* */, kept for annotation/suppression scans
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+
+  bool is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+  bool ident(std::string_view t) const { return is(TokenKind::identifier, t); }
+  bool punct_is(std::string_view t) const { return is(TokenKind::punct, t); }
+};
+
+/// Tokenize `text`. Never fails: malformed input degrades to best-effort
+/// tokens rather than an error, because the linter must keep scanning the
+/// rest of a file that (say) a merge conflict mangled.
+std::vector<Token> tokenize(std::string_view text);
+
+}  // namespace halfback::lint

@@ -1,0 +1,232 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace halfback::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_{text} {}
+
+  std::vector<Token> run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        pp_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (is_raw_string_start()) {
+        raw_string();
+      } else if (c == '"' || is_prefixed_string()) {
+        string_literal();
+      } else if (c == '\'') {
+        char_literal();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else if (ident_start(c)) {
+        identifier();
+      } else {
+        punct();
+      }
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  /// Character at pos_ + offset, '\0' when out of range (offset may be
+  /// negative, for exponent-sign lookbehind).
+  char peek(std::ptrdiff_t offset = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(offset);
+    return i < text_.size() ? text_[i] : '\0';
+  }
+
+  void emit(TokenKind kind, std::size_t begin, int line) {
+    tokens_.push_back(Token{kind, std::string{text_.substr(begin, pos_ - begin)}, line});
+  }
+
+  void advance_counting_newlines() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  /// A whole `#...` line, folding backslash continuations so `#pragma once`
+  /// split across lines is still one token. Comments on the line are left
+  /// inside the text; directive matchers normalize whitespace anyway.
+  void pp_directive() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (text_[pos_] == '\n') break;
+      // A block comment may hide the newline: /* ... \n ... */
+      if (text_[pos_] == '/' && peek(1) == '*') {
+        pos_ += 2;
+        while (pos_ < text_.size() && !(text_[pos_] == '*' && peek(1) == '/')) {
+          advance_counting_newlines();
+        }
+        if (pos_ < text_.size()) pos_ += 2;
+        continue;
+      }
+      ++pos_;
+    }
+    emit(TokenKind::pp_directive, begin, line);
+  }
+
+  void line_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    emit(TokenKind::comment, begin, line);
+  }
+
+  void block_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ < text_.size() && !(text_[pos_] == '*' && peek(1) == '/')) {
+      advance_counting_newlines();
+    }
+    if (pos_ < text_.size()) pos_ += 2;
+    emit(TokenKind::comment, begin, line);
+  }
+
+  /// R"delim( ... )delim" with optional encoding prefix (u8R", LR", ...).
+  bool is_raw_string_start() const {
+    std::size_t i = pos_;
+    if (text_[i] == 'u' && i + 1 < text_.size() && text_[i + 1] == '8') i += 2;
+    else if (text_[i] == 'u' || text_[i] == 'U' || text_[i] == 'L') i += 1;
+    return i + 1 < text_.size() && text_[i] == 'R' && text_[i + 1] == '"';
+  }
+
+  bool is_prefixed_string() const {
+    std::size_t i = pos_;
+    if (text_[i] == 'u' && i + 1 < text_.size() && text_[i + 1] == '8') i += 2;
+    else if (text_[i] == 'u' || text_[i] == 'U' || text_[i] == 'L') i += 1;
+    else return false;
+    return i < text_.size() && text_[i] == '"';
+  }
+
+  void raw_string() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;  // prefix + R
+    ++pos_;                                                    // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') delim += text_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < text_.size() && text_.substr(pos_, closer.size()) != closer) {
+      advance_counting_newlines();
+    }
+    pos_ = pos_ < text_.size() ? pos_ + closer.size() : text_.size();
+    emit(TokenKind::string_lit, begin, line);
+  }
+
+  void string_literal() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;  // encoding prefix
+    ++pos_;                                                    // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      advance_counting_newlines();
+    }
+    if (pos_ < text_.size()) ++pos_;
+    emit(TokenKind::string_lit, begin, line);
+  }
+
+  void char_literal() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      advance_counting_newlines();
+    }
+    if (pos_ < text_.size()) ++pos_;
+    emit(TokenKind::char_lit, begin, line);
+  }
+
+  /// pp-number: digits, identifier chars, quotes-as-digit-separators, dots,
+  /// and exponent signs. Deliberately permissive — `1e-9`, `0x1fULL`,
+  /// `100'000`, `1.5e+3f` are each one token.
+  void number() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && ident_char(peek(1))) {
+        pos_ += 2;
+      } else if ((c == '+' || c == '-') &&
+                 (peek(-1) == 'e' || peek(-1) == 'E' || peek(-1) == 'p' ||
+                  peek(-1) == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    emit(TokenKind::number, begin, line);
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    emit(TokenKind::identifier, begin, line);
+  }
+
+  void punct() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    if (text_[pos_] == ':' && peek(1) == ':') {
+      pos_ += 2;
+    } else if (text_[pos_] == '-' && peek(1) == '>') {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    emit(TokenKind::punct, begin, line);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) { return Lexer{text}.run(); }
+
+}  // namespace halfback::lint
