@@ -1,0 +1,76 @@
+// Extension bench (robustness): the chaos matrix. The paper argues
+// Halfback runs short flows "quickly and safely"; safety there is
+// established under i.i.d. loss. This bench drives every scheme through
+// the netfault scenario catalog — bursty loss, reordering, duplication,
+// corruption, blackouts, link flapping, delay spikes, and an
+// everything-at-once composite — on the Emulab dumbbell, and reports FCT
+// plus recovery/rejection counters per cell. Acceptance bar: every flow
+// completes in every cell, every cell passes the invariant audit, and
+// (under --full) every cell re-runs to a bit-identical trace hash.
+#include <cstdio>
+
+#include "common.h"
+#include "exp/chaos.h"
+#include "stats/table.h"
+
+using namespace halfback;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Extension: chaos matrix",
+                      "fault-injection catalog x schemes on the Emulab dumbbell",
+                      opt);
+
+  exp::ChaosSweepConfig config;
+  config.runner.seed = opt.seed;
+  config.threads = opt.threads;
+  // Quick mode keeps the matrix small enough for CI smoke; --full runs the
+  // paper's whole comparison set and proves per-cell determinism by
+  // re-running every cell.
+  const std::vector<schemes::Scheme> quick_schemes{
+      schemes::Scheme::tcp, schemes::Scheme::tcp10, schemes::Scheme::proactive,
+      schemes::Scheme::halfback};
+  std::span<const schemes::Scheme> scheme_set =
+      opt.full ? schemes::evaluation_set()
+               : std::span<const schemes::Scheme>{quick_schemes};
+  config.verify_determinism = opt.full;
+
+  const std::vector<exp::ChaosCell> cells = exp::chaos_sweep(config, scheme_set);
+
+  stats::Table table{{"scenario", "scheme", "unfinished", "mean FCT (ms)",
+                      "median FCT (ms)", "timeouts", "retx", "proactive retx",
+                      "fault drops", "corrupt rej", "dup rej", "audit"}};
+  std::size_t unfinished_total = 0;
+  std::uint64_t violations_total = 0;
+  bool all_deterministic = true;
+  for (const exp::ChaosCell& cell : cells) {
+    unfinished_total += cell.unfinished;
+    violations_total += cell.audit_violations;
+    all_deterministic = all_deterministic && cell.deterministic;
+    table.add_row({cell.scenario, bench::display(cell.scheme),
+                   std::to_string(cell.unfinished),
+                   stats::Table::num(cell.mean_fct_ms, 1),
+                   stats::Table::num(cell.median_fct_ms, 1),
+                   stats::Table::num(cell.mean_timeouts, 2),
+                   stats::Table::num(cell.mean_normal_retx, 2),
+                   stats::Table::num(cell.mean_proactive_retx, 2),
+                   std::to_string(cell.fault_drops),
+                   std::to_string(cell.corrupted_rejected),
+                   std::to_string(cell.duplicate_rejected),
+                   cell.audit_violations == 0 ? "ok" : "VIOLATION"});
+  }
+  table.print();
+  bench::maybe_write_csv(opt, "ext_chaos_matrix", table);
+
+  std::printf("\n%zu cells, %zu unfinished flows, %llu audit violations%s\n",
+              cells.size(), unfinished_total,
+              static_cast<unsigned long long>(violations_total),
+              config.verify_determinism
+                  ? (all_deterministic ? ", all cells deterministic"
+                                       : ", DETERMINISM FAILURE")
+                  : "");
+  const bool ok =
+      unfinished_total == 0 && violations_total == 0 && all_deterministic;
+  if (!ok) std::printf("CHAOS MATRIX FAILED\n");
+  return ok ? 0 : 1;
+}

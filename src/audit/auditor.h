@@ -82,6 +82,27 @@ class Auditor {
   virtual void on_link_delivered(const net::Link& /*link*/,
                                  const net::Packet& /*packet*/) {}
 
+  // --- net: injected faults (netfault::FaultInjector via net::FaultHook) ---
+  // These fire only when a fault hook is installed on the link, so they
+  // never perturb audit state (or the trace hash) in fault-free runs.
+
+  /// The fault hook discarded the packet after serialization (bursty loss,
+  /// blackout window).
+  virtual void on_link_fault_dropped(const net::Link& /*link*/,
+                                     const net::Packet& /*packet*/) {}
+
+  /// The fault hook launched an extra copy of the packet into the
+  /// propagation pipe. Fires once per extra copy; the auditor extends the
+  /// exactly-once delivery budget for the packet's uid accordingly.
+  virtual void on_link_fault_duplicated(const net::Link& /*link*/,
+                                        const net::Packet& /*packet*/) {}
+
+  /// The fault hook flipped bits in the packet. It still propagates (and
+  /// still counts against delivery conservation); the receiving transport
+  /// rejects it by checksum.
+  virtual void on_link_fault_corrupted(const net::Link& /*link*/,
+                                       const net::Packet& /*packet*/) {}
+
   /// A queue admitted the packet (it is now part of the backlog).
   virtual void on_queue_enqueued(const net::PacketQueue& /*queue*/,
                                  const net::Packet& /*packet*/) {}

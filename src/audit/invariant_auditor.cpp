@@ -97,7 +97,7 @@ void InvariantAuditor::on_link_filtered(const net::Link& link,
                                         const net::Packet& /*packet*/) {
   LinkShadow& shadow = link_shadow(link);
   ++shadow.filtered;
-  if (shadow.accounted() > shadow.offered) {
+  if (shadow.accounted() > shadow.expected()) {
     violation("link accounted for more packets than were offered (filter)");
   }
 }
@@ -106,7 +106,7 @@ void InvariantAuditor::on_link_corrupted(const net::Link& link,
                                          const net::Packet& /*packet*/) {
   LinkShadow& shadow = link_shadow(link);
   ++shadow.corrupted;
-  if (shadow.accounted() > shadow.offered) {
+  if (shadow.accounted() > shadow.expected()) {
     violation("link accounted for more packets than were offered (corruption)");
   }
 }
@@ -115,15 +115,51 @@ void InvariantAuditor::on_link_delivered(const net::Link& link,
                                          const net::Packet& packet) {
   LinkShadow& shadow = link_shadow(link);
   ++shadow.delivered;
-  if (shadow.accounted() > shadow.offered) {
+  if (shadow.accounted() > shadow.expected()) {
     std::ostringstream out;
     out << "link delivered more packets than were offered: offered="
-        << shadow.offered << " delivered=" << shadow.delivered
+        << shadow.offered << " (+" << shadow.fault_duplicated
+        << " duplicated) delivered=" << shadow.delivered
         << " (uid " << packet.uid << ")";
     violation(out.str());
   }
   mix(packet.uid);
   mix(packet.seq);
+}
+
+// --- net: injected faults ----------------------------------------------------
+// These hooks fire only when a netfault::FaultInjector (or other FaultHook)
+// is installed, so nothing here can perturb a fault-free run's books or
+// trace hash. Each mixes into the hash: same seed + same fault config must
+// reproduce the exact fault sequence.
+
+void InvariantAuditor::on_link_fault_dropped(const net::Link& link,
+                                             const net::Packet& packet) {
+  LinkShadow& shadow = link_shadow(link);
+  ++shadow.fault_dropped;
+  if (shadow.accounted() > shadow.expected()) {
+    violation("link accounted for more packets than were offered (fault drop)");
+  }
+  mix(packet.uid);
+}
+
+void InvariantAuditor::on_link_fault_duplicated(const net::Link& link,
+                                                const net::Packet& packet) {
+  ++link_shadow(link).fault_duplicated;
+  // Extend the destination delivery budget for this transmission: one
+  // injected copy = one extra legitimate arrival of the same uid.
+  if (packet.type == net::PacketType::data && packet.uid != 0) {
+    ++flows_[packet.flow].dup_credit[packet.uid];
+  }
+  mix(packet.uid);
+}
+
+void InvariantAuditor::on_link_fault_corrupted(const net::Link& link,
+                                               const net::Packet& packet) {
+  // A corrupted packet still propagates and is counted by on_link_delivered;
+  // no conservation change, but the event is part of the deterministic trace.
+  link_shadow(link);
+  mix(packet.uid);
 }
 
 // --- net: queues -----------------------------------------------------------
@@ -198,10 +234,18 @@ void InvariantAuditor::on_node_received(std::uint32_t node,
   // schemes (RC3's low-priority RLP copies) transmit outside the
   // SenderBase::send_segment path that feeds on_segment_sent.
   FlowShadow& flow = flows_[packet.flow];
-  if (!flow.delivered_uids.insert(packet.uid).second) {
+  const std::uint32_t count = ++flow.delivered_count[packet.uid];
+  std::uint32_t allowed = 1;
+  if (!flow.dup_credit.empty()) {
+    auto credit = flow.dup_credit.find(packet.uid);
+    if (credit != flow.dup_credit.end()) allowed += credit->second;
+  }
+  if (count > allowed) {
     std::ostringstream out;
-    out << "packet delivered twice to its destination: flow " << packet.flow
-        << " seq " << packet.seq << " uid " << packet.uid;
+    out << "packet delivered to its destination more often than sent: flow "
+        << packet.flow << " seq " << packet.seq << " uid " << packet.uid
+        << " arrived " << count << "x with a budget of " << allowed
+        << " (1 + injected duplicates)";
     violation(out.str());
   }
 }
@@ -275,17 +319,19 @@ void InvariantAuditor::on_ack_applied(const transport::Scoreboard& scoreboard,
 void InvariantAuditor::finalize(bool drained) {
   for (const auto& [link, shadow] : links_) {
     const std::uint64_t queued = link != nullptr ? link->queue().packet_count() : 0;
-    if (shadow.accounted() + queued > shadow.offered) {
+    if (shadow.accounted() + queued > shadow.expected()) {
       std::ostringstream out;
       out << "link conservation violated: offered=" << shadow.offered
+          << " (+" << shadow.fault_duplicated << " duplicated)"
           << " delivered=" << shadow.delivered << " corrupted=" << shadow.corrupted
           << " filtered=" << shadow.filtered << " dropped=" << shadow.queue_dropped
-          << " queued=" << queued;
+          << " fault_dropped=" << shadow.fault_dropped << " queued=" << queued;
       violation(out.str());
     }
-    if (drained && shadow.accounted() + queued < shadow.offered) {
+    if (drained && shadow.accounted() + queued < shadow.expected()) {
       std::ostringstream out;
-      out << "link lost packets: offered=" << shadow.offered << " but only "
+      out << "link lost packets: offered=" << shadow.offered << " (+"
+          << shadow.fault_duplicated << " duplicated) but only "
           << shadow.accounted() << " accounted and " << queued
           << " queued after the event queue drained";
       violation(out.str());

@@ -73,6 +73,9 @@ class InvariantAuditor final : public Auditor {
   void on_link_filtered(const net::Link& link, const net::Packet& packet) override;
   void on_link_corrupted(const net::Link& link, const net::Packet& packet) override;
   void on_link_delivered(const net::Link& link, const net::Packet& packet) override;
+  void on_link_fault_dropped(const net::Link& link, const net::Packet& packet) override;
+  void on_link_fault_duplicated(const net::Link& link, const net::Packet& packet) override;
+  void on_link_fault_corrupted(const net::Link& link, const net::Packet& packet) override;
   void on_queue_enqueued(const net::PacketQueue& queue,
                          const net::Packet& packet) override;
   void on_queue_dropped(const net::PacketQueue& queue, const net::Packet& packet,
@@ -98,16 +101,22 @@ class InvariantAuditor final : public Auditor {
     std::uint64_t dropped = 0;
   };
 
-  /// Conservation counters for one link.
+  /// Conservation counters for one link. Injected faults (netfault) change
+  /// the books: a fault drop is one more way a packet leaves the link, and
+  /// every injected duplicate raises the delivery budget by one, so the
+  /// conserved identity is accounted() == offered + fault_duplicated.
   struct LinkShadow {
     std::uint64_t offered = 0;
     std::uint64_t delivered = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t filtered = 0;
     std::uint64_t queue_dropped = 0;
+    std::uint64_t fault_dropped = 0;     ///< discarded by a FaultHook
+    std::uint64_t fault_duplicated = 0;  ///< extra copies a FaultHook launched
     std::uint64_t accounted() const {
-      return delivered + corrupted + filtered + queue_dropped;
+      return delivered + corrupted + filtered + queue_dropped + fault_dropped;
     }
+    std::uint64_t expected() const { return offered + fault_duplicated; }
   };
 
   /// Sender-side view of one flow.
@@ -115,7 +124,12 @@ class InvariantAuditor final : public Auditor {
     std::uint32_t cum_ack = 0;
     bool have_proactive = false;
     std::uint32_t last_proactive_seq = 0;
-    std::unordered_set<std::uint64_t> delivered_uids;
+    /// Times each wire transmission (uid) reached the destination. The
+    /// budget is 1, plus one per injected duplicate recorded in dup_credit
+    /// (fed by on_link_fault_duplicated) — exactly-once delivery, extended
+    /// to exactly-(1+k)-times under injected duplication.
+    std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
+    std::unordered_map<std::uint64_t, std::uint32_t> dup_credit;
     /// Segment indices observed as data packets on any link. Some schemes
     /// (RC3's RLP copies) transmit outside the scoreboard path, so
     /// sacked=>sent is checked against the wire, not the scoreboard alone.

@@ -1,0 +1,166 @@
+#include "exp/chaos.h"
+
+#include <utility>
+
+#include "exp/parallel.h"
+#include "workload/flow_schedule.h"
+
+namespace halfback::exp {
+
+std::vector<ChaosScenario> chaos_catalog() {
+  using sim::Time;
+  std::vector<ChaosScenario> catalog;
+
+  // Baseline: no injector at all — the fast path the golden hashes anchor.
+  catalog.push_back({"clean", {}});
+
+  {
+    // Gilbert–Elliott bursty loss: mostly-clean path with ~0.5% residual
+    // loss that occasionally enters a bad state losing half its packets.
+    ChaosScenario s{"bursty-loss", {}};
+    s.faults.gilbert_elliott.p_good_to_bad = 0.02;
+    s.faults.gilbert_elliott.p_bad_to_good = 0.3;
+    s.faults.gilbert_elliott.loss_good = 0.005;
+    s.faults.gilbert_elliott.loss_bad = 0.5;
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Reordering: a fifth of packets get up to 20 ms of extra propagation,
+    // roughly a bottleneck serialization quantum — enough to overtake.
+    ChaosScenario s{"reorder", {}};
+    s.faults.reorder.probability = 0.2;
+    s.faults.reorder.max_extra_delay = Time::milliseconds(20);
+    catalog.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s{"duplicate", {}};
+    s.faults.duplicate.probability = 0.1;
+    s.faults.duplicate.max_copies = 2;
+    s.faults.duplicate.spacing = Time::milliseconds(1);
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Payload corruption: delivered, checksum-rejected at the receiver.
+    ChaosScenario s{"corrupt", {}};
+    s.faults.corrupt.probability = 0.05;
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Total blackout from t=1 s for 2.5 s — longer than the 1 s initial
+    // RTO, so recovering requires surviving backed-off retransmission (and
+    // capped SYN backoff for flows that arrive mid-outage).
+    ChaosScenario s{"blackout", {}};
+    s.faults.outages.emplace_back(Time::seconds(1), Time::seconds(2.5));
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Random flapping: ~2 s up phases punctuated by ~200 ms outages.
+    ChaosScenario s{"flap", {}};
+    s.faults.flap.mean_up = Time::seconds(2);
+    s.faults.flap.mean_down = Time::milliseconds(200);
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Rare routing-transient delay spikes of 150 ms (several RTTs).
+    ChaosScenario s{"delay-spike", {}};
+    s.faults.delay_spike.probability = 0.02;
+    s.faults.delay_spike.magnitude = Time::milliseconds(150);
+    catalog.push_back(std::move(s));
+  }
+  {
+    // Everything at once, each dialled down so the composite stays
+    // survivable: the adversarial cell for "handles as many scenarios as
+    // you can imagine".
+    ChaosScenario s{"adversarial", {}};
+    s.faults.gilbert_elliott.p_good_to_bad = 0.01;
+    s.faults.gilbert_elliott.p_bad_to_good = 0.4;
+    s.faults.gilbert_elliott.loss_good = 0.002;
+    s.faults.gilbert_elliott.loss_bad = 0.3;
+    s.faults.reorder.probability = 0.1;
+    s.faults.reorder.max_extra_delay = Time::milliseconds(10);
+    s.faults.duplicate.probability = 0.05;
+    s.faults.duplicate.max_copies = 2;
+    s.faults.duplicate.spacing = Time::milliseconds(1);
+    s.faults.corrupt.probability = 0.02;
+    s.faults.delay_spike.probability = 0.01;
+    s.faults.delay_spike.magnitude = Time::milliseconds(100);
+    s.faults.outages.emplace_back(Time::seconds(2), Time::seconds(1.5));
+    catalog.push_back(std::move(s));
+  }
+  return catalog;
+}
+
+namespace {
+
+RunResult run_cell(const ChaosSweepConfig& config, const ChaosScenario& scenario,
+                   schemes::Scheme scheme) {
+  EmulabRunner::Config runner_config = config.runner;
+  runner_config.faults = scenario.faults;
+  EmulabRunner runner{runner_config};
+  WorkloadPart part;
+  part.scheme = scheme;
+  part.role = FlowRole::primary;
+  part.schedule.reserve(config.flows_per_cell);
+  for (std::size_t i = 0; i < config.flows_per_cell; ++i) {
+    workload::FlowArrival arrival;
+    arrival.at = config.arrival_spacing * static_cast<double>(i);
+    arrival.bytes = config.flow_bytes;
+    part.schedule.push_back(arrival);
+  }
+  return runner.run({part});
+}
+
+ChaosCell summarize(const ChaosScenario& scenario, schemes::Scheme scheme,
+                    const RunResult& run) {
+  ChaosCell cell;
+  cell.scenario = scenario.name;
+  cell.scheme = scheme;
+  cell.flows = run.flows.size();
+  cell.unfinished = run.unfinished_count(FlowRole::primary);
+  cell.mean_fct_ms = run.mean_fct_ms(FlowRole::primary);
+  stats::Summary fct = run.fct_ms(FlowRole::primary);
+  cell.median_fct_ms = fct.empty() ? 0.0 : fct.median();
+  stats::Summary timeouts = run.metric(FlowRole::primary, [](const FlowResult& f) {
+    return static_cast<double>(f.record.timeouts);
+  });
+  cell.mean_timeouts = timeouts.empty() ? 0.0 : timeouts.mean();
+  stats::Summary retx = run.metric(FlowRole::primary, [](const FlowResult& f) {
+    return static_cast<double>(f.record.normal_retx);
+  });
+  cell.mean_normal_retx = retx.empty() ? 0.0 : retx.mean();
+  stats::Summary proactive = run.metric(FlowRole::primary, [](const FlowResult& f) {
+    return static_cast<double>(f.record.proactive_retx);
+  });
+  cell.mean_proactive_retx = proactive.empty() ? 0.0 : proactive.mean();
+  cell.fault_drops = run.faults.total_drops();
+  cell.corrupted_rejected = run.delivery.corrupted_rejected;
+  cell.duplicate_rejected = run.delivery.duplicate_rejected;
+  cell.audit_violations = run.audit_violations;
+  cell.trace_hash = run.trace_hash;
+  return cell;
+}
+
+}  // namespace
+
+std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
+                                   std::span<const schemes::Scheme> schemes) {
+  const std::vector<ChaosScenario> catalog = chaos_catalog();
+  const std::size_t scheme_count = schemes.size();
+  std::vector<ChaosCell> cells(catalog.size() * scheme_count);
+  parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        const ChaosScenario& scenario = catalog[i / scheme_count];
+        const schemes::Scheme scheme = schemes[i % scheme_count];
+        RunResult run = run_cell(config, scenario, scheme);
+        cells[i] = summarize(scenario, scheme, run);
+        if (config.verify_determinism) {
+          RunResult rerun = run_cell(config, scenario, scheme);
+          cells[i].deterministic = rerun.trace_hash == run.trace_hash;
+        }
+      },
+      config.threads);
+  return cells;
+}
+
+}  // namespace halfback::exp

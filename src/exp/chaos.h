@@ -1,0 +1,77 @@
+// Chaos sweep: the fault matrix × schemes robustness experiment.
+//
+// Runs every scheme through a catalog of adversarial path conditions
+// (bursty loss, reordering, duplication, corruption, blackouts, flapping,
+// delay spikes, and an everything-at-once composite) on the Emulab
+// dumbbell, and reports FCT plus recovery metrics per cell. Every cell is
+// deterministic: same seed + same fault config ⇒ identical trace hash
+// (chaos_sweep can re-run each cell to prove it). The paper's claim is
+// that Halfback runs short flows "quickly and safely"; this is where
+// "safely" gets stress-tested beyond i.i.d. loss.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/emulab.h"
+#include "netfault/fault_config.h"
+#include "schemes/scheme.h"
+#include "sim/bytes.h"
+
+namespace halfback::exp {
+
+/// A named fault configuration applied to the bottleneck (both directions).
+struct ChaosScenario {
+  std::string name;
+  netfault::FaultConfig faults;
+};
+
+/// The standard scenario catalog, "clean" first. Severities are chosen so
+/// a capped-RTO transport finishes every flow within the default drain:
+/// hostile enough to exercise every recovery path, not a denial of
+/// service. The blackout scenario's outage (2.5 s) deliberately exceeds
+/// the 1 s initial RTO, so recovery requires backed-off retransmission.
+std::vector<ChaosScenario> chaos_catalog();
+
+/// One (scenario, scheme) cell of the chaos matrix.
+struct ChaosCell {
+  std::string scenario;
+  schemes::Scheme scheme{};
+  std::size_t flows = 0;
+  std::size_t unfinished = 0;          ///< 0 = every flow completed
+  double mean_fct_ms = 0.0;    // lint: unit-ok(statistics edge: report column in ms)
+  double median_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
+  double mean_timeouts = 0.0;
+  double mean_normal_retx = 0.0;
+  double mean_proactive_retx = 0.0;
+  std::uint64_t fault_drops = 0;       ///< injected drops (burst+outage+flap)
+  std::uint64_t corrupted_rejected = 0;
+  std::uint64_t duplicate_rejected = 0;
+  std::uint64_t audit_violations = 0;  ///< 0 = invariants held under chaos
+  std::uint64_t trace_hash = 0;
+  /// True when determinism was verified (or not requested); false means a
+  /// same-seed re-run produced a different trace hash.
+  bool deterministic = true;
+};
+
+struct ChaosSweepConfig {
+  EmulabRunner::Config runner;
+  sim::Bytes flow_bytes = 100'000;  ///< the paper's short-flow size
+  /// Evenly spaced arrivals (deterministic by construction): flow i starts
+  /// at i * arrival_spacing, so several flows are mid-flight when the
+  /// blackout scenarios strike.
+  std::size_t flows_per_cell = 8;
+  sim::Time arrival_spacing = sim::Time::milliseconds(800);
+  unsigned threads = 0;
+  /// Re-run every cell with an identical config and require an identical
+  /// trace hash (the determinism acceptance gate; doubles the work).
+  bool verify_determinism = false;
+};
+
+/// Run the full matrix: one cell per (catalog scenario, scheme).
+/// Cells are ordered scenario-major, matching chaos_catalog() order.
+std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
+                                   std::span<const schemes::Scheme> schemes);
+
+}  // namespace halfback::exp

@@ -56,6 +56,23 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
 
   net::Dumbbell dumbbell = net::build_dumbbell(network, config_.dumbbell);
 
+  // Chaos layer: when faults are configured, each bottleneck direction gets
+  // its own deterministic injector. The RNGs derive from the experiment
+  // seed (salted per direction) rather than the simulator's live stream, so
+  // arrival processes, link loss draws, etc. are exactly those of the
+  // fault-free run with the same seed.
+  std::unique_ptr<netfault::FaultInjector> fault_forward;
+  std::unique_ptr<netfault::FaultInjector> fault_reverse;
+  if (config_.faults.any()) {
+    sim::Random fault_seed_stream{config_.seed ^ 0xfa317c0de5eedULL};
+    fault_forward = std::make_unique<netfault::FaultInjector>(
+        config_.faults, fault_seed_stream.fork(0xf0));
+    fault_reverse = std::make_unique<netfault::FaultInjector>(
+        config_.faults, fault_seed_stream.fork(0x0f));
+    dumbbell.bottleneck_forward->set_fault_hook(fault_forward.get());
+    dumbbell.bottleneck_reverse->set_fault_hook(fault_reverse.get());
+  }
+
   std::vector<std::unique_ptr<transport::TransportAgent>> agents;
   for (net::NodeId id : dumbbell.senders) {
     agents.push_back(std::make_unique<transport::TransportAgent>(simulator, network, id));
@@ -145,6 +162,25 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
       dumbbell.bottleneck_forward->queue().stats().dropped_packets;
   result.bottleneck_utilization =
       dumbbell.bottleneck_forward->utilization(simulator.now());
+  for (const auto& agent : agents) {
+    const transport::DeliveryStats& d = agent->delivery_stats();
+    result.delivery.accepted += d.accepted;
+    result.delivery.corrupted_rejected += d.corrupted_rejected;
+    result.delivery.duplicate_rejected += d.duplicate_rejected;
+  }
+  for (const netfault::FaultInjector* injector :
+       {fault_forward.get(), fault_reverse.get()}) {
+    if (injector == nullptr) continue;
+    const netfault::InjectorStats& s = injector->stats();
+    result.faults.packets_seen += s.packets_seen;
+    result.faults.outage_drops += s.outage_drops;
+    result.faults.flap_drops += s.flap_drops;
+    result.faults.burst_drops += s.burst_drops;
+    result.faults.corrupted += s.corrupted;
+    result.faults.duplicated += s.duplicated;
+    result.faults.jittered += s.jittered;
+    result.faults.delay_spikes += s.delay_spikes;
+  }
 #ifdef HALFBACK_AUDIT
   auditor.finalize(simulator.queue().empty());
   result.trace_hash = auditor.trace_hash();

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "netfault/fault_config.h"
+#include "netfault/fault_injector.h"
 #include "schemes/factory.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
@@ -41,6 +43,13 @@ struct RunResult {
   /// count (0 = clean run).
   std::uint64_t trace_hash = 0;
   std::uint64_t audit_violations = 0;
+
+  /// Transport-boundary rejection counters summed over every host agent.
+  /// The rejected fields stay zero unless the run injects faults.
+  transport::DeliveryStats delivery;
+  /// Per-cause fault attribution summed over the installed injectors
+  /// (all-zero when Config::faults is empty and no injector was installed).
+  netfault::InjectorStats faults;
 
   /// Mean FCT in ms over finished flows of `role`; unfinished flows are
   /// included at their censored (elapsed) time so collapse shows up
@@ -79,6 +88,13 @@ class EmulabRunner {
     /// Extra simulated time after the last arrival before declaring
     /// unfinished flows censored.
     sim::Time drain = sim::Time::seconds(30);
+    /// Fault injection on the bottleneck (both directions). When any() is
+    /// false — the default — no injector is installed at all and the run
+    /// is bit-identical to one from before the netfault layer existed.
+    /// Each direction gets an independent injector whose RNG derives from
+    /// `seed` (never from the simulator's live stream, which would perturb
+    /// the fault-free baseline). See docs/fault-injection.md.
+    netfault::FaultConfig faults;
   };
 
   explicit EmulabRunner(Config config) : config_{std::move(config)} {}

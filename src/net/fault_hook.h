@@ -1,0 +1,55 @@
+// Fault-injection hook interface for links.
+//
+// This header sits at the bottom of the net layer (depends only on sim/time
+// and a Packet forward declaration) so that Link can carry a hook pointer
+// without the net library depending on the concrete fault models. The
+// deterministic, composable implementation lives in src/netfault/ — see
+// docs/fault-injection.md. With no hook installed the link fast path pays
+// exactly one null-pointer test per packet.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace halfback::net {
+
+struct Packet;
+
+/// What the fault layer decided for one packet that finished serializing.
+/// The default-constructed decision is "deliver normally".
+struct FaultDecision {
+  /// Discard the packet (bursty loss, blackout window). Overrides the rest.
+  bool drop = false;
+
+  /// Deliver the packet with its payload corrupted: the packet still
+  /// occupies the pipe and arrives, but the receiving transport's checksum
+  /// check rejects it (see transport::TransportAgent).
+  bool corrupt = false;
+
+  /// Extra copies to launch into the propagation pipe alongside the
+  /// original (packet duplication, e.g. L2 retransmit races).
+  std::uint32_t duplicates = 0;
+
+  /// Extra propagation delay for the original packet (delay jitter /
+  /// delay spikes). Packets serialized later can overtake it: reordering.
+  sim::Time extra_delay;
+
+  /// Additional delay applied to duplicate copies on top of `extra_delay`,
+  /// so the copies trail the original instead of arriving in lockstep.
+  sim::Time duplicate_spacing;
+};
+
+/// Per-link fault-injection hook, consulted after serialization (the same
+/// point where the built-in random-loss process runs) for every packet.
+/// Implementations must be deterministic: the decision may depend only on
+/// seeded randomness, the packet, and virtual time.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Decide the fate of `packet`, which finished serializing at `now`.
+  virtual FaultDecision on_transmit(const Packet& packet, sim::Time now) = 0;
+};
+
+}  // namespace halfback::net

@@ -58,12 +58,58 @@ void Link::on_serialization_done() {
   if (corrupted) {
     ++stats_.corrupted_packets;
     HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_corrupted(*this, tx_packet_));
+  } else if (fault_hook_ == nullptr) {
+    launch(std::move(tx_packet_), delay_);
   } else {
-    PacketEvent& node = pool_->acquire(&Link::deliver_trampoline, this);
-    node.packet = std::move(tx_packet_);
-    simulator_.schedule_event(delay_, node);
+    apply_faults();
   }
   on_transmission_complete();
+}
+
+void Link::launch(Packet p, sim::Time pipe_delay) {
+  PacketEvent& node = pool_->acquire(&Link::deliver_trampoline, this);
+  node.packet = std::move(p);
+  simulator_.schedule_event(pipe_delay, node);
+}
+
+void Link::apply_faults() {
+  // Out of line so the fault-free fast path in on_serialization_done stays
+  // a single null test. The hook decides; the link executes.
+  FaultDecision decision = fault_hook_->on_transmit(tx_packet_, simulator_.now());
+  if (decision.drop) {
+    ++stats_.fault_dropped_packets;
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                        on_link_fault_dropped(*this, tx_packet_));
+    return;
+  }
+  if (decision.corrupt && !tx_packet_.corrupted) {
+    tx_packet_.corrupted = true;
+    ++stats_.fault_corrupted_packets;
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                        on_link_fault_corrupted(*this, tx_packet_));
+  }
+  if (decision.extra_delay < sim::Time::zero() ||
+      decision.duplicate_spacing < sim::Time::zero()) {
+    throw std::logic_error{"FaultHook returned a negative delay"};
+  }
+  if (!decision.extra_delay.is_zero()) ++stats_.fault_delayed_packets;
+  const sim::Time pipe = delay_ + decision.extra_delay;
+  if (decision.duplicates == 0) {
+    launch(std::move(tx_packet_), pipe);
+    return;
+  }
+  // Launch the original first so that with zero spacing the copies still
+  // trail it in same-timestamp FIFO order.
+  Packet original = tx_packet_;
+  launch(std::move(tx_packet_), pipe);
+  sim::Time copy_at = pipe;
+  for (std::uint32_t i = 0; i < decision.duplicates; ++i) {
+    ++stats_.fault_duplicated_packets;
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                        on_link_fault_duplicated(*this, original));
+    copy_at += decision.duplicate_spacing;
+    launch(original, copy_at);
+  }
 }
 
 void Link::deliver_trampoline(void* context, PacketEvent& node) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "net/fault_hook.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
@@ -46,6 +47,13 @@ struct LinkStats {
   sim::Bytes delivered_bytes;
   std::uint64_t corrupted_packets = 0;  ///< random-loss drops
   sim::Time busy_time;                  ///< total serialization time
+
+  // Injected faults (zero unless a FaultHook is installed; see
+  // src/netfault/ and docs/fault-injection.md).
+  std::uint64_t fault_dropped_packets = 0;     ///< discarded by the hook
+  std::uint64_t fault_duplicated_packets = 0;  ///< extra copies launched
+  std::uint64_t fault_corrupted_packets = 0;   ///< delivered with bad payload
+  std::uint64_t fault_delayed_packets = 0;     ///< given extra propagation delay
 };
 
 /// One direction of a point-to-point link.
@@ -86,6 +94,13 @@ class Link {
     packet_filter_ = std::move(filter);
   }
 
+  /// Install (or clear, with nullptr) a fault-injection hook, consulted
+  /// after serialization for every packet. Not owned; the caller must keep
+  /// it alive as long as the link transmits. With no hook installed the
+  /// per-packet cost is a single null test (see on_serialization_done).
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
   /// Hand a packet to the link. It is queued if the transmitter is busy and
   /// may be dropped by the queue discipline.
   void send(Packet p);
@@ -121,6 +136,12 @@ class Link {
   void on_serialization_done();
   void on_transmission_complete();
 
+  /// Launch a packet into the propagation pipe, arriving after
+  /// `pipe_delay` (>= delay_; fault hooks may stretch it).
+  void launch(Packet p, sim::Time pipe_delay);
+  /// Out-of-line slow path: consult fault_hook_ and act on its decision.
+  void apply_faults();
+
   static void deliver_trampoline(void* context, PacketEvent& node);
   void deliver(PacketEvent& node);
 
@@ -132,6 +153,7 @@ class Link {
   sim::Random loss_rng_;
   std::function<void(Packet)> receiver_;            // lint: function-ok(bound once at wiring time)
   std::function<bool(const Packet&)> packet_filter_;  // lint: function-ok(test-only hook)
+  FaultHook* fault_hook_ = nullptr;  ///< not owned; nullptr = fault-free fast path
   bool transmitting_ = false;
   LinkStats stats_;
 

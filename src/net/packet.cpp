@@ -17,13 +17,15 @@ const char* to_string(PacketType t) {
 std::string Packet::to_string() const {
   char buf[160];
   if (type == PacketType::data) {
-    std::snprintf(buf, sizeof buf, "DATA flow=%llu seq=%u/%u%s%s uid=%llu",
+    std::snprintf(buf, sizeof buf, "DATA flow=%llu seq=%u/%u%s%s%s uid=%llu",
                   static_cast<unsigned long long>(flow), seq, total_segments,
                   is_retx ? " retx" : "", is_proactive ? " proactive" : "",
+                  corrupted ? " corrupt" : "",
                   static_cast<unsigned long long>(uid));
   } else if (type == PacketType::ack) {
-    std::snprintf(buf, sizeof buf, "ACK flow=%llu cum=%u sacks=%zu",
-                  static_cast<unsigned long long>(flow), cum_ack, sacks.size());
+    std::snprintf(buf, sizeof buf, "ACK flow=%llu cum=%u sacks=%zu%s",
+                  static_cast<unsigned long long>(flow), cum_ack, sacks.size(),
+                  corrupted ? " corrupt" : "");
   } else {
     std::snprintf(buf, sizeof buf, "%s flow=%llu", net::to_string(type),
                   static_cast<unsigned long long>(flow));

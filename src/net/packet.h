@@ -75,6 +75,11 @@ struct Packet {
   /// Proactive-TCP duplicate), as opposed to a loss-triggered one.
   bool is_proactive = false;
 
+  /// Payload was corrupted in flight by a fault injector (net::FaultHook).
+  /// The packet still propagates and consumes link/queue resources; the
+  /// receiving transport's checksum check rejects it on arrival.
+  bool corrupted = false;
+
   /// Unique id of this transmission (every send, including retransmissions,
   /// gets a fresh uid). ACKs echo the uid of the packet that triggered them
   /// so senders can take Karn-safe RTT samples.

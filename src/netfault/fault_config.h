@@ -1,0 +1,159 @@
+// Validated configuration for the fault-injection layer.
+//
+// Every knob is bounds-checked at construction, following the
+// net::LossRate pattern: probabilities must lie in [0, 1] (NaN rejected),
+// time windows must be non-negative and non-empty. A bad chaos config
+// fails loudly at experiment build time instead of running a silently
+// absurd sweep. See docs/fault-injection.md for the model semantics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace halfback::netfault {
+
+/// A probability validated at construction: in [0, 1], NaN-rejecting.
+/// Converts implicitly from double so config literals like `0.05` work.
+class Probability {
+ public:
+  constexpr Probability() = default;
+  constexpr Probability(double p) : value_{validated(p)} {}  // NOLINT(google-explicit-constructor)
+
+  constexpr double value() const { return value_; }
+  constexpr bool is_zero() const { return value_ <= 0.0; }
+
+ private:
+  static constexpr double validated(double p) {
+    if (!(p >= 0.0 && p <= 1.0)) {  // negated so NaN is rejected too
+      throw std::invalid_argument{"probability must be within [0, 1]"};
+    }
+    return p;
+  }
+  double value_ = 0.0;
+};
+
+/// A half-open window [start, start + duration) of virtual time, validated
+/// at construction: non-negative start, strictly positive duration.
+class TimeWindow {
+ public:
+  TimeWindow(sim::Time start, sim::Time duration)
+      : start_{start}, duration_{duration} {
+    if (start_ < sim::Time::zero()) {
+      throw std::invalid_argument{"TimeWindow start must be non-negative"};
+    }
+    if (duration_ <= sim::Time::zero()) {
+      throw std::invalid_argument{"TimeWindow duration must be positive"};
+    }
+  }
+
+  sim::Time start() const { return start_; }
+  sim::Time duration() const { return duration_; }
+  sim::Time end() const { return start_ + duration_; }
+  bool contains(sim::Time t) const { return t >= start_ && t < end(); }
+
+ private:
+  sim::Time start_;
+  sim::Time duration_;
+};
+
+/// Gilbert–Elliott two-state bursty loss. The chain steps once per packet
+/// consulted: from Good it moves to Bad with `p_good_to_bad`, from Bad back
+/// with `p_bad_to_good`; the packet is then lost with the loss probability
+/// of the resulting state. Defaults model the classic "rare long bursts"
+/// regime once `p_good_to_bad` is raised above zero.
+struct GilbertElliottConfig {
+  Probability p_good_to_bad;        ///< per-packet transition Good → Bad
+  Probability p_bad_to_good = 0.3;  ///< per-packet transition Bad → Good
+  Probability loss_good;            ///< loss probability in Good
+  Probability loss_bad = 0.5;       ///< loss probability in Bad
+
+  bool enabled() const {
+    return !loss_good.is_zero() ||
+           (!p_good_to_bad.is_zero() && !loss_bad.is_zero());
+  }
+};
+
+/// Packet reordering via delay jitter: with `probability`, a packet's
+/// propagation is stretched by a uniform draw in (0, max_extra_delay], so
+/// packets serialized later can overtake it.
+struct ReorderConfig {
+  Probability probability;
+  sim::Time max_extra_delay;
+
+  bool enabled() const {
+    return !probability.is_zero() && max_extra_delay > sim::Time::zero();
+  }
+};
+
+/// Packet duplication: with `probability`, launch uniform-in-[1, max_copies]
+/// extra copies of the packet, each trailing the previous by `spacing`.
+struct DuplicateConfig {
+  Probability probability;
+  std::uint32_t max_copies = 1;
+  sim::Time spacing;
+
+  bool enabled() const { return !probability.is_zero() && max_copies > 0; }
+};
+
+/// Payload corruption: with `probability`, the packet is delivered with its
+/// corrupted flag set; the receiving transport drops it by checksum.
+struct CorruptConfig {
+  Probability probability;
+
+  bool enabled() const { return !probability.is_zero(); }
+};
+
+/// Random link flapping: the link alternates between up and down phases
+/// with independent exponential durations (means below). Disabled unless
+/// both means are positive. For deterministic outages (e.g. "a blackout
+/// from t=2s to t=4s") use FaultConfig::outages instead.
+struct FlapConfig {
+  sim::Time mean_up;
+  sim::Time mean_down;
+
+  bool enabled() const {
+    return mean_up > sim::Time::zero() && mean_down > sim::Time::zero();
+  }
+};
+
+/// Rare large delay spikes (e.g. a routing transient): with `probability`,
+/// add the full `magnitude` to the packet's propagation delay.
+struct DelaySpikeConfig {
+  Probability probability;
+  sim::Time magnitude;
+
+  bool enabled() const {
+    return !probability.is_zero() && magnitude > sim::Time::zero();
+  }
+};
+
+/// Composite per-link fault configuration. Default-constructed = no faults
+/// (`any()` is false), in which case no FaultInjector should be installed
+/// at all so the link fast path stays untouched.
+struct FaultConfig {
+  GilbertElliottConfig gilbert_elliott;
+  ReorderConfig reorder;
+  DuplicateConfig duplicate;
+  CorruptConfig corrupt;
+  FlapConfig flap;
+  DelaySpikeConfig delay_spike;
+  /// Deterministic outage windows (link blackouts); every packet whose
+  /// serialization completes inside a window is dropped.
+  std::vector<TimeWindow> outages;
+
+  bool any() const {
+    return gilbert_elliott.enabled() || reorder.enabled() ||
+           duplicate.enabled() || corrupt.enabled() || flap.enabled() ||
+           delay_spike.enabled() || !outages.empty();
+  }
+};
+
+/// Cross-field validation beyond what the value types enforce. Throws
+/// std::invalid_argument on: negative durations, a flap config with exactly
+/// one positive mean, overlapping or unsorted outage windows.
+void validate(const FaultConfig& config);
+
+}  // namespace halfback::netfault

@@ -1,0 +1,85 @@
+#include "netfault/fault_injector.h"
+
+#include <utility>
+
+#include "net/packet.h"
+
+namespace halfback::netfault {
+
+namespace {
+// Fork salts for the per-model streams. Distinct constants keep the models
+// on independent sequences; adding a draw to one model never shifts
+// another's. (Outage schedules are deterministic and draw nothing.)
+constexpr std::uint64_t kSaltFlap = 0xf1a9'0001ULL;
+constexpr std::uint64_t kSaltGilbertElliott = 0x6e11'0002ULL;
+constexpr std::uint64_t kSaltCorrupt = 0xc0de'0003ULL;
+constexpr std::uint64_t kSaltDuplicate = 0xd0b1'0004ULL;
+constexpr std::uint64_t kSaltReorder = 0x2e02'0005ULL;
+constexpr std::uint64_t kSaltSpike = 0x5b1c'0006ULL;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config, sim::Random rng)
+    : config_{std::move(config)},
+      corrupt_rng_{rng.fork(kSaltCorrupt)},
+      duplicate_rng_{rng.fork(kSaltDuplicate)},
+      reorder_rng_{rng.fork(kSaltReorder)},
+      spike_rng_{rng.fork(kSaltSpike)} {
+  validate(config_);
+  if (!config_.outages.empty()) outages_.emplace(config_.outages);
+  if (config_.flap.enabled()) {
+    flap_.emplace(config_.flap, rng.fork(kSaltFlap));
+  }
+  if (config_.gilbert_elliott.enabled()) {
+    gilbert_elliott_.emplace(config_.gilbert_elliott,
+                             rng.fork(kSaltGilbertElliott));
+  }
+}
+
+net::FaultDecision FaultInjector::on_transmit(const net::Packet& /*packet*/,
+                                              sim::Time now) {
+  ++stats_.packets_seen;
+  net::FaultDecision decision;
+
+  if (outages_ && outages_->is_down(now)) {
+    ++stats_.outage_drops;
+    decision.drop = true;
+    return decision;
+  }
+  if (flap_ && flap_->is_down(now)) {
+    ++stats_.flap_drops;
+    decision.drop = true;
+    return decision;
+  }
+  if (gilbert_elliott_ && gilbert_elliott_->should_drop()) {
+    ++stats_.burst_drops;
+    decision.drop = true;
+    return decision;
+  }
+
+  if (config_.corrupt.enabled() &&
+      corrupt_rng_.bernoulli(config_.corrupt.probability.value())) {
+    ++stats_.corrupted;
+    decision.corrupt = true;
+  }
+  if (config_.duplicate.enabled() &&
+      duplicate_rng_.bernoulli(config_.duplicate.probability.value())) {
+    decision.duplicates = static_cast<std::uint32_t>(duplicate_rng_.uniform_int(
+        1, static_cast<std::int64_t>(config_.duplicate.max_copies)));
+    decision.duplicate_spacing = config_.duplicate.spacing;
+    stats_.duplicated += decision.duplicates;
+  }
+  if (config_.reorder.enabled() &&
+      reorder_rng_.bernoulli(config_.reorder.probability.value())) {
+    ++stats_.jittered;
+    decision.extra_delay +=
+        config_.reorder.max_extra_delay * reorder_rng_.uniform();
+  }
+  if (config_.delay_spike.enabled() &&
+      spike_rng_.bernoulli(config_.delay_spike.probability.value())) {
+    ++stats_.delay_spikes;
+    decision.extra_delay += config_.delay_spike.magnitude;
+  }
+  return decision;
+}
+
+}  // namespace halfback::netfault

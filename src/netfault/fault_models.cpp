@@ -1,0 +1,77 @@
+#include "netfault/fault_models.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace halfback::netfault {
+
+void validate(const FaultConfig& config) {
+  if (config.reorder.max_extra_delay < sim::Time::zero()) {
+    throw std::invalid_argument{"reorder.max_extra_delay must be non-negative"};
+  }
+  if (config.duplicate.spacing < sim::Time::zero()) {
+    throw std::invalid_argument{"duplicate.spacing must be non-negative"};
+  }
+  if (config.delay_spike.magnitude < sim::Time::zero()) {
+    throw std::invalid_argument{"delay_spike.magnitude must be non-negative"};
+  }
+  if (config.flap.mean_up < sim::Time::zero() ||
+      config.flap.mean_down < sim::Time::zero()) {
+    throw std::invalid_argument{"flap means must be non-negative"};
+  }
+  const bool up_set = config.flap.mean_up > sim::Time::zero();
+  const bool down_set = config.flap.mean_down > sim::Time::zero();
+  if (up_set != down_set) {
+    throw std::invalid_argument{
+        "flap requires both mean_up and mean_down (or neither)"};
+  }
+  // TimeWindow construction already enforced per-window sanity; check the
+  // list is sorted and non-overlapping so OutageSchedule's cursor is valid.
+  for (std::size_t i = 1; i < config.outages.size(); ++i) {
+    if (config.outages[i].start() < config.outages[i - 1].end()) {
+      throw std::invalid_argument{
+          "outage windows must be sorted and non-overlapping"};
+    }
+  }
+}
+
+OutageSchedule::OutageSchedule(std::vector<TimeWindow> windows)
+    : windows_{std::move(windows)} {
+  for (std::size_t i = 1; i < windows_.size(); ++i) {
+    if (windows_[i].start() < windows_[i - 1].end()) {
+      throw std::invalid_argument{
+          "outage windows must be sorted and non-overlapping"};
+    }
+  }
+}
+
+bool OutageSchedule::is_down(sim::Time now) {
+  while (cursor_ < windows_.size() && now >= windows_[cursor_].end()) {
+    ++cursor_;
+  }
+  return cursor_ < windows_.size() && windows_[cursor_].contains(now);
+}
+
+LinkFlap::LinkFlap(FlapConfig config, sim::Random rng)
+    : config_{config}, rng_{rng} {
+  if (!config_.enabled()) {
+    throw std::invalid_argument{
+        "LinkFlap requires positive mean_up and mean_down"};
+  }
+  phase_end_ = rng_.exponential(config_.mean_up);
+}
+
+bool LinkFlap::is_down(sim::Time now) {
+  while (now >= phase_end_) {
+    up_ = !up_;
+    const sim::Time mean = up_ ? config_.mean_up : config_.mean_down;
+    // Exponential draws truncate to whole nanoseconds; clamp to 1 ns so a
+    // tiny draw can never stall the phase clock.
+    sim::Time phase = rng_.exponential(mean);
+    if (phase.is_zero()) phase = sim::Time::nanoseconds(1);
+    phase_end_ += phase;
+  }
+  return !up_;
+}
+
+}  // namespace halfback::netfault

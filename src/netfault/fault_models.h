@@ -1,0 +1,82 @@
+// Stateful per-link fault models composed by netfault::FaultInjector.
+//
+// Each model owns a forked sim::Random stream, so adding draws to one model
+// never perturbs another's sequence, and each is independently unit-testable
+// (tests/netfault/fault_models_test.cpp). All models are deterministic
+// functions of (config, seed, packet/consultation sequence).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netfault/fault_config.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace halfback::netfault {
+
+/// Gilbert–Elliott two-state Markov loss process. `should_drop()` steps the
+/// chain once and then draws against the resulting state's loss rate.
+class GilbertElliott {
+ public:
+  GilbertElliott(GilbertElliottConfig config, sim::Random rng)
+      : config_{config}, rng_{rng} {}
+
+  /// Step the chain for one packet and decide whether it is lost.
+  bool should_drop() {
+    if (bad_) {
+      if (rng_.bernoulli(config_.p_bad_to_good.value())) bad_ = false;
+    } else {
+      if (rng_.bernoulli(config_.p_good_to_bad.value())) bad_ = true;
+    }
+    const Probability loss = bad_ ? config_.loss_bad : config_.loss_good;
+    return !loss.is_zero() && rng_.bernoulli(loss.value());
+  }
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  GilbertElliottConfig config_;
+  sim::Random rng_;
+  bool bad_ = false;  ///< chain starts in Good, like a freshly-up path
+};
+
+/// Deterministic outage schedule: a sorted list of non-overlapping
+/// blackout windows. Queries must come with non-decreasing `now` (virtual
+/// time is monotone), which lets the cursor advance in O(1) amortized.
+class OutageSchedule {
+ public:
+  /// Throws std::invalid_argument if windows are unsorted or overlap.
+  explicit OutageSchedule(std::vector<TimeWindow> windows);
+
+  /// True when `now` falls inside an outage window.
+  bool is_down(sim::Time now);
+
+  bool empty() const { return windows_.empty(); }
+
+ private:
+  std::vector<TimeWindow> windows_;
+  std::size_t cursor_ = 0;
+};
+
+/// Random link flapping: alternating exponential up/down phases. Phase
+/// boundaries are drawn lazily as `now` advances, so the draw sequence is a
+/// pure function of the seed and the boundary-crossing pattern.
+class LinkFlap {
+ public:
+  /// Throws std::invalid_argument unless both means are positive (use a
+  /// default FlapConfig — disabled — instead of a half-configured one).
+  LinkFlap(FlapConfig config, sim::Random rng);
+
+  /// True when the link is in a down phase at `now` (non-decreasing).
+  bool is_down(sim::Time now);
+
+ private:
+  FlapConfig config_;
+  sim::Random rng_;
+  bool up_ = true;             ///< link starts up
+  sim::Time phase_end_;        ///< current phase ends here (exclusive)
+};
+
+}  // namespace halfback::netfault

@@ -141,6 +141,23 @@ class HalfbackSender final : public PacedStartSender {
     }
   }
 
+  void on_timeout() override {
+    // Graceful degradation under severe loss (§3.2's machinery assumes ACKs
+    // keep arriving): an RTO means the ACK clock collapsed — the paced
+    // batch, the ROPR copies, or the ACKs themselves are being lost in
+    // bulk (bursty loss, a blackout). Proactively re-duplicating segments
+    // on top of go-back-N RTO recovery would only re-congest the
+    // recovering path, so abandon the proactive phase and let standard
+    // slow-start recovery (with its capped, backed-off timer) finish the
+    // flow. Runs that never hit an RTO — every fault-free run — are
+    // untouched.
+    if (!ropr_done_) {
+      ropr_done_ = true;
+      ropr_active_ = false;
+    }
+    PacedStartSender::on_timeout();
+  }
+
   std::uint32_t new_data_limit() const override {
     // No new data competes with the paced batch or with ROPR (§3.3: the
     // first k bytes are delivered by Pacing + ROPR, *then* TCP resumes).

@@ -43,6 +43,28 @@ std::size_t TransportAgent::active_sender_count() const {
 }
 
 void TransportAgent::on_packet(net::Packet packet) {
+  // Checksum check: a payload corrupted in flight (netfault) fails
+  // verification here, before any flow state can act on it. The sender's
+  // normal loss machinery recovers, exactly as for a dropped packet.
+  if (packet.corrupted) {
+    ++delivery_stats_.corrupted_rejected;
+    return;
+  }
+  // Wire-duplicate rejection: a link-level duplicate is an exact copy of an
+  // earlier transmission, uid included. Transport state downstream is
+  // idempotent anyway (receiver bitmap, scoreboard monotonicity), but
+  // rejecting the copy here keeps duplication from double-sampling RTTs or
+  // re-triggering ACK-clocked machinery. uid 0 marks packets outside the
+  // uid scheme (bare-component tests); those skip dedup.
+  if (packet.uid != 0) {
+    const std::uint64_t key =
+        packet.uid ^ (static_cast<std::uint64_t>(packet.type) << 62);
+    if (!seen_uids_.insert(key).second) {
+      ++delivery_stats_.duplicate_rejected;
+      return;
+    }
+  }
+  ++delivery_stats_.accepted;
   switch (packet.type) {
     case net::PacketType::syn: {
       auto it = receivers_.find(packet.flow);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/network.h"
@@ -14,6 +15,16 @@
 #include "transport/sender.h"
 
 namespace halfback::transport {
+
+/// Wire-delivery accounting for one host: what arrived, and what the
+/// transport refused to act on. The rejected counters stay zero unless a
+/// netfault::FaultInjector (or similar) is corrupting or duplicating
+/// packets upstream.
+struct DeliveryStats {
+  std::uint64_t accepted = 0;            ///< packets dispatched to a flow
+  std::uint64_t corrupted_rejected = 0;  ///< failed the checksum check
+  std::uint64_t duplicate_rejected = 0;  ///< exact wire duplicate (same uid)
+};
 
 /// The host-side glue: owns every sender started on this host and every
 /// receiver spawned by an incoming SYN, and routes arriving packets to
@@ -50,6 +61,9 @@ class TransportAgent {
   /// Completed flow records accumulated on this host.
   const std::vector<FlowRecord>& completed() const { return completed_; }
 
+  /// Wire-delivery accounting (checksum + duplicate rejection counters).
+  const DeliveryStats& delivery_stats() const { return delivery_stats_; }
+
   std::size_t active_sender_count() const;
 
  private:
@@ -62,6 +76,12 @@ class TransportAgent {
   std::vector<FlowRecord> completed_;
   std::function<void(const Receiver&)> on_receive_complete_;
   Receiver::Config receiver_config_;
+  DeliveryStats delivery_stats_;
+  /// Wire uids already dispatched on this host (keyed with the packet type
+  /// so a sender-assigned data uid and a receiver-assigned ACK uid of the
+  /// same flow can never collide). Injected duplicates are exact copies —
+  /// same uid — so they are rejected here, once, at the delivery boundary.
+  std::unordered_set<std::uint64_t> seen_uids_;
 };
 
 }  // namespace halfback::transport

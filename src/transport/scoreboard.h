@@ -18,6 +18,7 @@ struct SegmentState {
   bool sacked = false;
   bool lost = false;                  ///< deemed lost by SACK rule or RTO
   bool retx_after_loss = false;       ///< loss-triggered retransmission done
+  bool rtt_sampled = false;           ///< an RTT sample was taken for this segment
   sim::Time first_sent;
   sim::Time last_sent;
   std::uint64_t last_uid = 0;

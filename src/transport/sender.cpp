@@ -55,7 +55,10 @@ void SenderBase::send_syn() {
   node_.send(std::move(syn));
 
   sim::Time timeout = config_.syn_timeout;
-  for (int i = 1; i < syn_tries_; ++i) timeout = timeout * 2.0;
+  for (int i = 1; i < syn_tries_ && timeout < config_.max_syn_timeout; ++i) {
+    timeout = timeout * 2.0;
+  }
+  timeout = std::min(timeout, config_.max_syn_timeout);
   syn_timer_.schedule_after(timeout);
 }
 
@@ -105,11 +108,15 @@ void SenderBase::handle_syn_ack(const net::Packet& /*packet*/) {
 }
 
 void SenderBase::take_rtt_sample(const net::Packet& ack) {
-  const SegmentState* s = scoreboard_.state(ack.seq);
+  SegmentState* s = scoreboard_.mutable_state(ack.seq);
   if (s == nullptr) return;
   // Karn's algorithm: only sample segments transmitted exactly once, and
-  // only when the ACK echoes that transmission.
-  if (s->times_sent == 1 && s->last_uid == ack.echo_uid) {
+  // only when the ACK echoes that transmission. At most one sample per
+  // transmission: under injected duplication the same echo can arrive
+  // repeatedly (a duplicated ACK, or a re-ACK of duplicated data), and the
+  // later copies carry an RTT inflated by the duplication spacing.
+  if (s->times_sent == 1 && s->last_uid == ack.echo_uid && !s->rtt_sampled) {
+    s->rtt_sampled = true;
     rtt_.add_sample(simulator_.now() - s->last_sent);
   }
 }

@@ -26,6 +26,11 @@ struct SenderConfig {
   RttEstimator::Config rtt;
   sim::Time syn_timeout = sim::Time::seconds(1);
   int max_syn_retries = 8;
+  /// RFC 6298-style ceiling on the exponential SYN backoff: however many
+  /// retries have happened, the next SYN timer never exceeds this. Keeps a
+  /// long blackout from scheduling absurd timers (the data-path RTO has the
+  /// matching cap in RttEstimator::Config::max_rto).
+  sim::Time max_syn_timeout = sim::Time::seconds(60);
 };
 
 /// Everything an experiment wants to know about a finished (or ongoing)

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "audit/invariant_auditor.h"
+#include "net/link.h"
 #include "net/packet.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
@@ -116,6 +118,23 @@ TEST(InvariantAuditorTest, DoubleDeliveredPacketIsFlagged) {
   auditor.on_node_received(2, p);
   EXPECT_TRUE(auditor.ok());
   auditor.on_node_received(2, p);  // the same wire transmission arrives again
+  EXPECT_FALSE(auditor.ok());
+}
+
+TEST(InvariantAuditorTest, InjectedDuplicateExtendsTheDeliveryBudget) {
+  // netfault duplication legitimately lands the same uid at its
+  // destination more than once; each on_link_fault_duplicated event buys
+  // exactly one extra arrival, no more.
+  sim::Simulator sim{1};
+  net::Link link{sim, sim::DataRate::megabits_per_second(10), 1_ms,
+                 std::make_unique<net::DropTailQueue>(1 << 20), 0.0};
+  InvariantAuditor auditor;
+  const net::Packet p = make_data_packet(/*uid=*/21);
+  auditor.on_link_fault_duplicated(link, p);  // one injected copy
+  auditor.on_node_received(2, p);
+  auditor.on_node_received(2, p);  // the copy: within the extended budget
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  auditor.on_node_received(2, p);  // a third arrival exceeds 1 + 1
   EXPECT_FALSE(auditor.ok());
 }
 

@@ -1,0 +1,134 @@
+// The chaos-matrix acceptance gate: every scheme completes every flow
+// across the whole fault catalog (including a blackout longer than the
+// initial RTO), every cell passes the invariant audit, every cell is
+// deterministic (same seed + same fault config ⇒ identical trace hash),
+// and a clean cell is bit-identical to a run that never heard of netfault.
+#include "exp/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/emulab.h"
+#include "schemes/scheme.h"
+
+namespace halfback::exp {
+namespace {
+
+using namespace halfback::sim::literals;
+
+ChaosSweepConfig test_config() {
+  ChaosSweepConfig config;
+  config.runner.seed = 1;
+  config.verify_determinism = true;
+  return config;
+}
+
+TEST(ChaosCatalogTest, BlackoutOutlastsTheInitialRto) {
+  // The acceptance bar demands recovery from an outage the first RTO
+  // cannot bridge: surviving it requires backed-off (and capped)
+  // retransmission timers.
+  const transport::SenderConfig defaults;
+  bool found = false;
+  for (const ChaosScenario& scenario : chaos_catalog()) {
+    for (const netfault::TimeWindow& outage : scenario.faults.outages) {
+      if (outage.duration() > defaults.rtt.min_rto) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no catalog outage exceeds the initial RTO";
+}
+
+TEST(ChaosMatrixTest, EverySchemeSurvivesEveryScenario) {
+  const std::vector<ChaosCell> cells =
+      chaos_sweep(test_config(), schemes::evaluation_set());
+  ASSERT_EQ(cells.size(),
+            chaos_catalog().size() * schemes::evaluation_set().size());
+  for (const ChaosCell& cell : cells) {
+    SCOPED_TRACE(cell.scenario + " / " + schemes::name(cell.scheme));
+    EXPECT_EQ(cell.unfinished, 0u) << "flows failed to complete under faults";
+    EXPECT_EQ(cell.flows, test_config().flows_per_cell);
+    EXPECT_TRUE(cell.deterministic)
+        << "same seed + same fault config produced a different trace hash";
+#ifdef HALFBACK_AUDIT
+    EXPECT_EQ(cell.audit_violations, 0u) << "invariants broke under chaos";
+    EXPECT_NE(cell.trace_hash, 0u);
+#endif
+  }
+}
+
+TEST(ChaosMatrixTest, FaultCountersAttributeWhatEachScenarioInjects) {
+  const std::vector<schemes::Scheme> one{schemes::Scheme::tcp};
+  const std::vector<ChaosCell> cells = chaos_sweep(test_config(), one);
+  for (const ChaosCell& cell : cells) {
+    SCOPED_TRACE(cell.scenario);
+    if (cell.scenario == "clean") {
+      EXPECT_EQ(cell.fault_drops, 0u);
+      EXPECT_EQ(cell.corrupted_rejected, 0u);
+      EXPECT_EQ(cell.duplicate_rejected, 0u);
+    } else if (cell.scenario == "bursty-loss" || cell.scenario == "blackout" ||
+               cell.scenario == "flap") {
+      EXPECT_GT(cell.fault_drops, 0u);
+    } else if (cell.scenario == "corrupt") {
+      EXPECT_GT(cell.corrupted_rejected, 0u);
+      EXPECT_EQ(cell.fault_drops, 0u);
+    } else if (cell.scenario == "duplicate") {
+      EXPECT_GT(cell.duplicate_rejected, 0u);
+      EXPECT_EQ(cell.fault_drops, 0u);
+    }
+  }
+}
+
+#ifdef HALFBACK_AUDIT
+TEST(ChaosMatrixTest, CleanCellMatchesARunWithoutTheChaosLayer) {
+  // Configuring zero faults must not install an injector, and must leave
+  // the run bit-identical (same trace hash) to a plain EmulabRunner run of
+  // the same workload — the zero-cost-when-off guarantee at system level.
+  const ChaosSweepConfig config = test_config();
+  EmulabRunner::Config runner_config = config.runner;
+  ASSERT_FALSE(runner_config.faults.any());
+  EmulabRunner runner{runner_config};
+  WorkloadPart part;
+  part.scheme = schemes::Scheme::halfback;
+  part.role = FlowRole::primary;
+  for (std::size_t i = 0; i < config.flows_per_cell; ++i) {
+    part.schedule.push_back(
+        {config.arrival_spacing * static_cast<double>(i), config.flow_bytes});
+  }
+  const RunResult plain = runner.run({part});
+
+  const std::vector<schemes::Scheme> one{schemes::Scheme::halfback};
+  const std::vector<ChaosCell> cells = chaos_sweep(config, one);
+  ASSERT_FALSE(cells.empty());
+  ASSERT_EQ(cells.front().scenario, "clean");
+  EXPECT_EQ(cells.front().trace_hash, plain.trace_hash);
+  EXPECT_EQ(plain.delivery.corrupted_rejected, 0u);
+  EXPECT_EQ(plain.delivery.duplicate_rejected, 0u);
+  EXPECT_EQ(plain.faults.packets_seen, 0u);  // no injector existed at all
+}
+#endif
+
+TEST(ChaosMatrixTest, DifferentSeedsProduceDifferentFaultPatterns) {
+  ChaosSweepConfig config = test_config();
+  config.verify_determinism = false;
+  EmulabRunner::Config a = config.runner;
+  a.seed = 1;
+  EmulabRunner::Config b = config.runner;
+  b.seed = 2;
+  for (EmulabRunner::Config* rc : {&a, &b}) {
+    rc->faults.gilbert_elliott.p_good_to_bad = 0.02;
+    rc->faults.gilbert_elliott.loss_good = 0.01;
+  }
+  WorkloadPart part;
+  part.scheme = schemes::Scheme::tcp;
+  part.schedule.push_back({sim::Time::zero(), 100'000});
+  RunResult ra = EmulabRunner{a}.run({part});
+  RunResult rb = EmulabRunner{b}.run({part});
+#ifdef HALFBACK_AUDIT
+  EXPECT_NE(ra.trace_hash, rb.trace_hash);
+#else
+  EXPECT_NE(ra.faults.burst_drops, rb.faults.burst_drops);
+#endif
+}
+
+}  // namespace
+}  // namespace halfback::exp

@@ -1,0 +1,176 @@
+// FaultInjector decision semantics: per-model attribution in
+// InjectorStats, decision composition order (drops short-circuit the
+// rest), validation at construction, and bit-exact determinism of the
+// decision sequence for a fixed (config, seed).
+#include "netfault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/random.h"
+
+namespace halfback::netfault {
+namespace {
+
+using sim::Time;
+using namespace halfback::sim::literals;
+
+net::Packet make_packet(std::uint64_t uid = 1) {
+  net::Packet p;
+  p.flow = 1;
+  p.type = net::PacketType::data;
+  p.size_bytes = 1500;
+  p.uid = uid;
+  return p;
+}
+
+TEST(FaultInjectorTest, ValidatesConfigAtConstruction) {
+  FaultConfig config;
+  config.flap.mean_up = 1_s;  // half-configured flap
+  EXPECT_THROW(FaultInjector(config, sim::Random{1}), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, EmptyConfigLeavesEveryPacketAlone) {
+  FaultInjector injector{FaultConfig{}, sim::Random{1}};
+  for (int i = 0; i < 100; ++i) {
+    net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_EQ(d.duplicates, 0u);
+    EXPECT_TRUE(d.extra_delay.is_zero());
+  }
+  EXPECT_EQ(injector.stats().packets_seen, 100u);
+  EXPECT_EQ(injector.stats().total_drops(), 0u);
+}
+
+TEST(FaultInjectorTest, OutageWindowDropsAndAttributes) {
+  FaultConfig config;
+  config.outages.emplace_back(1_s, 1_s);
+  FaultInjector injector{config, sim::Random{1}};
+  EXPECT_FALSE(injector.on_transmit(make_packet(), 500_ms).drop);
+  EXPECT_TRUE(injector.on_transmit(make_packet(), 1500_ms).drop);
+  EXPECT_FALSE(injector.on_transmit(make_packet(), 2500_ms).drop);
+  EXPECT_EQ(injector.stats().outage_drops, 1u);
+  EXPECT_EQ(injector.stats().total_drops(), 1u);
+}
+
+TEST(FaultInjectorTest, CertainCorruptionMarksEveryPacket) {
+  FaultConfig config;
+  config.corrupt.probability = 1.0;
+  FaultInjector injector{config, sim::Random{1}};
+  for (int i = 0; i < 50; ++i) {
+    net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+    EXPECT_FALSE(d.drop);
+    EXPECT_TRUE(d.corrupt);
+  }
+  EXPECT_EQ(injector.stats().corrupted, 50u);
+}
+
+TEST(FaultInjectorTest, DuplicationBoundsAndSpacing) {
+  FaultConfig config;
+  config.duplicate.probability = 1.0;
+  config.duplicate.max_copies = 3;
+  config.duplicate.spacing = 2_ms;
+  FaultInjector injector{config, sim::Random{1}};
+  for (int i = 0; i < 200; ++i) {
+    net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+    ASSERT_GE(d.duplicates, 1u);
+    ASSERT_LE(d.duplicates, 3u);
+    EXPECT_EQ(d.duplicate_spacing, 2_ms);
+  }
+  EXPECT_GE(injector.stats().duplicated, 200u);
+}
+
+TEST(FaultInjectorTest, ReorderJitterStaysWithinBound) {
+  FaultConfig config;
+  config.reorder.probability = 1.0;
+  config.reorder.max_extra_delay = 10_ms;
+  FaultInjector injector{config, sim::Random{1}};
+  for (int i = 0; i < 200; ++i) {
+    net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+    EXPECT_GE(d.extra_delay, Time::zero());
+    EXPECT_LE(d.extra_delay, 10_ms);
+  }
+  EXPECT_EQ(injector.stats().jittered, 200u);
+}
+
+TEST(FaultInjectorTest, DelaySpikeAddsFullMagnitude) {
+  FaultConfig config;
+  config.delay_spike.probability = 1.0;
+  config.delay_spike.magnitude = 150_ms;
+  FaultInjector injector{config, sim::Random{1}};
+  net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+  EXPECT_EQ(d.extra_delay, 150_ms);
+  EXPECT_EQ(injector.stats().delay_spikes, 1u);
+}
+
+TEST(FaultInjectorTest, DropShortCircuitsTheOtherModels) {
+  // Inside an outage the packet is dropped before corruption/duplication
+  // are even consulted — their counters stay zero even at probability 1.
+  FaultConfig config;
+  config.outages.emplace_back(Time::zero(), 10_s);
+  config.corrupt.probability = 1.0;
+  config.duplicate.probability = 1.0;
+  FaultInjector injector{config, sim::Random{1}};
+  for (int i = 0; i < 20; ++i) {
+    net::FaultDecision d = injector.on_transmit(make_packet(), 1_ms);
+    EXPECT_TRUE(d.drop);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_EQ(d.duplicates, 0u);
+  }
+  EXPECT_EQ(injector.stats().outage_drops, 20u);
+  EXPECT_EQ(injector.stats().corrupted, 0u);
+  EXPECT_EQ(injector.stats().duplicated, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultConfig config;
+  config.gilbert_elliott.p_good_to_bad = 0.02;
+  config.gilbert_elliott.loss_good = 0.01;
+  config.reorder.probability = 0.3;
+  config.reorder.max_extra_delay = 5_ms;
+  config.duplicate.probability = 0.2;
+  config.duplicate.max_copies = 2;
+  config.corrupt.probability = 0.1;
+  config.delay_spike.probability = 0.05;
+  config.delay_spike.magnitude = 20_ms;
+  config.flap.mean_up = 500_ms;
+  config.flap.mean_down = 50_ms;
+
+  FaultInjector a{config, sim::Random{99}};
+  FaultInjector b{config, sim::Random{99}};
+  for (int i = 0; i < 20'000; ++i) {
+    const Time now = Time::microseconds(100) * static_cast<double>(i);
+    net::FaultDecision da = a.on_transmit(make_packet(i), now);
+    net::FaultDecision db = b.on_transmit(make_packet(i), now);
+    ASSERT_EQ(da.drop, db.drop);
+    ASSERT_EQ(da.corrupt, db.corrupt);
+    ASSERT_EQ(da.duplicates, db.duplicates);
+    ASSERT_EQ(da.extra_delay, db.extra_delay);
+    ASSERT_EQ(da.duplicate_spacing, db.duplicate_spacing);
+  }
+  EXPECT_EQ(a.stats().total_drops(), b.stats().total_drops());
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultConfig config;
+  config.corrupt.probability = 0.5;
+  FaultInjector a{config, sim::Random{1}};
+  FaultInjector b{config, sim::Random{2}};
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Time now = Time::microseconds(100) * static_cast<double>(i);
+    if (a.on_transmit(make_packet(i), now).corrupt !=
+        b.on_transmit(make_packet(i), now).corrupt) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace halfback::netfault

@@ -1,0 +1,270 @@
+// Unit coverage for the netfault value types and per-link fault models:
+// construction-time validation (the net::LossRate pattern), Gilbert–Elliott
+// burstiness, outage schedules, link flapping — and the determinism
+// contract: same config + same seed ⇒ identical decision sequence.
+#include "netfault/fault_models.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "netfault/fault_config.h"
+#include "sim/random.h"
+
+namespace halfback::netfault {
+namespace {
+
+using sim::Time;
+using namespace halfback::sim::literals;
+
+// --- Probability ------------------------------------------------------------
+
+TEST(ProbabilityTest, AcceptsTheClosedUnitInterval) {
+  EXPECT_EQ(Probability{}.value(), 0.0);
+  EXPECT_EQ(Probability{0.0}.value(), 0.0);
+  EXPECT_EQ(Probability{0.25}.value(), 0.25);
+  EXPECT_EQ(Probability{1.0}.value(), 1.0);
+  EXPECT_TRUE(Probability{0.0}.is_zero());
+  EXPECT_FALSE(Probability{1e-9}.is_zero());
+}
+
+TEST(ProbabilityTest, RejectsOutOfRangeAndNaN) {
+  EXPECT_THROW(Probability{-0.01}, std::invalid_argument);
+  EXPECT_THROW(Probability{1.01}, std::invalid_argument);
+  EXPECT_THROW(Probability{std::numeric_limits<double>::quiet_NaN()},
+               std::invalid_argument);
+  EXPECT_THROW(Probability{std::numeric_limits<double>::infinity()},
+               std::invalid_argument);
+}
+
+// --- TimeWindow -------------------------------------------------------------
+
+TEST(TimeWindowTest, HalfOpenContainment) {
+  TimeWindow w{1_s, 2_s};
+  EXPECT_EQ(w.start(), 1_s);
+  EXPECT_EQ(w.end(), 3_s);
+  EXPECT_FALSE(w.contains(999_ms));
+  EXPECT_TRUE(w.contains(1_s));
+  EXPECT_TRUE(w.contains(2999_ms));
+  EXPECT_FALSE(w.contains(3_s));
+}
+
+TEST(TimeWindowTest, RejectsNegativeStartAndEmptyDuration) {
+  EXPECT_THROW(TimeWindow(Time::milliseconds(-1), 1_s), std::invalid_argument);
+  EXPECT_THROW(TimeWindow(1_s, Time::zero()), std::invalid_argument);
+  EXPECT_THROW(TimeWindow(1_s, Time::milliseconds(-1)), std::invalid_argument);
+}
+
+// --- FaultConfig::validate --------------------------------------------------
+
+TEST(FaultConfigTest, DefaultIsEmptyAndValid) {
+  FaultConfig config;
+  EXPECT_FALSE(config.any());
+  EXPECT_NO_THROW(validate(config));
+}
+
+TEST(FaultConfigTest, EachModelFlipsAny) {
+  {
+    FaultConfig c;
+    c.gilbert_elliott.p_good_to_bad = 0.1;
+    EXPECT_TRUE(c.any());  // bad-state loss defaults to 0.5
+  }
+  {
+    FaultConfig c;
+    c.reorder.probability = 0.1;
+    c.reorder.max_extra_delay = 1_ms;
+    EXPECT_TRUE(c.any());
+  }
+  {
+    FaultConfig c;
+    c.corrupt.probability = 0.1;
+    EXPECT_TRUE(c.any());
+  }
+  {
+    FaultConfig c;
+    c.outages.emplace_back(1_s, 1_s);
+    EXPECT_TRUE(c.any());
+  }
+}
+
+TEST(FaultConfigTest, RejectsHalfConfiguredFlap) {
+  FaultConfig config;
+  config.flap.mean_up = 1_s;  // mean_down left zero
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config.flap.mean_up = Time::zero();
+  config.flap.mean_down = 1_s;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config.flap.mean_up = 1_s;
+  EXPECT_NO_THROW(validate(config));
+}
+
+TEST(FaultConfigTest, RejectsNegativeDurations) {
+  {
+    FaultConfig c;
+    c.reorder.probability = 0.1;
+    c.reorder.max_extra_delay = Time::milliseconds(-1);
+    EXPECT_THROW(validate(c), std::invalid_argument);
+  }
+  {
+    FaultConfig c;
+    c.duplicate.probability = 0.1;
+    c.duplicate.spacing = Time::milliseconds(-1);
+    EXPECT_THROW(validate(c), std::invalid_argument);
+  }
+  {
+    FaultConfig c;
+    c.delay_spike.probability = 0.1;
+    c.delay_spike.magnitude = Time::milliseconds(-1);
+    EXPECT_THROW(validate(c), std::invalid_argument);
+  }
+}
+
+TEST(FaultConfigTest, RejectsUnsortedOrOverlappingOutages) {
+  {
+    FaultConfig c;
+    c.outages.emplace_back(5_s, 1_s);
+    c.outages.emplace_back(1_s, 1_s);  // unsorted
+    EXPECT_THROW(validate(c), std::invalid_argument);
+  }
+  {
+    FaultConfig c;
+    c.outages.emplace_back(1_s, 2_s);   // [1, 3)
+    c.outages.emplace_back(2_s, 1_s);   // overlaps
+    EXPECT_THROW(validate(c), std::invalid_argument);
+  }
+  {
+    FaultConfig c;
+    c.outages.emplace_back(1_s, 1_s);   // [1, 2)
+    c.outages.emplace_back(2_s, 1_s);   // back-to-back is fine (half-open)
+    EXPECT_NO_THROW(validate(c));
+  }
+}
+
+// --- GilbertElliott ---------------------------------------------------------
+
+TEST(GilbertElliottTest, NeverDropsWhenLossless) {
+  GilbertElliottConfig config;  // all zero except defaults gated off
+  config.p_bad_to_good = 0.3;
+  GilbertElliott ge{config, sim::Random{7}};
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ge.should_drop());
+  EXPECT_FALSE(ge.in_bad_state());
+}
+
+TEST(GilbertElliottTest, AlwaysDropsAtUnitLoss) {
+  GilbertElliottConfig config;
+  config.loss_good = 1.0;
+  config.loss_bad = 1.0;
+  GilbertElliott ge{config, sim::Random{7}};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ge.should_drop());
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // Loss only in the Bad state: drops must come in runs whose length
+  // reflects 1/p_bad_to_good, not as isolated i.i.d. events.
+  GilbertElliottConfig config;
+  config.p_good_to_bad = 0.01;
+  config.p_bad_to_good = 0.25;
+  config.loss_good = 0.0;
+  config.loss_bad = 1.0;
+  GilbertElliott ge{config, sim::Random{42}};
+  int drops = 0;
+  int burst_starts = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 100'000; ++i) {
+    if (ge.should_drop()) {
+      ++drops;
+      if (!in_burst) ++burst_starts;
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  ASSERT_GT(drops, 0);
+  ASSERT_GT(burst_starts, 0);
+  const double mean_burst = static_cast<double>(drops) / burst_starts;
+  // Expected residence in Bad is 1/0.25 = 4 consecutive packets.
+  EXPECT_GT(mean_burst, 2.0);
+  EXPECT_LT(mean_burst, 8.0);
+  // Overall loss rate ≈ stationary Bad share = 0.01/(0.01+0.25) ≈ 3.8%.
+  EXPECT_NEAR(drops / 100'000.0, 0.038, 0.02);
+}
+
+TEST(GilbertElliottTest, SameSeedSameSequence) {
+  GilbertElliottConfig config;
+  config.p_good_to_bad = 0.05;
+  config.p_bad_to_good = 0.3;
+  config.loss_good = 0.01;
+  GilbertElliott a{config, sim::Random{9}};
+  GilbertElliott b{config, sim::Random{9}};
+  for (int i = 0; i < 5000; ++i) ASSERT_EQ(a.should_drop(), b.should_drop());
+}
+
+// --- OutageSchedule ---------------------------------------------------------
+
+TEST(OutageScheduleTest, MonotoneQueriesAcrossWindows) {
+  std::vector<TimeWindow> windows;
+  windows.emplace_back(1_s, 1_s);   // [1, 2)
+  windows.emplace_back(5_s, 2_s);   // [5, 7)
+  OutageSchedule schedule{windows};
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_FALSE(schedule.is_down(Time::zero()));
+  EXPECT_TRUE(schedule.is_down(1_s));
+  EXPECT_TRUE(schedule.is_down(1500_ms));
+  EXPECT_FALSE(schedule.is_down(2_s));
+  EXPECT_FALSE(schedule.is_down(4999_ms));
+  EXPECT_TRUE(schedule.is_down(6999_ms));
+  EXPECT_FALSE(schedule.is_down(7_s));
+  EXPECT_FALSE(schedule.is_down(100_s));
+}
+
+TEST(OutageScheduleTest, EmptyScheduleIsAlwaysUp) {
+  OutageSchedule schedule{{}};
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_FALSE(schedule.is_down(3_s));
+}
+
+TEST(OutageScheduleTest, RejectsOverlap) {
+  std::vector<TimeWindow> windows;
+  windows.emplace_back(1_s, 3_s);
+  windows.emplace_back(2_s, 1_s);
+  EXPECT_THROW(OutageSchedule{windows}, std::invalid_argument);
+}
+
+// --- LinkFlap ---------------------------------------------------------------
+
+TEST(LinkFlapTest, StartsUpAndEventuallyFlaps) {
+  FlapConfig config;
+  config.mean_up = 100_ms;
+  config.mean_down = 100_ms;
+  LinkFlap flap{config, sim::Random{3}};
+  EXPECT_FALSE(flap.is_down(Time::zero()));  // link starts in an up phase
+  int down = 0;
+  int up = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    // Sample every 10 ms: both phases must show up, roughly evenly given
+    // equal means.
+    (flap.is_down(Time::milliseconds(10) * static_cast<double>(i)) ? down : up)++;
+  }
+  EXPECT_GT(down, 2'000);
+  EXPECT_GT(up, 2'000);
+}
+
+TEST(LinkFlapTest, SameSeedSameStateTrajectory) {
+  FlapConfig config;
+  config.mean_up = 50_ms;
+  config.mean_down = 20_ms;
+  LinkFlap a{config, sim::Random{11}};
+  LinkFlap b{config, sim::Random{11}};
+  for (int i = 0; i < 10'000; ++i) {
+    const Time t = Time::milliseconds(1) * static_cast<double>(i);
+    ASSERT_EQ(a.is_down(t), b.is_down(t));
+  }
+}
+
+TEST(LinkFlapTest, RejectsDisabledConfig) {
+  EXPECT_THROW(LinkFlap(FlapConfig{}, sim::Random{1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace halfback::netfault

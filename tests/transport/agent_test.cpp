@@ -121,5 +121,88 @@ TEST(TransportAgentTest, StrayPacketsIgnored) {
   EXPECT_EQ(f.sender_agent->completed().size(), 0u);
 }
 
+// --- delivery hardening (checksum + dedup) ----------------------------------
+
+/// Corrupts or duplicates every matching packet — the adversarial-path
+/// conditions src/netfault/ injects, scripted deterministically here.
+class EveryPacketHook final : public net::FaultHook {
+ public:
+  explicit EveryPacketHook(net::FaultDecision decision,
+                           net::PacketType only = net::PacketType::data,
+                           int limit = -1)
+      : decision_{decision}, only_{only}, limit_{limit} {}
+
+  net::FaultDecision on_transmit(const net::Packet& packet,
+                                 sim::Time /*now*/) override {
+    if (packet.type != only_ || limit_ == 0) return {};
+    if (limit_ > 0) --limit_;
+    return decision_;
+  }
+
+ private:
+  net::FaultDecision decision_;
+  net::PacketType only_;
+  int limit_;
+};
+
+TEST(TransportAgentTest, CleanRunRejectsNothing) {
+  AgentFixture f;
+  f.start(1, 30'000);
+  f.sim.run();
+  const DeliveryStats& r = f.receiver_agent->delivery_stats();
+  EXPECT_GT(r.accepted, 0u);
+  EXPECT_EQ(r.corrupted_rejected, 0u);
+  EXPECT_EQ(r.duplicate_rejected, 0u);
+  EXPECT_EQ(f.sender_agent->delivery_stats().duplicate_rejected, 0u);
+}
+
+TEST(TransportAgentTest, DuplicatedDataIsDeliveredExactlyOnce) {
+  AgentFixture f;
+  net::FaultDecision dup;
+  dup.duplicates = 1;
+  EveryPacketHook hook{dup};
+  f.dumbbell.bottleneck_forward->set_fault_hook(&hook);
+  SenderBase& flow = f.start(1, 30'000);
+  f.sim.run();
+  ASSERT_TRUE(flow.complete());
+  const DeliveryStats& r = f.receiver_agent->delivery_stats();
+  // Every data packet arrived twice; the duplicate filter ate one of each,
+  // so the receiver saw each segment exactly once.
+  EXPECT_GT(r.duplicate_rejected, 0u);
+  ASSERT_NE(f.receiver_agent->receiver(1), nullptr);
+  EXPECT_EQ(f.receiver_agent->receiver(1)->stats().duplicate_segments, 0u);
+  // The reverse path was untouched: the sender rejected nothing.
+  EXPECT_EQ(f.sender_agent->delivery_stats().duplicate_rejected, 0u);
+}
+
+TEST(TransportAgentTest, DuplicatedAcksAreFilteredAtTheSender) {
+  AgentFixture f;
+  net::FaultDecision dup;
+  dup.duplicates = 2;
+  EveryPacketHook hook{dup, net::PacketType::ack};
+  f.dumbbell.bottleneck_reverse->set_fault_hook(&hook);
+  SenderBase& flow = f.start(1, 30'000);
+  f.sim.run();
+  ASSERT_TRUE(flow.complete());
+  EXPECT_GT(f.sender_agent->delivery_stats().duplicate_rejected, 0u);
+  // Dedup means the copies never reached the sender's ACK processing: no
+  // spurious loss detection from repeated acknowledgements.
+  EXPECT_EQ(flow.record().normal_retx, 0u);
+}
+
+TEST(TransportAgentTest, CorruptedDataIsRejectedAndRecovered) {
+  AgentFixture f;
+  net::FaultDecision corrupt;
+  corrupt.corrupt = true;
+  EveryPacketHook hook{corrupt, net::PacketType::data, /*limit=*/3};
+  f.dumbbell.bottleneck_forward->set_fault_hook(&hook);
+  SenderBase& flow = f.start(1, 30'000);
+  f.sim.run();
+  // The checksum dropped the mangled payloads; retransmission recovered.
+  ASSERT_TRUE(flow.complete());
+  EXPECT_EQ(f.receiver_agent->delivery_stats().corrupted_rejected, 3u);
+  EXPECT_GT(flow.record().normal_retx + flow.record().timeouts, 0u);
+}
+
 }  // namespace
 }  // namespace halfback::transport

@@ -101,5 +101,46 @@ TEST(HandshakeTest, PacedSchemesStillPaceAfterSynRetry) {
   EXPECT_EQ(s.record().normal_retx, 0u);
 }
 
+TEST(HandshakeTest, SynBackoffIsCappedDuringLongBlackouts) {
+  // A path black-holed for 8.5 s. With pure exponential doubling the SYN
+  // retries land at t = 1, 3, 7, 15 s — the flow would not connect until
+  // 15 s. Capping the backoff at 2 s keeps probing every 2 s, so the
+  // handshake completes shortly after the blackout lifts.
+  DumbbellFixture f;
+  f.context.sender_config.max_syn_timeout = 2_s;
+  f.dumbbell.bottleneck_forward->set_packet_filter([&](const net::Packet& p) {
+    return !(p.type == net::PacketType::syn && f.sim.now() < 8.5_s);
+  });
+  SenderBase& s = f.start(Scheme::tcp, 10'000);
+  f.sim.run();
+  ASSERT_TRUE(s.complete());
+  // Capped retries fire at 1, 3, 5, 7, 9 s; the 9 s SYN gets through.
+  EXPECT_EQ(s.record().syn_retx, 5u);
+  EXPECT_GT(s.record().fct(), 9_s);
+  EXPECT_LT(s.record().fct(), 10_s);
+}
+
+TEST(HandshakeTest, CappedBackoffStillBacksOffBeforeTheCeiling) {
+  // The cap must not turn backoff into a fixed interval below the
+  // ceiling: the first retries still double (1 s, then 2 s), and only
+  // then flatten at max_syn_timeout.
+  DumbbellFixture f;
+  f.context.sender_config.max_syn_timeout = 2_s;
+  std::vector<sim::Time> syn_times;
+  f.dumbbell.bottleneck_forward->set_packet_filter([&](const net::Packet& p) {
+    if (p.type != net::PacketType::syn) return true;
+    syn_times.push_back(f.sim.now());
+    return syn_times.size() > 4;  // let the fifth SYN through
+  });
+  SenderBase& s = f.start(Scheme::tcp, 10'000);
+  f.sim.run();
+  ASSERT_TRUE(s.complete());
+  ASSERT_EQ(syn_times.size(), 5u);
+  EXPECT_EQ(syn_times[1] - syn_times[0], 1_s);
+  EXPECT_EQ(syn_times[2] - syn_times[1], 2_s);
+  EXPECT_EQ(syn_times[3] - syn_times[2], 2_s);  // capped, not 4 s
+  EXPECT_EQ(syn_times[4] - syn_times[3], 2_s);  // capped, not 8 s
+}
+
 }  // namespace
 }  // namespace halfback::transport
