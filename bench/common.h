@@ -28,6 +28,7 @@ struct Options {
   double duration_s = -1.0;   ///< workload duration override
   int replications = 1;       ///< independent seeds per sweep cell
   std::string csv_dir;        ///< write result tables as CSV here
+  std::string telemetry_dir;  ///< write telemetry exports/manifests here
 };
 
 /// Parse a strictly numeric, non-negative value for `flag`; exits with a
@@ -80,10 +81,12 @@ inline Options parse_options(int argc, char** argv) {
       opt.replications = static_cast<int>(parse_count("--reps", v));
     } else if ((v = value("--csv="))) {
       opt.csv_dir = v;
+    } else if ((v = value("--telemetry="))) {
+      opt.telemetry_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed=N] [--threads=N] [--pairs=N] "
-          "[--duration=SECONDS] [--reps=N] [--csv=DIR]\n",
+          "[--duration=SECONDS] [--reps=N] [--csv=DIR] [--telemetry=DIR]\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -23,6 +23,7 @@
 #include "schemes/factory.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
+#include "telemetry/hub.h"
 #include "transport/agent.h"
 
 namespace {
@@ -221,12 +222,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// had; BENCH_micro_sim.json records that number as the baseline.) Returns
 /// timer fires/second of wall time (best of `reps` to damp scheduler
 /// noise).
-double measure_events_per_sec(int reps) {
+double measure_events_per_sec(int reps, telemetry::Hub* hub = nullptr) {
   constexpr int kTimers = 512;
   constexpr std::uint64_t kFires = 1'000'000;
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     sim::Simulator simulator{1};
+    if (hub != nullptr) simulator.set_telemetry(hub);
     std::uint64_t fired = 0;
     std::vector<std::unique_ptr<sim::Timer>> timers;
     timers.reserve(kTimers);
@@ -324,12 +326,53 @@ int run_json_mode(const char* path) {
   return 0;
 }
 
+/// Telemetry-overhead mode: the same recurring-timer hot loop, with and
+/// without a telemetry::Hub installed on the simulator. The disabled
+/// configuration exercises the hoisted no-telemetry dispatch loop (its cost
+/// must be the pre-telemetry core's); the enabled one pays one counter
+/// increment plus a high-water compare per event. Acceptance (ISSUE 5):
+/// enabled stays within 3% of disabled. Best-of-reps on both sides damps
+/// scheduler noise; interleaving reps would be better statistics, but
+/// best-of already discards the slow tail.
+int run_telemetry_json_mode(const char* path) {
+  const double disabled = measure_events_per_sec(/*reps=*/5);
+  telemetry::Hub hub;
+  const double enabled = measure_events_per_sec(/*reps=*/5, &hub);
+  const double overhead =
+      disabled > 0.0 ? (disabled - enabled) / disabled : 0.0;
+  const bool pass = overhead <= 0.03;
+  std::FILE* out = std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_sim: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"events_per_sec_disabled\": %.0f,\n"
+               "  \"events_per_sec_enabled\": %.0f,\n"
+               "  \"overhead_fraction\": %.4f,\n"
+               "  \"budget_fraction\": 0.03,\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               disabled, enabled, overhead, pass ? "true" : "false");
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf(
+        "telemetry overhead: disabled=%.0f enabled=%.0f events/s (%.2f%%) %s\n",
+        disabled, enabled, overhead * 100.0, pass ? "PASS" : "FAIL");
+  }
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       return run_json_mode(argv[i] + 7);
+    }
+    if (std::strncmp(argv[i], "--telemetry-json=", 17) == 0) {
+      return run_telemetry_json_mode(argv[i] + 17);
     }
   }
   benchmark::Initialize(&argc, argv);

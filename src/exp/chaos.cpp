@@ -1,8 +1,12 @@
 #include "exp/chaos.h"
 
+#include <fstream>
+#include <optional>
 #include <utility>
 
 #include "exp/parallel.h"
+#include "telemetry/export.h"
+#include "telemetry/hub.h"
 #include "workload/flow_schedule.h"
 
 namespace halfback::exp {
@@ -93,9 +97,11 @@ std::vector<ChaosScenario> chaos_catalog() {
 namespace {
 
 RunResult run_cell(const ChaosSweepConfig& config, const ChaosScenario& scenario,
-                   schemes::Scheme scheme) {
+                   schemes::Scheme scheme, telemetry::Hub* hub = nullptr,
+                   telemetry::RunManifest* manifest_out = nullptr) {
   EmulabRunner::Config runner_config = config.runner;
   runner_config.faults = scenario.faults;
+  runner_config.telemetry = hub;
   EmulabRunner runner{runner_config};
   WorkloadPart part;
   part.scheme = scheme;
@@ -107,7 +113,33 @@ RunResult run_cell(const ChaosSweepConfig& config, const ChaosScenario& scenario
     arrival.bytes = config.flow_bytes;
     part.schedule.push_back(arrival);
   }
-  return runner.run({part});
+  RunResult result = runner.run({part});
+  if (manifest_out != nullptr) {
+    *manifest_out = runner.manifest(result, "chaos:" + scenario.name);
+    manifest_out->scheme = schemes::name(scheme);
+  }
+  return result;
+}
+
+/// Write one cell's telemetry triple next to each other in `dir`. The hub
+/// is per-cell (cells run on sweep threads), so no synchronization needed.
+void export_cell(const std::string& dir, const ChaosScenario& scenario,
+                 schemes::Scheme scheme, const telemetry::Hub& hub,
+                 const telemetry::RunManifest& manifest, sim::Time end) {
+  const std::string stem =
+      dir + "/" + scenario.name + "-" + schemes::name(scheme);
+  {
+    std::ofstream out{stem + ".metrics.jsonl"};
+    telemetry::write_metrics_jsonl(out, hub.registry());
+  }
+  {
+    std::ofstream out{stem + ".trace.json"};
+    telemetry::write_chrome_trace(out, hub.recorder(), end);
+  }
+  {
+    std::ofstream out{stem + ".manifest.json"};
+    telemetry::write_manifest_json(out, manifest, &hub.registry());
+  }
 }
 
 ChaosCell summarize(const ChaosScenario& scenario, schemes::Scheme scheme,
@@ -152,8 +184,20 @@ std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
       [&](std::size_t i) {
         const ChaosScenario& scenario = catalog[i / scheme_count];
         const schemes::Scheme scheme = schemes[i % scheme_count];
-        RunResult run = run_cell(config, scenario, scheme);
+        const bool exporting = !config.telemetry_dir.empty();
+        // One hub per cell, alive only for the cell: the sweep shards cells
+        // across threads and the hub is not thread-safe.
+        std::optional<telemetry::Hub> hub;
+        if (exporting) hub.emplace();
+        telemetry::RunManifest manifest;
+        RunResult run = run_cell(config, scenario, scheme,
+                                 exporting ? &*hub : nullptr,
+                                 exporting ? &manifest : nullptr);
         cells[i] = summarize(scenario, scheme, run);
+        if (exporting) {
+          export_cell(config.telemetry_dir, scenario, scheme, *hub, manifest,
+                      run.sim_end);
+        }
         if (config.verify_determinism) {
           RunResult rerun = run_cell(config, scenario, scheme);
           cells[i].deterministic = rerun.trace_hash == run.trace_hash;

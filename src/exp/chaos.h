@@ -67,6 +67,11 @@ struct ChaosSweepConfig {
   /// Re-run every cell with an identical config and require an identical
   /// trace hash (the determinism acceptance gate; doubles the work).
   bool verify_determinism = false;
+  /// When non-empty, each cell runs with its own telemetry hub and writes
+  /// `<dir>/<scenario>-<scheme>.{metrics.jsonl,trace.json,manifest.json}`
+  /// there (the directory must already exist). Purely observational: cell
+  /// results and trace hashes are identical with or without it.
+  std::string telemetry_dir;
 };
 
 /// Run the full matrix: one cell per (catalog scenario, scheme).

@@ -1,10 +1,44 @@
 #include "exp/emulab.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "audit/invariant_auditor.h"
 
 namespace halfback::exp {
+namespace {
+
+/// Canonical text form of the reproducibility-relevant config knobs, hashed
+/// into the run manifest's config digest. Append-only: adding a field
+/// changes every digest, which is fine (digests compare within one
+/// version), but keep the order stable within a version.
+std::string config_fingerprint(const EmulabRunner::Config& c) {
+  std::ostringstream out;
+  out << "seed=" << c.seed << ";senders=" << c.dumbbell.sender_count
+      << ";receivers=" << c.dumbbell.receiver_count
+      << ";access_bps=" << c.dumbbell.access_rate.bps()
+      << ";bottleneck_bps=" << c.dumbbell.bottleneck_rate.bps()
+      << ";rtt_ns=" << c.dumbbell.rtt.ns()
+      << ";buffer=" << c.dumbbell.bottleneck_buffer_bytes.count()
+      << ";queue=" << static_cast<int>(c.dumbbell.bottleneck_queue)
+      << ";iw=" << c.sender_config.initial_window
+      << ";rwnd=" << c.sender_config.receive_window_segments
+      << ";threshold=" << c.halfback_config.pacing_threshold_segments
+      << ";order=" << static_cast<int>(c.halfback_config.order)
+      << ";rate=" << static_cast<int>(c.halfback_config.rate)
+      << ";copies=" << c.halfback_config.copies_per_ack
+      << ";burst=" << c.halfback_config.initial_burst_segments
+      << ";drain_ns=" << c.drain.ns() << ";faults=" << c.faults.any()
+      << ";ge=" << c.faults.gilbert_elliott.p_good_to_bad.value()
+      << ";corrupt=" << c.faults.corrupt.probability.value()
+      << ";dup=" << c.faults.duplicate.probability.value()
+      << ";reorder=" << c.faults.reorder.probability.value()
+      << ";spike=" << c.faults.delay_spike.probability.value()
+      << ";outages=" << c.faults.outages.size();
+  return out.str();
+}
+
+}  // namespace
 
 double RunResult::mean_fct_ms(FlowRole role) const {
   stats::Summary s = fct_ms(role);
@@ -73,12 +107,19 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
     dumbbell.bottleneck_reverse->set_fault_hook(fault_reverse.get());
   }
 
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->instrument_network(network);
+  }
+
   std::vector<std::unique_ptr<transport::TransportAgent>> agents;
   for (net::NodeId id : dumbbell.senders) {
     agents.push_back(std::make_unique<transport::TransportAgent>(simulator, network, id));
   }
   for (net::NodeId id : dumbbell.receivers) {
     agents.push_back(std::make_unique<transport::TransportAgent>(simulator, network, id));
+  }
+  if (config_.telemetry != nullptr) {
+    for (auto& agent : agents) agent->set_telemetry(config_.telemetry);
   }
   const std::size_t sender_count = dumbbell.senders.size();
 
@@ -186,7 +227,31 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
   result.trace_hash = auditor.trace_hash();
   result.audit_violations = auditor.total_violations();
 #endif
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->snapshot_network(network, simulator.now());
+    for (const netfault::FaultInjector* injector :
+         {fault_forward.get(), fault_reverse.get()}) {
+      if (injector != nullptr) config_.telemetry->record_injector(injector->stats());
+    }
+  }
   return result;
+}
+
+telemetry::RunManifest EmulabRunner::manifest(const RunResult& result,
+                                              std::string experiment) const {
+  telemetry::RunManifest m;
+  m.experiment = std::move(experiment);
+  m.seed = config_.seed;
+  m.config_digest = telemetry::fnv1a64(config_fingerprint(config_));
+  m.trace_hash = result.trace_hash;
+  m.sim_end = result.sim_end;
+  if (config_.telemetry != nullptr) {
+    const telemetry::MetricRegistry& registry = config_.telemetry->registry();
+    if (const auto* e = registry.find("sim.events_dispatched")) {
+      m.events_dispatched = registry.counter_at(*e).value();
+    }
+  }
+  return m;
 }
 
 }  // namespace halfback::exp

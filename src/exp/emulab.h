@@ -14,6 +14,7 @@
 #include "schemes/factory.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
+#include "telemetry/manifest.h"
 #include "transport/agent.h"
 #include "workload/flow_schedule.h"
 
@@ -95,12 +96,24 @@ class EmulabRunner {
     /// `seed` (never from the simulator's live stream, which would perturb
     /// the fault-free baseline). See docs/fault-injection.md.
     netfault::FaultConfig faults;
+    /// Optional telemetry hub (owned by the caller, one per run). When set,
+    /// the run installs it on the simulator, links, and every flow, and
+    /// snapshots network gauges at the end. Purely observational: trace
+    /// hashes are identical with or without it (docs/telemetry.md).
+    telemetry::Hub* telemetry = nullptr;
   };
 
   explicit EmulabRunner(Config config) : config_{std::move(config)} {}
 
   /// Run all parts on one fresh network.
   RunResult run(const std::vector<WorkloadPart>& parts);
+
+  /// Provenance manifest for a finished run (seed, config digest, trace
+  /// hash, end-of-run counters). `experiment` names the caller's context,
+  /// e.g. "emulab" or "chaos:rc-2". Wall time is left zero for the caller
+  /// to stamp.
+  telemetry::RunManifest manifest(const RunResult& result,
+                                  std::string experiment) const;
 
  private:
   Config config_;

@@ -2,14 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "audit/invariant_auditor.h"
 #include "exp/parallel.h"
 #include "schemes/factory.h"
 #include "sim/random.h"
+#include "telemetry/hub.h"
 #include "transport/agent.h"
 
 namespace halfback::exp {
+namespace {
+
+/// Canonical text form of the reproducibility-relevant knobs, hashed into
+/// the trial manifest's config digest. Paths are derived deterministically
+/// from `seed` in the constructor, so the ensemble config plus the trial
+/// seed pins down the whole trial; individual path parameters need not be
+/// fingerprinted.
+std::string config_fingerprint(const PlanetLabConfig& c,
+                               std::uint64_t trial_seed) {
+  std::ostringstream out;
+  out << "seed=" << c.seed << ";trial_seed=" << trial_seed
+      << ";pairs=" << c.pair_count << ";bytes=" << c.flow_bytes.count()
+      << ";iw=" << c.sender_config.initial_window
+      << ";rwnd=" << c.sender_config.receive_window_segments
+      << ";timeout_ns=" << c.per_trial_timeout.ns();
+  return out.str();
+}
+
+}  // namespace
 
 PlanetLabEnv::PlanetLabEnv(PlanetLabConfig config) : config_{config} {
   sim::Random rng{config_.seed};
@@ -39,7 +60,8 @@ PlanetLabEnv::PlanetLabEnv(PlanetLabConfig config) : config_{config} {
 }
 
 TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path,
-                                  std::uint64_t trial_seed) const {
+                                  std::uint64_t trial_seed,
+                                  telemetry::Hub* telemetry) const {
   sim::Simulator simulator{trial_seed};
   net::Network network{simulator};
 
@@ -59,8 +81,14 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
   apc.downlink_loss_rate = path.random_loss;
   net::AccessPath ap = net::build_access_path(network, apc);
 
+  if (telemetry != nullptr) telemetry->instrument_network(network);
+
   transport::TransportAgent server_agent{simulator, network, ap.server};
   transport::TransportAgent client_agent{simulator, network, ap.client};
+  if (telemetry != nullptr) {
+    server_agent.set_telemetry(telemetry);
+    client_agent.set_telemetry(telemetry);
+  }
 
   std::uint32_t flow_drops = 0;
   const net::FlowId kFlow = 1;
@@ -118,7 +146,29 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
   result.trace_hash = auditor.trace_hash();
   result.audit_violations = auditor.total_violations();
 #endif
+  if (telemetry != nullptr) telemetry->snapshot_network(network, simulator.now());
   return result;
+}
+
+telemetry::RunManifest PlanetLabEnv::manifest(
+    const TrialResult& result, schemes::Scheme scheme, std::uint64_t trial_seed,
+    const telemetry::Hub* telemetry) const {
+  telemetry::RunManifest m;
+  m.experiment = "planetlab";
+  m.scheme = schemes::name(scheme);
+  m.seed = trial_seed;
+  m.config_digest = telemetry::fnv1a64(config_fingerprint(config_, trial_seed));
+  m.trace_hash = result.trace_hash;
+  // TrialResult carries no separate sim-end clock; the completion time is
+  // the flow's finish (or its censoring point for unfinished trials).
+  m.sim_end = result.record.completion_time;
+  if (telemetry != nullptr) {
+    const telemetry::MetricRegistry& registry = telemetry->registry();
+    if (const auto* e = registry.find("sim.events_dispatched")) {
+      m.events_dispatched = registry.counter_at(*e).value();
+    }
+  }
+  return m;
 }
 
 std::vector<TrialResult> PlanetLabEnv::run(schemes::Scheme scheme) const {

@@ -17,7 +17,12 @@
 #include "net/topology.h"
 #include "schemes/scheme.h"
 #include "sim/bytes.h"
+#include "telemetry/manifest.h"
 #include "transport/sender.h"
+
+namespace halfback::telemetry {
+class Hub;
+}  // namespace halfback::telemetry
 
 namespace halfback::exp {
 
@@ -64,9 +69,21 @@ class PlanetLabEnv {
   /// Run one scheme across all paths.
   std::vector<TrialResult> run(schemes::Scheme scheme) const;
 
-  /// Run a single trial (exposed for tests).
+  /// Run a single trial (exposed for tests). When `telemetry` is non-null
+  /// the trial installs it on the simulator, links, and flow — purely
+  /// observational, the trace hash is unchanged. One hub covers one trial;
+  /// run() shards trials across threads, so a shared hub would race.
   TrialResult run_one(schemes::Scheme scheme, const PathSample& path,
-                      std::uint64_t trial_seed) const;
+                      std::uint64_t trial_seed,
+                      telemetry::Hub* telemetry = nullptr) const;
+
+  /// Provenance manifest for one finished trial. `telemetry` (if given)
+  /// supplies the end-of-run event count; wall time is left zero for the
+  /// caller to stamp.
+  telemetry::RunManifest manifest(const TrialResult& result,
+                                  schemes::Scheme scheme,
+                                  std::uint64_t trial_seed,
+                                  const telemetry::Hub* telemetry = nullptr) const;
 
  private:
   PlanetLabConfig config_;

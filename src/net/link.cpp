@@ -80,6 +80,7 @@ void Link::apply_faults() {
     ++stats_.fault_dropped_packets;
     HALFBACK_AUDIT_HOOK(simulator_.auditor(),
                         on_link_fault_dropped(*this, tx_packet_));
+    record_fault(telemetry::FaultKind::drop);
     return;
   }
   if (decision.corrupt && !tx_packet_.corrupted) {
@@ -87,12 +88,16 @@ void Link::apply_faults() {
     ++stats_.fault_corrupted_packets;
     HALFBACK_AUDIT_HOOK(simulator_.auditor(),
                         on_link_fault_corrupted(*this, tx_packet_));
+    record_fault(telemetry::FaultKind::corrupt);
   }
   if (decision.extra_delay < sim::Time::zero() ||
       decision.duplicate_spacing < sim::Time::zero()) {
     throw std::logic_error{"FaultHook returned a negative delay"};
   }
-  if (!decision.extra_delay.is_zero()) ++stats_.fault_delayed_packets;
+  if (!decision.extra_delay.is_zero()) {
+    ++stats_.fault_delayed_packets;
+    record_fault(telemetry::FaultKind::delay);
+  }
   const sim::Time pipe = delay_ + decision.extra_delay;
   if (decision.duplicates == 0) {
     launch(std::move(tx_packet_), pipe);
@@ -107,9 +112,16 @@ void Link::apply_faults() {
     ++stats_.fault_duplicated_packets;
     HALFBACK_AUDIT_HOOK(simulator_.auditor(),
                         on_link_fault_duplicated(*this, original));
+    record_fault(telemetry::FaultKind::duplicate);
     copy_at += decision.duplicate_spacing;
     launch(original, copy_at);
   }
+}
+
+void Link::record_fault(telemetry::FaultKind kind) {
+  if (tape_ == nullptr) return;
+  tape_->record(simulator_.now(), telemetry::TapeEventKind::fault_hit,
+                static_cast<std::uint32_t>(kind), tx_packet_.uid);
 }
 
 void Link::deliver_trampoline(void* context, PacketEvent& node) {

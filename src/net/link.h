@@ -101,6 +101,13 @@ class Link {
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  /// Attach this link's flight-recorder tape (nullptr detaches; owned by
+  /// the telemetry Hub). Fault hits are recorded on it; queue drops go on
+  /// the same tape via PacketQueue::set_tape. Recording is confined to the
+  /// apply_faults slow path — the fault-free per-packet cost is unchanged.
+  void set_tape(telemetry::Tape* tape) { tape_ = tape; }
+  telemetry::Tape* tape() const { return tape_; }
+
   /// Hand a packet to the link. It is queued if the transmitter is busy and
   /// may be dropped by the queue discipline.
   void send(Packet p);
@@ -141,6 +148,8 @@ class Link {
   void launch(Packet p, sim::Time pipe_delay);
   /// Out-of-line slow path: consult fault_hook_ and act on its decision.
   void apply_faults();
+  /// Record a fault-hit tape event for tx_packet_ (no-op without a tape).
+  void record_fault(telemetry::FaultKind kind);
 
   static void deliver_trampoline(void* context, PacketEvent& node);
   void deliver(PacketEvent& node);
@@ -154,6 +163,7 @@ class Link {
   std::function<void(Packet)> receiver_;            // lint: function-ok(bound once at wiring time)
   std::function<bool(const Packet&)> packet_filter_;  // lint: function-ok(test-only hook)
   FaultHook* fault_hook_ = nullptr;  ///< not owned; nullptr = fault-free fast path
+  telemetry::Tape* tape_ = nullptr;  ///< not owned; nullptr = no recording
   bool transmitting_ = false;
   LinkStats stats_;
 

@@ -12,11 +12,14 @@ void PacketQueue::record_enqueue(const Packet& p) {
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_enqueued(*this, p));
 }
 
-void PacketQueue::record_drop(const Packet& p,
+void PacketQueue::record_drop(const Packet& p, sim::Time now,
                               [[maybe_unused]] audit::DropContext context) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += p.size_bytes;
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_dropped(*this, p, context));
+  if (tape_ != nullptr) {
+    tape_->record(now, telemetry::TapeEventKind::queue_drop, p.seq, p.flow);
+  }
   if (drop_callback_) drop_callback_(p);
 }
 
@@ -26,9 +29,9 @@ void PacketQueue::record_dequeue(const Packet& p) {
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_dequeued(*this, p));
 }
 
-bool DropTailQueue::enqueue(Packet p, sim::Time /*now*/) {
+bool DropTailQueue::enqueue(Packet p, sim::Time now) {
   if (bytes_ + p.size_bytes > capacity_bytes_) {
-    record_drop(p);
+    record_drop(p, now);
     return false;
   }
   bytes_ += p.size_bytes;
@@ -46,10 +49,10 @@ std::optional<Packet> DropTailQueue::dequeue(sim::Time /*now*/) {
   return p;
 }
 
-bool PriorityQueue::enqueue(Packet p, sim::Time /*now*/) {
+bool PriorityQueue::enqueue(Packet p, sim::Time now) {
   const std::size_t band = p.priority == 0 ? 0 : 1;
   if (bytes_[band] + p.size_bytes > band_capacity_bytes_) {
-    record_drop(p);
+    record_drop(p, now);
     return false;
   }
   bytes_[band] += p.size_bytes;
@@ -72,7 +75,7 @@ std::optional<Packet> PriorityQueue::dequeue(sim::Time /*now*/) {
 
 bool CoDelQueue::enqueue(Packet p, sim::Time now) {
   if (bytes_ + p.size_bytes > config_.capacity_bytes) {
-    record_drop(p);
+    record_drop(p, now);
     return false;
   }
   bytes_ += p.size_bytes;
@@ -112,7 +115,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
         dropping_ = true;
         drop_count_ = std::max(1, drop_count_ / 2);  // CoDel's hysteresis
         drop_next_ = control_law(now);
-        record_drop(entry.packet, audit::DropContext::in_queue);
+        record_drop(entry.packet, now, audit::DropContext::in_queue);
         continue;  // drop and look at the next packet
       }
       record_dequeue(entry.packet);
@@ -123,7 +126,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
     if (now >= drop_next_) {
       ++drop_count_;
       drop_next_ = control_law(drop_next_);
-      record_drop(entry.packet, audit::DropContext::in_queue);
+      record_drop(entry.packet, now, audit::DropContext::in_queue);
       continue;
     }
     record_dequeue(entry.packet);
@@ -132,7 +135,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
   return std::nullopt;
 }
 
-bool RedQueue::enqueue(Packet p, sim::Time /*now*/) {
+bool RedQueue::enqueue(Packet p, sim::Time now) {
   // Update the EWMA of the backlog on every arrival.
   avg_bytes_ = (1.0 - config_.ewma_weight) * avg_bytes_ +
                config_.ewma_weight * static_cast<double>(bytes_);
@@ -150,7 +153,7 @@ bool RedQueue::enqueue(Packet p, sim::Time /*now*/) {
     drop = rng_.bernoulli(drop_p);
   }
   if (drop) {
-    record_drop(p);
+    record_drop(p, now);
     return false;
   }
   bytes_ += p.size_bytes;

@@ -13,6 +13,7 @@
 #include "sim/bytes.h"
 #include "sim/random.h"
 #include "sim/time.h"
+#include "telemetry/flight_recorder.h"
 
 namespace halfback::net {
 
@@ -65,6 +66,12 @@ class PacketQueue {
   void set_auditor(audit::Auditor* auditor) { auditor_ = auditor; }
   audit::Auditor* auditor() const { return auditor_; }
 
+  /// Attach this queue's flight-recorder tape (nullptr detaches; owned by
+  /// the telemetry Hub). Drops are recorded on it; see
+  /// telemetry::Hub::instrument_network.
+  void set_tape(telemetry::Tape* tape) { tape_ = tape; }
+  telemetry::Tape* tape() const { return tape_; }
+
   /// Invoked for every dropped packet (for per-flow loss accounting).
   void set_drop_callback(std::function<void(const Packet&)> cb) {
     drop_callback_ = std::move(cb);
@@ -80,7 +87,7 @@ class PacketQueue {
   /// distinguishes admission drops (packet never entered the backlog) from
   /// in-queue drops (CoDel discarding a resident packet at dequeue).
   void record_enqueue(const Packet& p);
-  void record_drop(const Packet& p,
+  void record_drop(const Packet& p, sim::Time now,
                    audit::DropContext context = audit::DropContext::admission);
   void record_dequeue(const Packet& p);
 
@@ -88,6 +95,7 @@ class PacketQueue {
   QueueStats stats_;
   std::function<void(const Packet&)> drop_callback_;
   audit::Auditor* auditor_ = nullptr;
+  telemetry::Tape* tape_ = nullptr;  ///< not owned; nullptr = no recording
 };
 
 /// Classic FIFO drop-tail queue bounded in bytes — the discipline used at

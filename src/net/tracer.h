@@ -48,9 +48,9 @@ class PacketTracer {
   /// so install taps after the topology (and its receivers) are wired.
   void tap_link(Link& link, std::string label);
 
-  /// Observe drops at `link`'s queue. Replaces any existing drop callback,
-  /// so install experiment drop accounting through the tracer's filter
-  /// instead when both are needed.
+  /// Observe drops at `link`'s queue. Chains in front of any existing drop
+  /// callback (like tap_link/tap_node), so experiment drop accounting
+  /// installed earlier keeps firing.
   void tap_queue(Link& link, std::string label);
 
   /// Observe packets delivered to `node`'s protocol stack. Chains in front

@@ -152,10 +152,31 @@ class HalfbackSender final : public PacedStartSender {
     // flow. Runs that never hit an RTO — every fault-free run — are
     // untouched.
     if (!ropr_done_) {
+      const bool was_active = ropr_active_;
       ropr_done_ = true;
       ropr_active_ = false;
+      if (was_active) {
+        if (auto* probes = scheme_probes()) probes->ropr_abandoned->increment();
+        if (tape() != nullptr) {
+          tape()->record(simulator_.now(),
+                         telemetry::TapeEventKind::ropr_abandoned, ropr_back_);
+        }
+        enter_phase(telemetry::FlowPhase::fallback);
+      }
     }
     PacedStartSender::on_timeout();
+  }
+
+  void after_transmit(std::uint32_t seq, bool proactive) override {
+    PacedStartSender::after_transmit(seq, proactive);
+    auto* probes = scheme_probes();
+    if (probes == nullptr) return;
+    if (proactive) {
+      probes->ropr_packets->increment();
+      probes->ropr_low_water->set(static_cast<double>(seq));
+    } else if (pacing_done() && ropr_done_) {
+      probes->fallback_packets->increment();
+    }
   }
 
   std::uint32_t new_data_limit() const override {
@@ -169,6 +190,7 @@ class HalfbackSender final : public PacedStartSender {
  private:
   void begin_ropr() {
     ropr_active_ = true;
+    enter_phase(telemetry::FlowPhase::ropr);
     ropr_started_at_ = simulator_.now();
     ropr_back_ = batch_end();          // reverse pointer (one past)
     ropr_front_ = scoreboard_.cum_ack();  // forward pointer (ablation)
@@ -225,6 +247,7 @@ class HalfbackSender final : public PacedStartSender {
 
   void enter_fallback() {
     if (batch_end() >= total_segments()) return;  // nothing left to send
+    enter_phase(telemetry::FlowPhase::fallback);
     // §3.3: cwnd = s * RTT with s estimated from ACK arrivals during ROPR.
     sim::Time span = simulator_.now() - ropr_started_at_;
     double s_per_sec = span > sim::Time::zero()

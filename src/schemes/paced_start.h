@@ -46,6 +46,7 @@ class PacedStartSender : public transport::TcpSender {
 
  protected:
   void on_established() override {
+    enter_phase(telemetry::FlowPhase::pacing);
     batch_end_ = std::min({total_segments(), config_.receive_window_segments,
                            pacing_threshold_segments_});
     // The whole batch is "released" at once: post-pacing TCP machinery
@@ -69,6 +70,15 @@ class PacedStartSender : public transport::TcpSender {
 
   /// Called once, when the last batch segment has been handed to the NIC.
   virtual void on_pacing_complete() {}
+
+  /// Count paced-phase transmissions (including the initial burst). Runs
+  /// for every data transmission; overriders must call through.
+  void after_transmit(std::uint32_t seq, bool proactive) override {
+    transport::TcpSender::after_transmit(seq, proactive);
+    if (!proactive && !pacing_done_) {
+      if (auto* probes = scheme_probes()) probes->paced_packets->increment();
+    }
+  }
 
   void on_timeout() override {
     // An RTO during the pacing phase aborts pacing (everything outstanding
@@ -135,6 +145,9 @@ class PacedStartSender : public transport::TcpSender {
     if (pacing_done_) return;
     pacing_done_ = true;
     pace_timer_.cancel();
+    // Subclasses refine further (Halfback enters "ropr" with the first
+    // post-pacing ACK); until then the flow is in generic transfer.
+    enter_phase(telemetry::FlowPhase::transfer);
     // The pacer may finish within one timer tick (RTT shorter than the
     // pacing quantum); the retransmission timer must be armed regardless,
     // or a fully-lost batch would never recover.

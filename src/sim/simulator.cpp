@@ -1,9 +1,24 @@
 #include "sim/simulator.h"
 
+#include "telemetry/hub.h"
+
 namespace halfback::sim {
+
+// The dispatch loops are duplicated so the telemetry null test is hoisted
+// out of the loop entirely: with no hub installed the per-event cost is
+// exactly the seed's.
 
 void Simulator::run() {
   stopped_ = false;
+  if (telemetry_ != nullptr) {
+    while (!stopped_ && !queue_.empty()) {
+      telemetry_->on_event_dispatched(queue_.size());
+      now_ = queue_.next_time();  // clock is correct inside the callback
+      queue_.run_next();
+      ++events_executed_;
+    }
+    return;
+  }
   while (!stopped_ && !queue_.empty()) {
     now_ = queue_.next_time();  // clock is correct inside the callback
     queue_.run_next();
@@ -13,6 +28,16 @@ void Simulator::run() {
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
+  if (telemetry_ != nullptr) {
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+      telemetry_->on_event_dispatched(queue_.size());
+      now_ = queue_.next_time();
+      queue_.run_next();
+      ++events_executed_;
+    }
+    if (!stopped_ && now_ < deadline) now_ = deadline;
+    return;
+  }
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     now_ = queue_.next_time();
     queue_.run_next();

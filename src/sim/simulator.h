@@ -10,6 +10,10 @@
 #include "sim/random.h"
 #include "sim/time.h"
 
+namespace halfback::telemetry {
+class Hub;
+}
+
 namespace halfback::sim {
 
 /// A single simulation run.
@@ -103,6 +107,13 @@ class Simulator {
   }
   audit::Auditor* auditor() const { return auditor_; }
 
+  /// Install a telemetry hub for this run (nullptr detaches). Owned by the
+  /// caller. Purely observational: the hub counts dispatches and heap
+  /// depth but never schedules or draws randomness, so installing one does
+  /// not change the run (trace hashes stay bit-identical).
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
+  telemetry::Hub* telemetry() const { return telemetry_; }
+
  private:
   Time now_ = Time::zero();
   EventQueue queue_;
@@ -110,6 +121,7 @@ class Simulator {
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   audit::Auditor* auditor_ = nullptr;
+  telemetry::Hub* telemetry_ = nullptr;
 };
 
 }  // namespace halfback::sim

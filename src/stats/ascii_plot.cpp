@@ -129,4 +129,79 @@ std::string ascii_plot(const std::vector<PlotSeries>& series,
   return out;
 }
 
+std::string ascii_histogram(const std::vector<HistogramBin>& bins,
+                            const HistogramOptions& options) {
+  // Trim leading/trailing empty bins; interior gaps stay.
+  std::size_t first = bins.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i].count == 0) continue;
+    first = std::min(first, i);
+    last = i;
+  }
+  if (first == bins.size()) return "(no data)\n";
+  std::vector<HistogramBin> rows(bins.begin() + static_cast<std::ptrdiff_t>(first),
+                                 bins.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+
+  // Merge adjacent bins pairwise until the row budget fits — the same
+  // halving a log-linear layout does when you drop one sub-bucket bit.
+  const std::size_t max_rows = static_cast<std::size_t>(std::max(options.max_rows, 4));
+  while (rows.size() > max_rows) {
+    std::vector<HistogramBin> merged;
+    merged.reserve(rows.size() / 2 + 1);
+    for (std::size_t i = 0; i < rows.size(); i += 2) {
+      HistogramBin bin = rows[i];
+      if (i + 1 < rows.size()) {
+        bin.upper = rows[i + 1].upper;
+        bin.count += rows[i + 1].count;
+      }
+      merged.push_back(bin);
+    }
+    rows = std::move(merged);
+  }
+
+  std::uint64_t peak = 0;
+  for (const HistogramBin& bin : rows) peak = std::max(peak, bin.count);
+
+  // Edge labels, right-aligned to a common width.
+  std::vector<std::string> lo_labels;
+  std::vector<std::string> hi_labels;
+  std::size_t lo_width = 0;
+  std::size_t hi_width = 0;
+  for (const HistogramBin& bin : rows) {
+    lo_labels.push_back(format_number(bin.lower));
+    hi_labels.push_back(format_number(bin.upper));
+    lo_width = std::max(lo_width, lo_labels.back().size());
+    hi_width = std::max(hi_width, hi_labels.back().size());
+  }
+
+  const int width = std::max(options.width, 8);
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::uint64_t count = rows[i].count;
+    const int len = peak == 0 ? 0
+                              : static_cast<int>((count * static_cast<std::uint64_t>(width) +
+                                                  peak - 1) /
+                                                 peak);
+    const auto pad = [](std::size_t total, std::size_t used) {
+      return total > used ? total - used : std::size_t{0};
+    };
+    out += "[";
+    out.append(pad(lo_width, lo_labels[i].size()), ' ');
+    out += lo_labels[i] + ", ";
+    out.append(pad(hi_width, hi_labels[i].size()), ' ');
+    out += hi_labels[i] + ")";
+    if (!options.unit.empty()) out += " " + options.unit;
+    out += " |";
+    out.append(static_cast<std::size_t>(len), '#');
+    out.append(static_cast<std::size_t>(width - len) + 2, ' ');
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(count));
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace halfback::stats

@@ -3,6 +3,7 @@
 // output, without external tooling.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,5 +30,32 @@ struct PlotOptions {
 /// they collide. Returns a multi-line string ending in '\n'.
 std::string ascii_plot(const std::vector<PlotSeries>& series,
                        const PlotOptions& options = {});
+
+/// One bin of a pre-binned histogram — e.g. a telemetry::Histogram bucket
+/// (telemetry/export.h has the bridge) or any bespoke binning.
+struct HistogramBin {
+  double lower = 0.0;  ///< inclusive lower edge
+  double upper = 0.0;  ///< exclusive upper edge
+  std::uint64_t count = 0;
+};
+
+struct HistogramOptions {
+  int width = 48;     ///< bar columns for the fullest row
+  int max_rows = 20;  ///< adjacent bins merge pairwise until they fit
+  std::string title;
+  std::string unit;   ///< printed after the edge labels, e.g. "ms"
+};
+
+/// Render bins as horizontal count bars, one row per bin:
+///
+///   [  4.00,   8.00) ms |############                       123
+///
+/// Empty bins outside the occupied range are trimmed; interior empty bins
+/// keep their row so gaps stay visible. When more than `max_rows` bins
+/// survive trimming, adjacent bins merge pairwise (halving resolution, as
+/// log-linear bucket layouts do) until they fit. Returns a multi-line
+/// string ending in '\n', or "(no data)\n" when every count is zero.
+std::string ascii_histogram(const std::vector<HistogramBin>& bins,
+                            const HistogramOptions& options = {});
 
 }  // namespace halfback::stats

@@ -1,0 +1,202 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace halfback::telemetry {
+namespace {
+
+/// Nanoseconds rendered as microseconds with three decimals (trace_event
+/// `ts`/`dur` are in microseconds; integer math keeps the text stable).
+std::string micros(std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+void write_histogram_fields(std::ostream& out, const Histogram& h) {
+  out << "\"count\":" << h.count() << ",\"sum\":" << h.sum()
+      << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+      << ",\"p50\":" << h.quantile_upper_bound(0.5)
+      << ",\"p99\":" << h.quantile_upper_bound(0.99)
+      << ",\"sub_bucket_bits\":" << h.sub_bucket_bits() << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket_value(i) == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '[' << Histogram::bucket_lower(i, h.sub_bucket_bits()) << ','
+        << Histogram::bucket_upper(i, h.sub_bucket_bits()) << ','
+        << h.bucket_value(i) << ']';
+  }
+  out << ']';
+}
+
+/// Metric names use dots as section separators; Prometheus wants [a-z_].
+std::string prometheus_name(std::string_view name) {
+  std::string out{name};
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 9007199254740992.0) {  // 2^53
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void write_metrics_jsonl(std::ostream& out, const MetricRegistry& registry) {
+  for (const MetricRegistry::Entry& e : registry.entries()) {
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"kind\":\""
+        << to_string(e.kind) << "\",\"unit\":\"" << to_string(e.unit)
+        << "\",\"help\":\"" << json_escape(e.help) << "\",";
+    switch (e.kind) {
+      case MetricKind::counter:
+        out << "\"value\":" << registry.counter_at(e).value();
+        break;
+      case MetricKind::gauge:
+        out << "\"value\":" << format_double(registry.gauge_at(e).value());
+        break;
+      case MetricKind::histogram:
+        write_histogram_fields(out, registry.histogram_at(e));
+        break;
+    }
+    out << "}\n";
+  }
+}
+
+std::string metrics_jsonl(const MetricRegistry& registry) {
+  std::ostringstream out;
+  write_metrics_jsonl(out, registry);
+  return out.str();
+}
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
+  for (const MetricRegistry::Entry& e : registry.entries()) {
+    const std::string name = prometheus_name(e.name);
+    if (!e.help.empty()) out << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case MetricKind::counter:
+        out << "# TYPE " << name << " counter\n"
+            << name << ' ' << registry.counter_at(e).value() << '\n';
+        break;
+      case MetricKind::gauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << ' ' << format_double(registry.gauge_at(e).value())
+            << '\n';
+        break;
+      case MetricKind::histogram: {
+        const Histogram& h = registry.histogram_at(e);
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          if (h.bucket_value(i) == 0) continue;
+          cumulative += h.bucket_value(i);
+          out << name << "_bucket{le=\""
+              << Histogram::bucket_upper(i, h.sub_bucket_bits()) << "\"} "
+              << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+            << name << "_sum " << h.sum() << '\n'
+            << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string prometheus_text(const MetricRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  return out.str();
+}
+
+void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
+                        sim::Time end) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"flows\"}}";
+  out << ",\n{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"links\"}}";
+
+  for (std::size_t t = 0; t < recorder.tape_count(); ++t) {
+    const Tape& tape = recorder.tape_at(t);
+    const int pid = tape.track() == TrackKind::flow ? 1 : 2;
+    const std::size_t tid = t + 1;
+    std::string label = tape.label();
+    if (label.empty()) {
+      label = (pid == 1 ? "flow " : "link ") + std::to_string(tape.id());
+    }
+    out << ",\n{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(label) << "\"}}";
+
+    const auto& phases = tape.phases();
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const sim::Time start = phases[i].start;
+      const sim::Time stop = i + 1 < phases.size() ? phases[i + 1].start : end;
+      const std::int64_t dur = stop.ns() - start.ns();
+      out << ",\n{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"cat\":\"phase\",\"name\":\"" << to_string(phases[i].phase)
+          << "\",\"ts\":" << micros(start.ns()) << ",\"dur\":" << micros(dur)
+          << "}";
+    }
+
+    for (std::size_t i = 0; i < tape.size(); ++i) {
+      const TapeEvent& ev = tape.event(i);
+      // Phase transitions already render as duration spans above.
+      if (ev.kind == TapeEventKind::phase_enter) continue;
+      out << ",\n{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"cat\":\"tape\",\"s\":\"t\",\"name\":\"" << to_string(ev.kind)
+          << "\",\"ts\":" << micros(ev.at.ns()) << ",\"args\":{\"a\":" << ev.a
+          << ",\"b\":" << ev.b << "}}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end) {
+  std::ostringstream out;
+  write_chrome_trace(out, recorder, end);
+  return out.str();
+}
+
+}  // namespace halfback::telemetry

@@ -1,0 +1,65 @@
+// Exporters: deterministic text serializations of a run's telemetry.
+//
+// All three formats iterate the registry / recorder in registration /
+// creation order and format numbers with pure integer math wherever the
+// value is integral, so two same-seed runs emit byte-identical output
+// (tests/telemetry/export_test.cpp holds that contract).
+//
+//  - metrics JSONL: one self-describing JSON object per line per metric.
+//  - Prometheus text: the conventional HELP/TYPE/sample exposition.
+//  - Chrome trace_event JSON: load in Perfetto / chrome://tracing. pid 1
+//    carries one thread per flow tape, pid 2 one per link tape; phase
+//    spans render as duration events, tape points as instants.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/ascii_plot.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+
+namespace halfback::telemetry {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Format a double without locale dependence: integral values (|v| < 2^53)
+/// print as integers, everything else with enough digits to round-trip.
+std::string format_double(double v);
+
+void write_metrics_jsonl(std::ostream& out, const MetricRegistry& registry);
+std::string metrics_jsonl(const MetricRegistry& registry);
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry);
+std::string prometheus_text(const MetricRegistry& registry);
+
+/// `end` closes the final phase span of every tape (pass the simulator
+/// clock at snapshot time).
+void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
+                        sim::Time end);
+std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end);
+
+/// Bridge to stats::ascii_histogram: the histogram's occupied buckets as
+/// bins, edges divided by `scale` (1e6 turns nanoseconds into ms). Inline
+/// so benches that already link both libraries pay no extra dependency.
+inline std::vector<stats::HistogramBin> histogram_bins(const Histogram& h,
+                                                       double scale = 1.0) {
+  std::vector<stats::HistogramBin> bins;
+  bins.reserve(h.bucket_count());
+  const unsigned k = h.sub_bucket_bits();
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    stats::HistogramBin bin;
+    bin.lower = static_cast<double>(Histogram::bucket_lower(i, k)) / scale;
+    bin.upper = static_cast<double>(Histogram::bucket_upper(i, k)) / scale;
+    bin.count = h.bucket_value(i);
+    bins.push_back(bin);
+  }
+  return bins;
+}
+
+}  // namespace halfback::telemetry

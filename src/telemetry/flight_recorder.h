@@ -1,0 +1,218 @@
+// Flow flight-recorder: always-on, bounded-memory event timelines.
+//
+// Each flow (and each instrumented link) gets a Tape: a fixed-capacity ring
+// buffer of compact point events plus a small list of phase transitions.
+// Rings are carved out of slab allocations — creating a tape in steady
+// state touches the allocator only when a slab fills — and recording an
+// event is a handful of stores, so tapes can stay installed in production
+// runs, unlike net::PacketTracer's copy-the-packet model (debug only).
+//
+// When a ring wraps, the oldest point events are overwritten (a flight
+// recorder keeps the newest history) and `dropped()` counts the loss; phase
+// transitions are kept separately and never overwritten, so the Chrome
+// exporter can always render complete phase spans.
+//
+// Everything here is inline and depends only on sim/time.h: the recording
+// layers (net, transport, schemes) use Tape through a nullable pointer
+// without linking against the telemetry library.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace halfback::telemetry {
+
+/// Transport/scheme phases a flow moves through. `transfer` is the generic
+/// data phase for schemes without finer structure.
+enum class FlowPhase : std::uint8_t {
+  handshake,
+  pacing,
+  transfer,
+  ropr,
+  fallback,
+  done,
+};
+
+const char* to_string(FlowPhase phase);
+
+/// Point events a tape records. `a`/`b` carry kind-specific detail
+/// (sequence numbers, nanosecond durations, fault kinds — see
+/// docs/telemetry.md for the catalog).
+enum class TapeEventKind : std::uint8_t {
+  flow_start,
+  syn_sent,        ///< a = attempt number (1 = first)
+  established,     ///< b = handshake RTT in ns
+  phase_enter,     ///< a = FlowPhase
+  segment_sent,    ///< a = seq
+  retx_sent,       ///< a = seq (loss-triggered)
+  proactive_sent,  ///< a = seq, b = ROPR backward position
+  ack_received,    ///< a = cumulative ack
+  rtt_sample,      ///< b = sample in ns
+  karn_discard,    ///< a = seq (ambiguous echo, sample dropped)
+  rto_fired,       ///< a = consecutive backoffs
+  ropr_abandoned,  ///< a = backward position at abandonment
+  fault_hit,       ///< a = fault kind (netfault cause), b = flow uid
+  queue_drop,      ///< a = seq (link tapes: b = flow id)
+  complete,        ///< b = FCT in ns
+};
+
+const char* to_string(TapeEventKind kind);
+
+/// The `a` payload of a fault_hit event: what the fault hook did.
+enum class FaultKind : std::uint8_t { drop, corrupt, delay, duplicate };
+
+/// What a tape describes.
+enum class TrackKind : std::uint8_t { flow, link };
+
+/// One compact recorded event (24 bytes).
+struct TapeEvent {
+  sim::Time at;
+  std::uint64_t b = 0;
+  std::uint32_t a = 0;
+  TapeEventKind kind = TapeEventKind::flow_start;
+};
+
+/// One phase transition; the span ends at the next transition (or the
+/// export end time).
+struct PhaseSpan {
+  sim::Time start;
+  FlowPhase phase = FlowPhase::handshake;
+};
+
+/// A ring of TapeEvents plus the phase-transition list for one track.
+class Tape {
+ public:
+  void record(sim::Time at, TapeEventKind kind, std::uint32_t a = 0,
+              std::uint64_t b = 0) {
+    TapeEvent& slot = ring_[head_ % capacity_];
+    slot.at = at;
+    slot.kind = kind;
+    slot.a = a;
+    slot.b = b;
+    ++head_;
+  }
+
+  /// Record a phase transition (kept out of the ring; also mirrored into it
+  /// as a phase_enter point event for the flat timeline view). Consecutive
+  /// duplicate phases collapse.
+  void enter_phase(sim::Time at, FlowPhase phase) {
+    if (!phases_.empty() && phases_.back().phase == phase) return;
+    if (!phases_.empty() && phases_.back().start == at) {
+      // The previous phase lasted zero time (e.g. a base-class "transfer"
+      // immediately refined to "pacing"); replace rather than keep a
+      // zero-width span.
+      phases_.back().phase = phase;
+    } else if (phases_.size() < kMaxPhaseSpans) {
+      phases_.push_back(PhaseSpan{at, phase});
+    }
+    record(at, TapeEventKind::phase_enter, static_cast<std::uint32_t>(phase));
+  }
+
+  TrackKind track() const { return track_; }
+  std::uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  /// Events currently held, oldest first.
+  std::size_t size() const { return head_ < capacity_ ? head_ : capacity_; }
+  /// Point events overwritten by ring wrap-around.
+  std::uint64_t dropped() const { return head_ < capacity_ ? 0 : head_ - capacity_; }
+  const TapeEvent& event(std::size_t i) const {
+    return ring_[(head_ - size() + i) % capacity_];
+  }
+
+  const std::vector<PhaseSpan>& phases() const { return phases_; }
+
+ private:
+  friend class FlightRecorder;
+  // A tape is pathological past a handful of transitions; cap so a buggy
+  // caller cannot grow phases_ without bound.
+  static constexpr std::size_t kMaxPhaseSpans = 16;
+
+  Tape(TrackKind track, std::uint64_t id, std::string label, TapeEvent* ring,
+       std::size_t capacity)
+      : track_{track},
+        id_{id},
+        label_{std::move(label)},
+        ring_{ring},
+        capacity_{capacity} {}
+
+  TrackKind track_;
+  std::uint64_t id_;
+  std::string label_;
+  TapeEvent* ring_;  ///< capacity_ slots inside a FlightRecorder slab
+  std::size_t capacity_;
+  std::uint64_t head_ = 0;
+  std::vector<PhaseSpan> phases_;
+};
+
+/// Owns the tapes and their slab-allocated rings. Tape creation order is
+/// the export order (deterministic for a seeded run).
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t events_per_tape = 256;  ///< ring capacity per tape
+    std::size_t tapes_per_slab = 64;    ///< rings carved per allocation
+  };
+
+  FlightRecorder() : FlightRecorder(Config{}) {}
+  explicit FlightRecorder(Config config) : config_{config} {
+    if (config_.events_per_tape == 0) config_.events_per_tape = 1;
+    if (config_.tapes_per_slab == 0) config_.tapes_per_slab = 1;
+  }
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The tape for (`track`, `id`), created on first use. `label` is applied
+  /// only at creation (later calls may pass empty).
+  Tape& tape(TrackKind track, std::uint64_t id, std::string label = {}) {
+    const Key key{static_cast<std::uint8_t>(track), id};
+    auto it = index_.find(key);
+    if (it != index_.end()) return tapes_[it->second];
+    TapeEvent* ring = allocate_ring();
+    tapes_.push_back(
+        Tape{track, id, std::move(label), ring, config_.events_per_tape});
+    index_.emplace(key, tapes_.size() - 1);
+    return tapes_.back();
+  }
+
+  /// The tape for (`track`, `id`) if it exists, else nullptr.
+  Tape* find(TrackKind track, std::uint64_t id) {
+    const auto it = index_.find(Key{static_cast<std::uint8_t>(track), id});
+    return it == index_.end() ? nullptr : &tapes_[it->second];
+  }
+
+  /// All tapes in creation order.
+  std::size_t tape_count() const { return tapes_.size(); }
+  const Tape& tape_at(std::size_t i) const { return tapes_[i]; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  using Key = std::pair<std::uint8_t, std::uint64_t>;
+
+  TapeEvent* allocate_ring() {
+    if (slab_used_ == 0 || slab_used_ >= config_.tapes_per_slab) {
+      slabs_.push_back(std::make_unique<TapeEvent[]>(config_.events_per_tape *
+                                                     config_.tapes_per_slab));
+      slab_used_ = 0;
+    }
+    TapeEvent* ring =
+        slabs_.back().get() + slab_used_ * config_.events_per_tape;
+    ++slab_used_;
+    return ring;
+  }
+
+  Config config_;
+  std::deque<Tape> tapes_;               ///< stable addresses, creation order
+  std::map<Key, std::size_t> index_;     ///< ordered: no hash-order surprises
+  std::vector<std::unique_ptr<TapeEvent[]>> slabs_;
+  std::size_t slab_used_ = 0;
+};
+
+}  // namespace halfback::telemetry

@@ -1,0 +1,133 @@
+// Telemetry Hub: one run's registry + flight recorder + probe bundles.
+//
+// The Hub is owned by the experiment layer (EmulabRunner, PlanetLabEnv,
+// chaos_sweep, benches) and handed to instrumented components as a nullable
+// pointer. Components that record on hot paths guard with a single null
+// test and then update instruments through the pre-registered probe
+// bundles below — no name lookups, no allocation, no type erasure after
+// construction.
+//
+// Layering: this header is usable from sim/net/transport/schemes without
+// linking the telemetry library — every member function called from those
+// layers is inline, and the out-of-line pieces (the constructor that
+// registers the metric catalog, the network/fault snapshots) are only
+// invoked by code that already links halfback_telemetry.
+#pragma once
+
+#include <cstddef>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace halfback::net {
+class Network;
+}
+namespace halfback::netfault {
+struct InjectorStats;
+}
+
+namespace halfback::telemetry {
+
+class Hub {
+ public:
+  /// Event-core instruments (sim layer).
+  struct SimProbes {
+    Counter* events_dispatched = nullptr;
+    Gauge* event_queue_peak = nullptr;  ///< high-water event-heap size
+    Gauge* sim_end_ns = nullptr;        ///< clock at final snapshot
+  };
+
+  /// Transport instruments (SenderBase and friends).
+  struct TransportProbes {
+    Counter* flows_started = nullptr;
+    Counter* flows_completed = nullptr;
+    Counter* syn_sent = nullptr;
+    Counter* syn_retx = nullptr;
+    Counter* segments_sent = nullptr;
+    Counter* retx_sent = nullptr;       ///< loss-triggered retransmissions
+    Counter* proactive_sent = nullptr;  ///< ROPR / proactive-scheme copies
+    Counter* acks_received = nullptr;
+    Counter* karn_discards = nullptr;   ///< ambiguous RTT samples dropped
+    Counter* rto_fired = nullptr;
+    Counter* scoreboard_sacked = nullptr;  ///< outstanding -> sacked
+    Counter* scoreboard_acked = nullptr;   ///< any -> cumulatively acked
+    Histogram* rtt = nullptr;            ///< accepted RTT samples (ns)
+    Histogram* handshake_rtt = nullptr;  ///< SYN -> SYN-ACK (ns)
+    Histogram* fct = nullptr;            ///< flow completion times (ns)
+  };
+
+  /// Scheme instruments (paced start, ROPR, fallback).
+  struct SchemeProbes {
+    Counter* paced_packets = nullptr;     ///< sent during paced start
+    Counter* ropr_packets = nullptr;      ///< proactive ROPR copies
+    Counter* fallback_packets = nullptr;  ///< sent after fallback entry
+    Counter* ropr_abandoned = nullptr;    ///< ROPR cut short by RTO
+    Gauge* ropr_low_water = nullptr;      ///< deepest backward ROPR position
+  };
+
+  /// Fault-injection instruments, per cause (netfault layer). Filled by
+  /// record_injector() at end of run from each injector's InjectorStats.
+  struct FaultProbes {
+    Counter* packets_seen = nullptr;
+    Counter* drops = nullptr;        ///< outage + flap + Gilbert–Elliott
+    Counter* corruptions = nullptr;
+    Counter* duplications = nullptr;
+    Counter* reorders = nullptr;
+    Counter* delay_spikes = nullptr;
+  };
+
+  struct Config {
+    FlightRecorder::Config recorder;
+  };
+
+  /// Registers the whole metric catalog (see docs/telemetry.md) so probe
+  /// bundles are valid immediately and export order is fixed regardless of
+  /// which components end up recording.
+  Hub() : Hub(Config{}) {}
+  explicit Hub(Config config);
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  MetricRegistry& registry() { return registry_; }
+  const MetricRegistry& registry() const { return registry_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  SimProbes& sim() { return sim_; }
+  TransportProbes& transport() { return transport_; }
+  SchemeProbes& scheme() { return scheme_; }
+  FaultProbes& fault() { return fault_; }
+
+  /// Event-dispatch hook, called by the simulator loop per executed event.
+  /// Inline and allocation-free: one increment plus a high-water compare.
+  void on_event_dispatched(std::size_t heap_size) {
+    sim_.events_dispatched->increment();
+    sim_.event_queue_peak->set_max(static_cast<double>(heap_size));
+  }
+
+  /// Install this hub on `network`: set the simulator's telemetry pointer
+  /// and attach a flight-recorder tape to every existing link and its
+  /// queue. Call after the topology is final and before traffic starts
+  /// (links created later are simply not taped).
+  void instrument_network(net::Network& network);
+
+  /// Snapshot per-link queue/drop/utilization gauges from `network` at
+  /// `now`. Links are numbered in creation order, so repeated snapshots
+  /// update the same instruments and export order is deterministic.
+  void snapshot_network(const net::Network& network, sim::Time now);
+
+  /// Fold one injector's per-cause totals into the fault counters. Call
+  /// once per injector at end of run.
+  void record_injector(const netfault::InjectorStats& stats);
+
+ private:
+  MetricRegistry registry_;
+  FlightRecorder recorder_;
+  SimProbes sim_;
+  TransportProbes transport_;
+  SchemeProbes scheme_;
+  FaultProbes fault_;
+};
+
+}  // namespace halfback::telemetry

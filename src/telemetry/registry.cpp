@@ -1,0 +1,116 @@
+#include "telemetry/registry.h"
+
+#include "telemetry/metric.h"
+
+namespace halfback::telemetry {
+
+const char* to_string(Unit unit) {
+  switch (unit) {
+    case Unit::none: return "";
+    case Unit::events: return "events";
+    case Unit::packets: return "packets";
+    case Unit::segments: return "segments";
+    case Unit::flows: return "flows";
+    case Unit::bytes: return "bytes";
+    case Unit::nanoseconds: return "ns";
+    case Unit::ratio: return "ratio";
+  }
+  return "";
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i, unsigned k) {
+  const std::uint64_t m = std::uint64_t{1} << k;
+  if (i < m) return i;
+  const std::uint64_t block = i / m;  // >= 1
+  const std::uint64_t sub = i % m;
+  const unsigned shift = static_cast<unsigned>(block - 1);
+  return (m + sub) << shift;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i, unsigned k) {
+  return bucket_lower(i + 1, k);
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return bucket_upper(i, sub_bucket_bits_);
+    }
+  }
+  return bucket_upper(counts_.size() - 1, sub_bucket_bits_);
+}
+
+MetricRegistry::Entry* MetricRegistry::find_mutable(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const MetricRegistry::Entry* MetricRegistry::find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::counter(const std::string& name, const std::string& help,
+                                 Unit unit) {
+  if (Entry* e = find_mutable(name)) {
+    if (e->kind != MetricKind::counter) {
+      throw std::invalid_argument{"metric '" + name +
+                                  "' already registered with a different kind"};
+    }
+    return &counters_[e->index];
+  }
+  counters_.emplace_back(Counter{});
+  entries_.push_back(
+      Entry{name, help, unit, MetricKind::counter, counters_.size() - 1});
+  return &counters_.back();
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name, const std::string& help,
+                             Unit unit) {
+  if (Entry* e = find_mutable(name)) {
+    if (e->kind != MetricKind::gauge) {
+      throw std::invalid_argument{"metric '" + name +
+                                  "' already registered with a different kind"};
+    }
+    return &gauges_[e->index];
+  }
+  gauges_.emplace_back(Gauge{});
+  entries_.push_back(
+      Entry{name, help, unit, MetricKind::gauge, gauges_.size() - 1});
+  return &gauges_.back();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     const std::string& help, Unit unit,
+                                     unsigned sub_bucket_bits) {
+  if (Entry* e = find_mutable(name)) {
+    if (e->kind != MetricKind::histogram) {
+      throw std::invalid_argument{"metric '" + name +
+                                  "' already registered with a different kind"};
+    }
+    return &histograms_[e->index];
+  }
+  histograms_.emplace_back(Histogram{sub_bucket_bits});
+  entries_.push_back(
+      Entry{name, help, unit, MetricKind::histogram, histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+}  // namespace halfback::telemetry

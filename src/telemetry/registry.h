@@ -1,0 +1,73 @@
+// MetricRegistry: the named catalog of one run's instruments.
+//
+// Registration order — not pointer order, not name order — defines export
+// order, so two same-seed runs that register the same metrics in the same
+// sequence produce byte-identical exports. Registering a name twice returns
+// the existing instrument (the kind must match), which lets independent
+// components share a counter without coordination.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric.h"
+
+namespace halfback::telemetry {
+
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+const char* to_string(MetricKind kind);
+
+class MetricRegistry {
+ public:
+  /// One catalog row, in registration order.
+  struct Entry {
+    std::string name;
+    std::string help;
+    Unit unit = Unit::none;
+    MetricKind kind = MetricKind::counter;
+    std::size_t index = 0;  ///< into the per-kind instrument store
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register (or look up) an instrument. Returned pointers are stable for
+  /// the registry's lifetime. Throws std::invalid_argument if `name` is
+  /// already registered with a different kind.
+  Counter* counter(const std::string& name, const std::string& help,
+                   Unit unit = Unit::none);
+  Gauge* gauge(const std::string& name, const std::string& help,
+               Unit unit = Unit::none);
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       Unit unit = Unit::none,
+                       unsigned sub_bucket_bits = Histogram::kDefaultSubBucketBits);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  const Counter& counter_at(const Entry& e) const { return counters_[e.index]; }
+  const Gauge& gauge_at(const Entry& e) const { return gauges_[e.index]; }
+  const Histogram& histogram_at(const Entry& e) const {
+    return histograms_[e.index];
+  }
+
+  /// Lookup by name (linear scan; registration-time convenience, not a hot
+  /// path). Returns nullptr when absent.
+  const Entry* find(const std::string& name) const;
+
+ private:
+  Entry* find_mutable(const std::string& name);
+
+  std::vector<Entry> entries_;
+  // Deques give instrument pointers stability across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace halfback::telemetry

@@ -20,6 +20,7 @@ SenderBase& TransportAgent::start_flow(std::unique_ptr<SenderBase> sender,
         if (on_complete) on_complete(record);
       });
   senders_[flow] = std::move(sender);
+  if (telemetry_ != nullptr) ref.set_telemetry(telemetry_);
   ref.start();
   return ref;
 }

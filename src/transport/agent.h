@@ -41,6 +41,11 @@ class TransportAgent {
   SenderBase& start_flow(std::unique_ptr<SenderBase> sender,
                          SenderBase::CompletionCallback on_complete = nullptr);
 
+  /// Attach a telemetry hub (nullptr detaches; owned by the caller).
+  /// Senders started afterwards get their flight-recorder tape installed
+  /// before start() runs.
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
+
   /// Configuration applied to receivers this agent spawns (delayed ACKs,
   /// SACK block budget). Affects only receivers created afterwards.
   void set_receiver_config(Receiver::Config config) { receiver_config_ = config; }
@@ -77,6 +82,7 @@ class TransportAgent {
   std::function<void(const Receiver&)> on_receive_complete_;
   Receiver::Config receiver_config_;
   DeliveryStats delivery_stats_;
+  telemetry::Hub* telemetry_ = nullptr;  ///< not owned; nullptr = off
   /// Wire uids already dispatched on this host (keyed with the packet type
   /// so a sender-assigned data uid and a receiver-assigned ACK uid of the
   /// same flow can never collide). Injected duplicates are exact copies —

@@ -36,6 +36,12 @@ SenderBase::~SenderBase() = default;
 
 void SenderBase::start() {
   record_.start_time = simulator_.now();
+  if (hub_ != nullptr) {
+    hub_->transport().flows_started->increment();
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::flow_start, 0,
+                  record_.flow_bytes.count());
+    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::handshake);
+  }
   send_syn();
 }
 
@@ -52,6 +58,12 @@ void SenderBase::send_syn() {
   syn_last_sent_ = simulator_.now();
   ++syn_tries_;
   if (syn_tries_ > 1) ++record_.syn_retx;
+  if (hub_ != nullptr) {
+    hub_->transport().syn_sent->increment();
+    if (syn_tries_ > 1) hub_->transport().syn_retx->increment();
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::syn_sent,
+                  static_cast<std::uint32_t>(syn_tries_));
+  }
   node_.send(std::move(syn));
 
   sim::Time timeout = config_.syn_timeout;
@@ -81,6 +93,13 @@ void SenderBase::on_packet(const net::Packet& packet) {
       AckUpdate update = scoreboard_.apply_ack(packet.cum_ack, packet.sacks);
       HALFBACK_AUDIT_HOOK(simulator_.auditor(),
                           on_ack_applied(scoreboard_, record_.flow, packet, update));
+      if (hub_ != nullptr) {
+        hub_->transport().acks_received->increment();
+        hub_->transport().scoreboard_acked->add(update.newly_cum_acked);
+        hub_->transport().scoreboard_sacked->add(update.newly_sacked.size());
+        tape_->record(simulator_.now(), telemetry::TapeEventKind::ack_received,
+                      packet.cum_ack);
+      }
       if (update.advanced()) {
         rtt_.reset_backoff();
         if (!scoreboard_.complete()) arm_rto();
@@ -104,6 +123,15 @@ void SenderBase::handle_syn_ack(const net::Packet& /*packet*/) {
   sim::Time sample = simulator_.now() - syn_last_sent_;
   if (syn_tries_ == 1) rtt_.add_sample(sample);
   record_.handshake_rtt = sample;
+  if (hub_ != nullptr) {
+    // The histogram keeps Karn-valid samples only; the tape keeps them all.
+    if (syn_tries_ == 1) hub_->transport().handshake_rtt->record_time(sample);
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::established, 0,
+                  static_cast<std::uint64_t>(sample.ns() < 0 ? 0 : sample.ns()));
+    // Schemes with finer structure (paced start, ROPR) refine this from
+    // on_established(); the same-timestamp span then replaces "transfer".
+    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::transfer);
+  }
   on_established();
 }
 
@@ -117,7 +145,17 @@ void SenderBase::take_rtt_sample(const net::Packet& ack) {
   // later copies carry an RTT inflated by the duplication spacing.
   if (s->times_sent == 1 && s->last_uid == ack.echo_uid && !s->rtt_sampled) {
     s->rtt_sampled = true;
-    rtt_.add_sample(simulator_.now() - s->last_sent);
+    const sim::Time sample = simulator_.now() - s->last_sent;
+    rtt_.add_sample(sample);
+    if (hub_ != nullptr) {
+      hub_->transport().rtt->record_time(sample);
+      tape_->record(simulator_.now(), telemetry::TapeEventKind::rtt_sample, 0,
+                    static_cast<std::uint64_t>(sample.ns() < 0 ? 0 : sample.ns()));
+    }
+  } else if (hub_ != nullptr) {
+    hub_->transport().karn_discards->increment();
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::karn_discard,
+                  ack.seq);
   }
 }
 
@@ -162,6 +200,20 @@ void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
     // first in some orderings); count it as proactive overhead.
     ++record_.proactive_retx;
   }
+  if (hub_ != nullptr) {
+    if (proactive) {
+      hub_->transport().proactive_sent->increment();
+      tape_->record(simulator_.now(), telemetry::TapeEventKind::proactive_sent,
+                    seq);
+    } else if (retx) {
+      hub_->transport().retx_sent->increment();
+      tape_->record(simulator_.now(), telemetry::TapeEventKind::retx_sent, seq);
+    } else {
+      hub_->transport().segments_sent->increment();
+      tape_->record(simulator_.now(), telemetry::TapeEventKind::segment_sent,
+                    seq);
+    }
+  }
   node_.send(std::move(p));
   after_transmit(seq, proactive);
 }
@@ -172,6 +224,11 @@ void SenderBase::on_rto() {
   if (record_.completed) return;
   ++record_.timeouts;
   rtt_.backoff();
+  if (hub_ != nullptr) {
+    hub_->transport().rto_fired->increment();
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::rto_fired,
+                  record_.timeouts);
+  }
   on_timeout();
 }
 
@@ -189,6 +246,14 @@ void SenderBase::maybe_complete() {
   record_.completion_time = simulator_.now();
   cancel_rto();
   syn_timer_.cancel();
+  if (hub_ != nullptr) {
+    const sim::Time fct = record_.fct();
+    hub_->transport().flows_completed->increment();
+    hub_->transport().fct->record_time(fct);
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::complete, 0,
+                  static_cast<std::uint64_t>(fct.ns() < 0 ? 0 : fct.ns()));
+    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::done);
+  }
   on_flow_complete();
   if (on_complete_) on_complete_(record_);
 }

@@ -11,6 +11,7 @@
 #include "sim/bytes.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
+#include "telemetry/hub.h"
 #include "transport/rtt_estimator.h"
 #include "transport/scoreboard.h"
 
@@ -98,6 +99,19 @@ class SenderBase {
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
+  /// Attach a telemetry hub (nullptr detaches; owned by the caller). Call
+  /// before start(): creates this flow's flight-recorder tape and caches
+  /// the transport probe bundle. Purely observational — never schedules or
+  /// draws randomness, so trace hashes are unchanged.
+  void set_telemetry(telemetry::Hub* hub) {
+    hub_ = hub;
+    tape_ = hub == nullptr
+                ? nullptr
+                : &hub->recorder().tape(
+                      telemetry::TrackKind::flow, record_.flow,
+                      record_.scheme + " flow " + std::to_string(record_.flow));
+  }
+
   const FlowRecord& record() const { return record_; }
   bool complete() const { return record_.completed; }
   const Scoreboard& scoreboard() const { return scoreboard_; }
@@ -139,6 +153,17 @@ class SenderBase {
   /// Estimated RTT to use before any ACK sample exists (handshake value).
   sim::Time smoothed_rtt() const;
 
+  /// This flow's flight-recorder tape, nullptr when telemetry is off.
+  telemetry::Tape* tape() { return tape_; }
+  /// Scheme probe bundle, nullptr when telemetry is off.
+  telemetry::Hub::SchemeProbes* scheme_probes() {
+    return hub_ == nullptr ? nullptr : &hub_->scheme();
+  }
+  /// Record a phase transition on this flow's tape (no-op without one).
+  void enter_phase(telemetry::FlowPhase phase) {
+    if (tape_ != nullptr) tape_->enter_phase(simulator_.now(), phase);
+  }
+
   sim::Bytes flow_bytes() const { return record_.flow_bytes; }
   std::uint32_t total_segments() const { return record_.total_segments; }
 
@@ -160,6 +185,8 @@ class SenderBase {
   std::uint64_t next_uid() { return (record_.flow << 24) + (++uid_counter_); }
 
   CompletionCallback on_complete_;
+  telemetry::Hub* hub_ = nullptr;    ///< not owned; nullptr = telemetry off
+  telemetry::Tape* tape_ = nullptr;  ///< this flow's tape, owned by the hub
   // Embedded reusable timers: bound once at construction, re-armed in place
   // for the flow's whole life. Their destructors cancel any pending arm.
   sim::Timer rto_timer_;

@@ -1,0 +1,18 @@
+// Fixture for the "stdout-accounting" rule. Five violations: std::cout,
+// std::printf, unqualified printf, puts, and fprintf(stdout). The stderr
+// diagnostic, buffer snprintf, and member .printf are all fine.
+#include <cstdio>
+#include <iostream>
+
+void report_drops(int drops, Logger& logger) {
+  std::cout << "drops=" << drops << "\n";
+  std::printf("drops=%d\n", drops);
+  printf("again %d\n", drops);
+  puts("done");
+  std::fprintf(stdout, "drops=%d\n", drops);
+
+  std::fprintf(stderr, "diagnostic only\n");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%d", drops);
+  logger.printf("member call, not <cstdio>");
+}

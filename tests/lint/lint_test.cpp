@@ -174,6 +174,43 @@ TEST(NoexceptFireRule, FixtureHasExactlyOneFinding) {
   EXPECT_EQ(findings.size(), 1u) << describe(findings);
 }
 
+TEST(StdoutAccountingRule, FixtureHasExactlyFiveFindings) {
+  const auto file = fixture("stdout.cpp", "src/fixture/stdout.cpp");
+  const auto findings = run_rule(file, "stdout-accounting");
+  EXPECT_EQ(findings.size(), 5u) << describe(findings);
+}
+
+TEST(StdoutAccountingRule, ReportingLayersAndNonSrcAreExempt) {
+  // The exporters (src/telemetry/) and renderers (src/stats/) are the
+  // designated print layers; bench/tools code is out of scope entirely.
+  EXPECT_TRUE(run_rule(fixture("stdout.cpp", "src/telemetry/fixture.cpp"),
+                       "stdout-accounting")
+                  .empty());
+  EXPECT_TRUE(run_rule(fixture("stdout.cpp", "src/stats/fixture.cpp"),
+                       "stdout-accounting")
+                  .empty());
+  EXPECT_TRUE(run_rule(fixture("stdout.cpp", "bench/fixture.cpp"),
+                       "stdout-accounting")
+                  .empty());
+}
+
+TEST(StdoutAccountingRule, StderrAndBufferFormattingAreFine) {
+  const lint::SourceFile file{"src/fixture/ok.cpp",
+                              "void f(double v) {\n"
+                              "  char buf[32];\n"
+                              "  std::snprintf(buf, sizeof buf, \"%g\", v);\n"
+                              "  std::fprintf(stderr, \"warn %g\\n\", v);\n"
+                              "}\n"};
+  EXPECT_TRUE(run_rule(file, "stdout-accounting").empty());
+}
+
+TEST(StdoutAccountingRule, SameLineSuppressionSilencesTheFinding) {
+  const lint::SourceFile file{
+      "src/fixture/sup.cpp",
+      "void f() { std::printf(\"x\"); }  // lint: stdout-ok(test)\n"};
+  EXPECT_TRUE(run_rule(file, "stdout-accounting").empty());
+}
+
 TEST(CleanFixture, ProducesZeroFindingsAcrossAllRules) {
   // Banned names live only in comments, strings, and raw strings here — a
   // tokenizer that leaked them into code tokens would fail this test.
@@ -203,7 +240,7 @@ TEST(Registry, EveryRuleHasAStableIdAndDescription) {
     EXPECT_TRUE(ids.insert(rule->id()).second)
         << "duplicate rule id " << rule->id();
   }
-  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.size(), 9u);
 }
 
 TEST(BaselineFile, ParsesEntriesAndMatchesFindings) {

@@ -86,6 +86,23 @@ TEST(PacketTracerTest, QueueTapChainsExistingDropCallback) {
   EXPECT_EQ(f.tracer.events_of(TraceEventKind::queue_drop).size(), 2u);
 }
 
+// Regression for the old header comment that claimed tap_queue *replaces*
+// the drop callback: taps stack, and the pre-existing experiment
+// accounting keeps firing underneath both of them.
+TEST(PacketTracerTest, QueueTapStacksMultipleTaps) {
+  TracerFixture f{1400};
+  int counted = 0;
+  f.links.forward->queue().set_drop_callback([&](const Packet&) { ++counted; });
+  f.tracer.tap_queue(*f.links.forward, "first");
+  PacketTracer second{f.sim};
+  second.tap_queue(*f.links.forward, "second");
+  for (std::uint32_t i = 0; i < 3; ++i) f.send(i);
+  f.sim.run();
+  EXPECT_EQ(counted, 2);
+  EXPECT_EQ(f.tracer.events_of(TraceEventKind::queue_drop).size(), 2u);
+  EXPECT_EQ(second.events_of(TraceEventKind::queue_drop).size(), 2u);
+}
+
 TEST(PacketTracerTest, NodeTapSeesLocalArrivals) {
   TracerFixture f;
   f.tracer.tap_node(f.net.node(f.b), "host-b");

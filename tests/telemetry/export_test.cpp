@@ -1,0 +1,227 @@
+// Exporter contracts: byte-identical output across same-seed runs, golden
+// histogram bucket edges, and the shape of each text format.
+#include "telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/emulab.h"
+#include "telemetry/hub.h"
+#include "telemetry/manifest.h"
+
+namespace halfback::telemetry {
+namespace {
+
+using exp::EmulabRunner;
+using exp::WorkloadPart;
+
+/// A small but non-trivial Emulab run with telemetry installed; returns the
+/// serialized exporter outputs. Fresh hub + runner per call so two calls
+/// share no state.
+struct ExportedRun {
+  std::string metrics;
+  std::string trace;
+  std::string prometheus;
+  std::string manifest;
+};
+
+ExportedRun run_and_export() {
+  Hub hub;
+  EmulabRunner::Config config;
+  config.seed = 11;
+  config.dumbbell.sender_count = 2;
+  config.dumbbell.receiver_count = 2;
+  config.drain = sim::Time::seconds(10);
+  config.telemetry = &hub;
+
+  std::vector<WorkloadPart> parts(1);
+  parts[0].scheme = schemes::Scheme::halfback;
+  for (int i = 0; i < 4; ++i) {
+    parts[0].schedule.push_back(workload::FlowArrival{
+        sim::Time::milliseconds(25.0 * i), /*bytes=*/40'000});
+  }
+
+  EmulabRunner runner{config};
+  const exp::RunResult run = runner.run(parts);
+
+  ExportedRun out;
+  out.metrics = metrics_jsonl(hub.registry());
+  out.trace = chrome_trace_json(hub.recorder(), run.sim_end);
+  out.prometheus = prometheus_text(hub.registry());
+  out.manifest = manifest_json(runner.manifest(run, "emulab"), &hub.registry());
+  return out;
+}
+
+TEST(ExportDeterminism, SameSeedRunsAreByteIdentical) {
+  const ExportedRun first = run_and_export();
+  const ExportedRun second = run_and_export();
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.prometheus, second.prometheus);
+  EXPECT_EQ(first.manifest, second.manifest);
+}
+
+TEST(ExportDeterminism, BucketEdgesMatchGoldenFile) {
+  // The golden file was generated from the documented closed form, not from
+  // this code, so it catches a bucketing change from either side.
+  ASSERT_EQ(Histogram::kDefaultSubBucketBits, 3u)
+      << "default changed: regenerate bucket_edges_k3.txt deliberately";
+  std::ifstream golden(std::string{HALFBACK_TELEMETRY_GOLDEN} +
+                       "/bucket_edges_k3.txt");
+  ASSERT_TRUE(golden.is_open());
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::size_t index = 0;
+    std::uint64_t lower = 0;
+    std::uint64_t upper = 0;
+    ASSERT_TRUE(fields >> index >> lower >> upper) << line;
+    EXPECT_EQ(Histogram::bucket_lower(index, 3), lower) << "index " << index;
+    EXPECT_EQ(Histogram::bucket_upper(index, 3), upper) << "index " << index;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 128u);
+}
+
+TEST(MetricsJsonl, OneValidObjectPerMetricInRegistrationOrder) {
+  MetricRegistry registry;
+  registry.counter("z.first", "registered first")->add(3);
+  registry.gauge("a.second", "registered second")->set(1.5);
+  registry.histogram("m.third", "registered third")->record(42);
+
+  const std::string out = metrics_jsonl(registry);
+  std::istringstream lines{out};
+  std::vector<std::string> v;
+  for (std::string line; std::getline(lines, line);) v.push_back(line);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NE(v[0].find("\"name\":\"z.first\""), std::string::npos) << v[0];
+  EXPECT_NE(v[0].find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(v[0].find("\"value\":3"), std::string::npos);
+  EXPECT_NE(v[1].find("\"name\":\"a.second\""), std::string::npos) << v[1];
+  EXPECT_NE(v[2].find("\"name\":\"m.third\""), std::string::npos) << v[2];
+  EXPECT_NE(v[2].find("\"count\":1"), std::string::npos);
+}
+
+TEST(PrometheusText, HasHelpTypeAndSampleLines) {
+  MetricRegistry registry;
+  registry.counter("halfback_demo_total", "a demo counter")->add(7);
+  registry.histogram("halfback_demo_ns", "a demo histogram")->record(9);
+  const std::string out = prometheus_text(registry);
+  EXPECT_NE(out.find("# HELP halfback_demo_total a demo counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE halfback_demo_total counter"), std::string::npos);
+  EXPECT_NE(out.find("halfback_demo_total 7\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE halfback_demo_ns histogram"), std::string::npos);
+  EXPECT_NE(out.find("halfback_demo_ns_count 1\n"), std::string::npos);
+  EXPECT_NE(out.find("halfback_demo_ns_sum 9\n"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsMetadataSpansAndInstants) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1, "flow 1 demo");
+  tape.enter_phase(sim::Time::microseconds(0), FlowPhase::handshake);
+  tape.enter_phase(sim::Time::microseconds(100), FlowPhase::pacing);
+  tape.record(sim::Time::microseconds(150), TapeEventKind::segment_sent, 5);
+
+  const std::string out =
+      chrome_trace_json(recorder, sim::Time::microseconds(400));
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);  // thread metadata
+  EXPECT_NE(out.find("flow 1 demo"), std::string::npos);
+  // handshake span: [0, 100) us; pacing closed by the end time at 400 us.
+  EXPECT_NE(out.find("\"name\":\"handshake\",\"ts\":0.000,\"dur\":100.000"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"pacing\",\"ts\":100.000,\"dur\":300.000"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instant event
+  EXPECT_NE(out.find("segment_sent"), std::string::npos);
+}
+
+TEST(ChromeTrace, TraceFromEmulabRunHasPacingSpans) {
+  // Acceptance shape for the CI smoke check: a real halfback run must
+  // produce per-flow phase spans, including the paced-start phase.
+  const ExportedRun run = run_and_export();
+  EXPECT_NE(run.trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"name\":\"pacing\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"name\":\"handshake\""), std::string::npos);
+}
+
+TEST(ManifestJson, CarriesProvenanceFields) {
+  RunManifest manifest;
+  manifest.experiment = "emulab";
+  manifest.scheme = "halfback";
+  manifest.seed = 42;
+  manifest.config_digest = 0xdeadbeefcafef00dULL;
+  manifest.trace_hash = 0x0123456789abcdefULL;
+  manifest.sim_end = sim::Time::seconds(2);
+  manifest.events_dispatched = 1000;
+  const std::string out = manifest_json(manifest, nullptr);
+  EXPECT_NE(out.find("\"experiment\":\"emulab\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheme\":\"halfback\""), std::string::npos);
+  EXPECT_NE(out.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(out.find("\"config_digest\":\"0xdeadbeefcafef00d\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"trace_hash\":\"0x0123456789abcdef\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"events_dispatched\":1000"), std::string::npos);
+}
+
+TEST(ManifestJson, Hex64IsZeroPaddedLowercase) {
+  EXPECT_EQ(hex64(0), "0x0000000000000000");
+  EXPECT_EQ(hex64(0xABCULL), "0x0000000000000abc");
+  EXPECT_EQ(hex64(~0ULL), "0xffffffffffffffff");
+}
+
+TEST(ManifestJson, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Formatting, FormatDoubleIsLocaleFreeAndRoundTrips) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  const std::string frac = format_double(1.5);
+  EXPECT_EQ(frac, "1.5");
+  EXPECT_EQ(std::stod(format_double(0.1)), 0.1);
+}
+
+TEST(Formatting, JsonEscapeHandlesQuotesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string{"a\x01"
+                                    "b"}),
+            "a\\u0001b");
+}
+
+TEST(HistogramBins, BridgeScalesEdgesAndKeepsCounts) {
+  MetricRegistry registry;
+  Histogram* h = registry.histogram("h", "test");
+  h->record(2'000'000);  // 2 ms in ns
+  const std::vector<stats::HistogramBin> bins = histogram_bins(*h, 1e6);
+  ASSERT_EQ(bins.size(), h->bucket_count());
+  std::uint64_t total = 0;
+  for (const auto& bin : bins) {
+    EXPECT_LT(bin.lower, bin.upper);
+    total += bin.count;
+  }
+  EXPECT_EQ(total, 1u);
+  EXPECT_LE(bins.back().lower, 2.0);
+  EXPECT_GT(bins.back().upper, 2.0);
+}
+
+}  // namespace
+}  // namespace halfback::telemetry

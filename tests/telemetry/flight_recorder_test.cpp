@@ -1,0 +1,156 @@
+// FlightRecorder / Tape semantics: slab-backed rings, wrap-around keeping
+// the newest events, and the bounded phase-transition list.
+#include "telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace halfback::telemetry {
+namespace {
+
+sim::Time us(std::int64_t n) { return sim::Time::microseconds(n); }
+
+TEST(FlightRecorder, TapeCreatedOnFirstUseAndFound) {
+  FlightRecorder recorder;
+  EXPECT_EQ(recorder.find(TrackKind::flow, 7), nullptr);
+  Tape& tape = recorder.tape(TrackKind::flow, 7, "flow 7");
+  EXPECT_EQ(recorder.find(TrackKind::flow, 7), &tape);
+  EXPECT_EQ(recorder.tape_count(), 1u);
+  EXPECT_EQ(tape.label(), "flow 7");
+  EXPECT_EQ(tape.track(), TrackKind::flow);
+  EXPECT_EQ(tape.id(), 7u);
+  // Same id under a different track is a different tape.
+  Tape& link = recorder.tape(TrackKind::link, 7, "link 7");
+  EXPECT_NE(&link, &tape);
+  EXPECT_EQ(recorder.tape_count(), 2u);
+}
+
+TEST(FlightRecorder, LabelAppliesOnlyAtCreation) {
+  FlightRecorder recorder;
+  recorder.tape(TrackKind::flow, 1, "original");
+  Tape& again = recorder.tape(TrackKind::flow, 1, "ignored");
+  EXPECT_EQ(again.label(), "original");
+}
+
+TEST(FlightRecorder, EventsReadBackOldestFirst) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  tape.record(us(10), TapeEventKind::flow_start);
+  tape.record(us(20), TapeEventKind::segment_sent, 1);
+  tape.record(us(30), TapeEventKind::segment_sent, 2);
+  ASSERT_EQ(tape.size(), 3u);
+  EXPECT_EQ(tape.dropped(), 0u);
+  EXPECT_EQ(tape.event(0).kind, TapeEventKind::flow_start);
+  EXPECT_EQ(tape.event(1).a, 1u);
+  EXPECT_EQ(tape.event(2).a, 2u);
+  EXPECT_EQ(tape.event(2).at, us(30));
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder{FlightRecorder::Config{.events_per_tape = 4}};
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tape.record(us(i), TapeEventKind::segment_sent, i);
+  }
+  EXPECT_EQ(tape.size(), 4u);
+  EXPECT_EQ(tape.dropped(), 6u);
+  // Survivors are the newest four, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tape.event(i).a, 6u + i);
+  }
+}
+
+TEST(FlightRecorder, ConsecutiveDuplicatePhasesCollapse) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  tape.enter_phase(us(0), FlowPhase::handshake);
+  tape.enter_phase(us(5), FlowPhase::pacing);
+  tape.enter_phase(us(9), FlowPhase::pacing);  // duplicate: collapsed
+  ASSERT_EQ(tape.phases().size(), 2u);
+  EXPECT_EQ(tape.phases()[0].phase, FlowPhase::handshake);
+  EXPECT_EQ(tape.phases()[1].phase, FlowPhase::pacing);
+  EXPECT_EQ(tape.phases()[1].start, us(5));
+}
+
+TEST(FlightRecorder, ZeroWidthPhaseIsReplacedNotKept) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  tape.enter_phase(us(0), FlowPhase::handshake);
+  // Generic "transfer" refined to "pacing" at the same instant: the
+  // zero-width transfer span must not survive.
+  tape.enter_phase(us(5), FlowPhase::transfer);
+  tape.enter_phase(us(5), FlowPhase::pacing);
+  ASSERT_EQ(tape.phases().size(), 2u);
+  EXPECT_EQ(tape.phases()[1].phase, FlowPhase::pacing);
+  EXPECT_EQ(tape.phases()[1].start, us(5));
+}
+
+TEST(FlightRecorder, PhaseListIsCappedButRingStillRecords) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  // Alternate phases far past the cap.
+  for (int i = 0; i < 40; ++i) {
+    tape.enter_phase(us(i), i % 2 == 0 ? FlowPhase::pacing : FlowPhase::ropr);
+  }
+  EXPECT_EQ(tape.phases().size(), 16u);  // kMaxPhaseSpans
+  // Once the span list is full the last stored phase stops advancing, so
+  // every second alternation now collapses as a duplicate: 16 recorded
+  // before the cap, then half of the remaining 24.
+  EXPECT_EQ(tape.size(), 28u);
+}
+
+TEST(FlightRecorder, PhaseEnterMirrorsIntoTheRing) {
+  FlightRecorder recorder;
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  tape.enter_phase(us(3), FlowPhase::ropr);
+  ASSERT_EQ(tape.size(), 1u);
+  EXPECT_EQ(tape.event(0).kind, TapeEventKind::phase_enter);
+  EXPECT_EQ(tape.event(0).a, static_cast<std::uint32_t>(FlowPhase::ropr));
+}
+
+TEST(FlightRecorder, ManyTapesSpanSlabsWithStableContents) {
+  // 3 tapes per slab forces several slab allocations; every ring must stay
+  // distinct and addressable afterwards.
+  FlightRecorder recorder{
+      FlightRecorder::Config{.events_per_tape = 8, .tapes_per_slab = 3}};
+  constexpr std::uint64_t kTapes = 20;
+  for (std::uint64_t id = 0; id < kTapes; ++id) {
+    Tape& tape = recorder.tape(TrackKind::flow, id);
+    tape.record(us(static_cast<std::int64_t>(id)), TapeEventKind::flow_start,
+                static_cast<std::uint32_t>(id));
+  }
+  ASSERT_EQ(recorder.tape_count(), kTapes);
+  for (std::uint64_t id = 0; id < kTapes; ++id) {
+    const Tape* tape = recorder.find(TrackKind::flow, id);
+    ASSERT_NE(tape, nullptr);
+    ASSERT_EQ(tape->size(), 1u);
+    EXPECT_EQ(tape->event(0).a, id);
+    // Creation order is export order.
+    EXPECT_EQ(&recorder.tape_at(id), tape);
+  }
+}
+
+TEST(FlightRecorder, ZeroConfigValuesAreClampedToOne) {
+  FlightRecorder recorder{
+      FlightRecorder::Config{.events_per_tape = 0, .tapes_per_slab = 0}};
+  EXPECT_EQ(recorder.config().events_per_tape, 1u);
+  EXPECT_EQ(recorder.config().tapes_per_slab, 1u);
+  Tape& tape = recorder.tape(TrackKind::flow, 1);
+  tape.record(us(1), TapeEventKind::flow_start);
+  tape.record(us(2), TapeEventKind::complete);
+  EXPECT_EQ(tape.size(), 1u);
+  EXPECT_EQ(tape.event(0).kind, TapeEventKind::complete);
+}
+
+TEST(FlightRecorder, EnumNamesAreStable) {
+  // Exporters serialize these strings; renaming breaks trace consumers.
+  EXPECT_STREQ(to_string(FlowPhase::handshake), "handshake");
+  EXPECT_STREQ(to_string(FlowPhase::pacing), "pacing");
+  EXPECT_STREQ(to_string(FlowPhase::ropr), "ropr");
+  EXPECT_STREQ(to_string(TapeEventKind::proactive_sent), "proactive_sent");
+  EXPECT_STREQ(to_string(TapeEventKind::karn_discard), "karn_discard");
+}
+
+}  // namespace
+}  // namespace halfback::telemetry

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Schema check for the telemetry exporters' Chrome trace and run manifest.
+
+Usage: check_chrome_trace.py TRACE.json [MANIFEST.json]
+
+Validates the structural contract documented in docs/telemetry.md:
+  - the trace is a JSON object with a traceEvents array;
+  - every event carries ph/pid/tid/name with the types Perfetto expects;
+  - duration events (ph "X") have non-negative ts/dur;
+  - there is at least one per-flow phase span, and the phase names come
+    from the FlowPhase catalog (halfback runs must show "pacing");
+  - the manifest (if given) carries the provenance fields with 0x-prefixed
+    16-digit hashes.
+
+Exits nonzero with a message on the first violation, so CI fails loudly.
+"""
+
+import json
+import sys
+
+FLOW_PHASES = {"handshake", "pacing", "transfer", "ropr", "fallback", "done"}
+
+
+def fail(message):
+    print(f"check_chrome_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    if not isinstance(trace, dict):
+        fail(f"{path}: top level must be an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+
+    phase_spans = 0
+    flow_phase_names = set()
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key, kind in (("ph", str), ("pid", int), ("tid", int),
+                          ("name", str)):
+            if not isinstance(ev.get(key), kind):
+                fail(f"{where}: missing or mistyped {key!r}: {ev}")
+        ph = ev["ph"]
+        if ph not in ("M", "X", "i"):
+            fail(f"{where}: unexpected ph {ph!r}")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"{where}: bad ts: {ev}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: bad dur: {ev}")
+            phase_spans += 1
+            if ev["pid"] == 1:  # pid 1 = flow tapes
+                if ev["name"] not in FLOW_PHASES:
+                    fail(f"{where}: unknown flow phase {ev['name']!r}")
+                flow_phase_names.add(ev["name"])
+
+    if phase_spans == 0:
+        fail(f"{path}: no phase spans (ph 'X') at all")
+    if "pacing" not in flow_phase_names:
+        fail(f"{path}: no 'pacing' flow phase span — halfback cells must "
+             f"show the paced start (saw: {sorted(flow_phase_names)})")
+    print(f"check_chrome_trace: {path}: OK "
+          f"({len(events)} events, {phase_spans} phase spans, "
+          f"flow phases: {sorted(flow_phase_names)})")
+
+
+def check_manifest(path):
+    with open(path) as f:
+        manifest = json.load(f)
+    for key, kind in (("experiment", str), ("scheme", str), ("seed", int),
+                      ("config_digest", str), ("trace_hash", str),
+                      ("events_dispatched", int),
+                      ("wall_time_seconds", (int, float))):
+        if not isinstance(manifest.get(key), kind):
+            fail(f"{path}: missing or mistyped {key!r}")
+    for key in ("config_digest", "trace_hash"):
+        value = manifest[key]
+        if (len(value) != 18 or not value.startswith("0x")
+                or value.strip("0123456789abcdefx")):
+            fail(f"{path}: {key} is not an 0x-prefixed 16-digit hash: "
+                 f"{value!r}")
+    if manifest["events_dispatched"] <= 0:
+        fail(f"{path}: events_dispatched must be positive")
+    print(f"check_chrome_trace: {path}: OK "
+          f"(experiment {manifest['experiment']!r}, "
+          f"scheme {manifest['scheme']!r}, "
+          f"trace_hash {manifest['trace_hash']})")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_trace(argv[1])
+    if len(argv) == 3:
+        check_manifest(argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

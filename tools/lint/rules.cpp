@@ -22,6 +22,7 @@ const std::vector<std::unique_ptr<Rule>>& all_rules() {
     r.push_back(make_pragma_once_rule());
     r.push_back(make_hot_path_function_rule());
     r.push_back(make_noexcept_fire_rule());
+    r.push_back(make_stdout_accounting_rule());
     return r;
   }();
   return rules;

@@ -17,6 +17,7 @@ std::unique_ptr<Rule> make_uninitialized_member_rule();
 std::unique_ptr<Rule> make_pragma_once_rule();
 std::unique_ptr<Rule> make_hot_path_function_rule();
 std::unique_ptr<Rule> make_noexcept_fire_rule();
+std::unique_ptr<Rule> make_stdout_accounting_rule();
 
 /// Shared token-scan helpers.
 namespace scan {
