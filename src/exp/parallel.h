@@ -1,18 +1,49 @@
 // Tiny parallel-for over independent simulations.
 //
 // Each task builds and runs its own Simulator, so tasks share nothing; the
-// only coordination is the work index.
+// only coordination is the work index and the error slot below. The slot is
+// the mutation surface the sharded experiment engine contends on, so its
+// locking contract is declared with the thread-safety annotations from
+// sim/annotations.h and checked by clang's -Wthread-safety (an error in
+// this build; see the top-level CMakeLists).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sim/annotations.h"
+
 namespace halfback::exp {
+
+/// First-exception-wins capture shared by parallel_for workers. capture()
+/// races from worker threads; rethrow_if_set() runs on the calling thread
+/// after every worker has joined (it still takes the lock — join already
+/// ordered the stores, but the annotated lock keeps the contract checkable
+/// rather than argued).
+class ErrorSlot {
+ public:
+  void capture() HB_EXCLUDES(mu_) {
+    MutexLock lock{mu_};
+    if (!error_) error_ = std::current_exception();
+  }
+
+  void rethrow_if_set() HB_EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      MutexLock lock{mu_};
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ HB_GUARDED_BY(mu_);
+};
 
 /// Run `fn(i)` for i in [0, count) on up to `threads` workers (defaults to
 /// hardware concurrency). `fn` must only touch data owned by index i.
@@ -33,8 +64,7 @@ inline void parallel_for(std::size_t count, const std::function<void(std::size_t
   }
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorSlot first_error;
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (unsigned w = 0; w < n; ++w) {
@@ -45,8 +75,7 @@ inline void parallel_for(std::size_t count, const std::function<void(std::size_t
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock{error_mutex};
-          if (!first_error) first_error = std::current_exception();
+          first_error.capture();
           failed.store(true, std::memory_order_relaxed);
           return;
         }
@@ -54,7 +83,7 @@ inline void parallel_for(std::size_t count, const std::function<void(std::size_t
     });
   }
   for (std::thread& t : workers) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 }  // namespace halfback::exp

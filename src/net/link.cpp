@@ -92,6 +92,7 @@ void Link::apply_faults() {
   }
   if (decision.extra_delay < sim::Time::zero() ||
       decision.duplicate_spacing < sim::Time::zero()) {
+    // lint: hot-ok(hook-contract guard; unreachable for well-formed fault hooks)
     throw std::logic_error{"FaultHook returned a negative delay"};
   }
   if (!decision.extra_delay.is_zero()) {

@@ -80,6 +80,7 @@ class PacketPool {
       node->next_free_ = nullptr;
     } else {
       ++stats_.allocated;
+      // lint: hot-ok(pool growth path; steady state recycles the free list)
       slab_.push_back(std::make_unique<PacketEvent>());
       node = slab_.back().get();
     }

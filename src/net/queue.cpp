@@ -35,6 +35,7 @@ bool DropTailQueue::enqueue(Packet p, sim::Time now) {
     return false;
   }
   bytes_ += p.size_bytes;
+  // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(std::move(p));
   record_enqueue(packets_.back());
   return true;
@@ -56,6 +57,7 @@ bool PriorityQueue::enqueue(Packet p, sim::Time now) {
     return false;
   }
   bytes_[band] += p.size_bytes;
+  // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   bands_[band].push_back(std::move(p));
   record_enqueue(bands_[band].back());
   return true;
@@ -79,6 +81,7 @@ bool CoDelQueue::enqueue(Packet p, sim::Time now) {
     return false;
   }
   bytes_ += p.size_bytes;
+  // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(Entry{now, std::move(p)});
   record_enqueue(packets_.back().packet);
   return true;
@@ -157,6 +160,7 @@ bool RedQueue::enqueue(Packet p, sim::Time now) {
     return false;
   }
   bytes_ += p.size_bytes;
+  // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(std::move(p));
   record_enqueue(packets_.back());
   return true;

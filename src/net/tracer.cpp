@@ -24,6 +24,7 @@ void PacketTracer::record(TraceEventKind kind, const Packet& packet,
                           const std::string& where) {
   TraceEvent event{simulator_.now(), kind, packet, where};
   if (filter_ && !filter_(event)) return;
+  // lint: hot-ok(tracing is opt-in diagnostics; measured runs attach no tracer)
   events_.push_back(std::move(event));
 }
 

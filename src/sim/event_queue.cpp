@@ -25,7 +25,7 @@ class FunctionEvent final : public Event {
     // Move the callback out and recycle the node first, so the callback can
     // schedule (and the queue can reuse this node) while it runs.
     // lint: function-ok(shim node; only setup/test events reach this path)
-    std::function<void()> fn = std::move(fn_);
+    std::function<void()> fn = std::move(fn_);  // lint: hot-ok(moves the preallocated callback out; no construction)
     owner_->release_shim(this);
     fn();
   }
@@ -106,11 +106,13 @@ Event* EventQueue::pop_root() {
 
 void EventQueue::schedule_event(Event& event, Time at) {
   if (event.queued()) {
+    // lint: hot-ok(programming-error guard; unreachable in a correct scheduler)
     throw std::logic_error{"EventQueue::schedule_event on an already-queued event"};
   }
   event.at_ = at;
   event.seq_ = next_seq_++;
   event.queue_ = this;
+  // lint: hot-ok(amortized heap growth; steady state reuses capacity)
   heap_.push_back(HeapSlot{at, event.seq_, &event});
   event.heap_index_ = heap_.size() - 1;
   sift_up(event.heap_index_);

@@ -121,6 +121,13 @@ class Hub {
   /// once per injector at end of run.
   void record_injector(const netfault::InjectorStats& stats);
 
+  /// Fold another hub's instruments into this one (sharded-engine reduce
+  /// step: each shard runs with its own Hub, the parent merges after the
+  /// shard's worker joins). Both hubs register the same catalog in their
+  /// constructors, so export order is unchanged. Flight-recorder tapes are
+  /// per-shard artifacts and are not merged.
+  void merge_from(const Hub& other) { registry_.merge_from(other.registry_); }
+
  private:
   MetricRegistry registry_;
   FlightRecorder recorder_;

@@ -122,6 +122,12 @@ class Histogram {
   /// bucket where the cumulative count first reaches p * count().
   std::uint64_t quantile_upper_bound(double p) const;
 
+  /// Fold another histogram's population into this one, bucket by bucket.
+  /// Exact (not an approximation) because bucket edges are a pure function
+  /// of the resolution — the caller (MetricRegistry::merge_from) guarantees
+  /// both sides use the same sub_bucket_bits.
+  void merge_from(const Histogram& other);
+
   static std::size_t bucket_index(std::uint64_t v, unsigned k) {
     const std::uint64_t m = std::uint64_t{1} << k;
     if (v < m) return static_cast<std::size_t>(v);

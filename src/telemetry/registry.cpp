@@ -69,6 +69,7 @@ const MetricRegistry::Entry* MetricRegistry::find(const std::string& name) const
 
 Counter* MetricRegistry::counter(const std::string& name, const std::string& help,
                                  Unit unit) {
+  MutexLock lock{mu_};
   if (Entry* e = find_mutable(name)) {
     if (e->kind != MetricKind::counter) {
       throw std::invalid_argument{"metric '" + name +
@@ -84,6 +85,7 @@ Counter* MetricRegistry::counter(const std::string& name, const std::string& hel
 
 Gauge* MetricRegistry::gauge(const std::string& name, const std::string& help,
                              Unit unit) {
+  MutexLock lock{mu_};
   if (Entry* e = find_mutable(name)) {
     if (e->kind != MetricKind::gauge) {
       throw std::invalid_argument{"metric '" + name +
@@ -100,6 +102,7 @@ Gauge* MetricRegistry::gauge(const std::string& name, const std::string& help,
 Histogram* MetricRegistry::histogram(const std::string& name,
                                      const std::string& help, Unit unit,
                                      unsigned sub_bucket_bits) {
+  MutexLock lock{mu_};
   if (Entry* e = find_mutable(name)) {
     if (e->kind != MetricKind::histogram) {
       throw std::invalid_argument{"metric '" + name +
@@ -111,6 +114,73 @@ Histogram* MetricRegistry::histogram(const std::string& name,
   entries_.push_back(
       Entry{name, help, unit, MetricKind::histogram, histograms_.size() - 1});
   return &histograms_.back();
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.size() < other.counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  if (&other == this) return;  // self-merge would double counts and deadlock
+  MutexLock lock{mu_};
+  MutexLock other_lock{other.mu_};
+  for (const Entry& theirs : other.entries_) {
+    Entry* mine = find_mutable(theirs.name);
+    if (mine != nullptr && mine->kind != theirs.kind) {
+      throw std::invalid_argument{"metric '" + theirs.name +
+                                  "' merged with a different kind"};
+    }
+    switch (theirs.kind) {
+      case MetricKind::counter: {
+        if (mine == nullptr) {
+          counters_.emplace_back(Counter{});
+          entries_.push_back(Entry{theirs.name, theirs.help, theirs.unit,
+                                   MetricKind::counter, counters_.size() - 1});
+          mine = &entries_.back();
+        }
+        counters_[mine->index].add(other.counters_[theirs.index].value());
+        break;
+      }
+      case MetricKind::gauge: {
+        if (mine == nullptr) {
+          gauges_.emplace_back(Gauge{});
+          entries_.push_back(Entry{theirs.name, theirs.help, theirs.unit,
+                                   MetricKind::gauge, gauges_.size() - 1});
+          mine = &entries_.back();
+        }
+        gauges_[mine->index].set_max(other.gauges_[theirs.index].value());
+        break;
+      }
+      case MetricKind::histogram: {
+        const Histogram& from = other.histograms_[theirs.index];
+        if (mine == nullptr) {
+          histograms_.emplace_back(Histogram{from.sub_bucket_bits()});
+          entries_.push_back(Entry{theirs.name, theirs.help, theirs.unit,
+                                   MetricKind::histogram,
+                                   histograms_.size() - 1});
+          mine = &entries_.back();
+        }
+        Histogram& into = histograms_[mine->index];
+        if (into.sub_bucket_bits() != from.sub_bucket_bits()) {
+          throw std::invalid_argument{
+              "histogram '" + theirs.name +
+              "' merged with a different sub-bucket resolution"};
+        }
+        into.merge_from(from);
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace halfback::telemetry

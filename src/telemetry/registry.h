@@ -5,6 +5,15 @@
 // sequence produce byte-identical exports. Registering a name twice returns
 // the existing instrument (the kind must match), which lets independent
 // components share a counter without coordination.
+//
+// Concurrency contract (the surface the sharded experiment engine contends
+// on): registration and merge_from() are serialized by an internal mutex
+// and safe to call from concurrent shard setup/teardown. Instrument
+// *updates* through the returned pointers are NOT synchronized — each shard
+// must own its instruments (its own registry) and fold results into a
+// parent with merge_from() after its run completes. The read accessors are
+// lock-free by design: they are meant for the export phase, after every
+// worker has joined.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "telemetry/metric.h"
 
 namespace halfback::telemetry {
@@ -40,34 +50,59 @@ class MetricRegistry {
   /// the registry's lifetime. Throws std::invalid_argument if `name` is
   /// already registered with a different kind.
   Counter* counter(const std::string& name, const std::string& help,
-                   Unit unit = Unit::none);
+                   Unit unit = Unit::none) HB_EXCLUDES(mu_);
   Gauge* gauge(const std::string& name, const std::string& help,
-               Unit unit = Unit::none);
+               Unit unit = Unit::none) HB_EXCLUDES(mu_);
   Histogram* histogram(const std::string& name, const std::string& help,
                        Unit unit = Unit::none,
-                       unsigned sub_bucket_bits = Histogram::kDefaultSubBucketBits);
+                       unsigned sub_bucket_bits = Histogram::kDefaultSubBucketBits)
+      HB_EXCLUDES(mu_);
 
-  const std::vector<Entry>& entries() const { return entries_; }
-  std::size_t size() const { return entries_.size(); }
+  /// Fold another registry's instruments into this one, registering any
+  /// names this registry has not seen (in `other`'s registration order, so
+  /// merging identical catalogs preserves export order). Counters add,
+  /// gauges keep the maximum, histograms add bucketwise (sub-bucket
+  /// resolutions must match). Throws std::invalid_argument on a kind or
+  /// resolution mismatch. Locks both registries; `other` must outlive the
+  /// call but may be concurrently merged elsewhere.
+  void merge_from(const MetricRegistry& other) HB_EXCLUDES(mu_);
 
-  const Counter& counter_at(const Entry& e) const { return counters_[e.index]; }
-  const Gauge& gauge_at(const Entry& e) const { return gauges_[e.index]; }
-  const Histogram& histogram_at(const Entry& e) const {
+  // Read accessors are for the export phase, after all workers have joined
+  // (the join is the synchronization); they take no lock so exporters can
+  // hold references across iteration.
+  const std::vector<Entry>& entries() const HB_NO_THREAD_SAFETY_ANALYSIS {
+    return entries_;
+  }
+  std::size_t size() const HB_NO_THREAD_SAFETY_ANALYSIS {
+    return entries_.size();
+  }
+
+  const Counter& counter_at(const Entry& e) const
+      HB_NO_THREAD_SAFETY_ANALYSIS {
+    return counters_[e.index];
+  }
+  const Gauge& gauge_at(const Entry& e) const HB_NO_THREAD_SAFETY_ANALYSIS {
+    return gauges_[e.index];
+  }
+  const Histogram& histogram_at(const Entry& e) const
+      HB_NO_THREAD_SAFETY_ANALYSIS {
     return histograms_[e.index];
   }
 
   /// Lookup by name (linear scan; registration-time convenience, not a hot
-  /// path). Returns nullptr when absent.
-  const Entry* find(const std::string& name) const;
+  /// path). Returns nullptr when absent. Export-phase accessor: no lock.
+  const Entry* find(const std::string& name) const
+      HB_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  Entry* find_mutable(const std::string& name);
+  Entry* find_mutable(const std::string& name) HB_REQUIRES(mu_);
 
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ HB_GUARDED_BY(mu_);
   // Deques give instrument pointers stability across growth.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  std::deque<Counter> counters_ HB_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ HB_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ HB_GUARDED_BY(mu_);
 };
 
 }  // namespace halfback::telemetry

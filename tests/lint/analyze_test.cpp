@@ -1,0 +1,341 @@
+// Pins halfback-analyze's behaviour: each mini-tree under
+// tests/lint/fixtures/analyze/ carries a known set of cross-TU violations
+// (red), the clean/allowlisted trees analyze clean (green), and — the
+// teeth — the live repository analyzes clean against the empty-by-policy
+// baseline and allowlist. The fixtures run through analyze_tree(), the
+// exact code path the CLI and CI exercise.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis.h"
+#include "model.h"
+
+namespace lint = halfback::lint;
+
+namespace {
+
+std::filesystem::path analyze_fixture_dir() {
+  return std::filesystem::path{HALFBACK_LINT_FIXTURES} / "analyze";
+}
+std::filesystem::path repo_root() { return HALFBACK_REPO_ROOT; }
+
+std::string describe(const std::vector<lint::Finding>& findings) {
+  std::ostringstream out;
+  for (const lint::Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return std::move(out).str();
+}
+
+std::vector<lint::Finding> analyze_fixture(const std::string& name,
+                                           std::string_view only_rule = {}) {
+  return lint::analyze_tree(analyze_fixture_dir() / name, only_rule);
+}
+
+/// In-memory model over hand-written files — for cases a disk fixture
+/// cannot express (custom allowlists, single-file probes).
+lint::ProjectModel model_of(
+    std::vector<std::pair<std::string, std::string>> files) {
+  lint::ProjectModel model;
+  for (auto& [path, text] : files) {
+    model.add_file(lint::SourceFile{path, std::move(text)});
+  }
+  model.finalize();
+  return model;
+}
+
+// ---- layering ---------------------------------------------------------------
+
+TEST(LayeringRule, IncludeCycleFixtureTripsOnce) {
+  const auto findings = analyze_fixture("cycle");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos)
+      << findings[0].message;
+  // The cycle is spelled out end to end.
+  EXPECT_NE(findings[0].message.find("src/net/cycle_a.h -> "
+                                     "src/net/cycle_b.h -> "
+                                     "src/net/cycle_a.h"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LayeringRule, UpwardIncludeFixtureTripsOnce) {
+  const auto findings = analyze_fixture("upward");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].path, "src/net/uses_exp.h");
+  EXPECT_NE(findings[0].message.find("may not include"), std::string::npos);
+}
+
+TEST(LayeringRule, SuppressionCommentSilencesAnUpwardInclude) {
+  const auto model = model_of({
+      {"src/exp/top.h", "#pragma once\n"},
+      {"src/net/low.h",
+       "#pragma once\n"
+       "// lint: layer-ok(fixture: sanctioned exception)\n"
+       "#include \"exp/top.h\"\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "layering");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LayeringRule, ObservabilityInterfaceHeadersAreSanctioned) {
+  // net/ may include the telemetry probe surface (hub.h) but not the rest
+  // of the telemetry layer (exporters etc.).
+  const auto model = model_of({
+      {"src/telemetry/hub.h", "#pragma once\n"},
+      {"src/telemetry/export.h", "#pragma once\n"},
+      {"src/net/a.h", "#pragma once\n#include \"telemetry/hub.h\"\n"},
+      {"src/net/b.h", "#pragma once\n#include \"telemetry/export.h\"\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "layering");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].path, "src/net/b.h");
+}
+
+TEST(LayeringRule, LayerGraphDotNamesLayersAndAggregatesEdges) {
+  const auto model = model_of({
+      {"src/sim/base.h", "#pragma once\n"},
+      {"src/net/a.h", "#pragma once\n#include \"sim/base.h\"\n"},
+      {"src/net/b.h", "#pragma once\n#include \"sim/base.h\"\n"},
+  });
+  const std::string dot = model.layer_graph_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"net\" -> \"sim\" [label=\"2\"]"), std::string::npos)
+      << dot;
+}
+
+// ---- transitive hot-path proofs --------------------------------------------
+
+TEST(HotPathReachRule, TransitiveAllocationFixtureTrips) {
+  const auto findings = analyze_fixture("hotalloc");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "hot_path_reach");
+  EXPECT_EQ(findings[0].path, "src/sim/deep.h");
+  // The proof names the call chain from the fire() root.
+  EXPECT_NE(findings[0].message.find("HotTimer::fire -> "
+                                     "halfback::sim::deep_stage"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(HotPathReachRule, UnreachableAllocationIsNotCharged) {
+  // Same allocating helper, but nothing on the hot path calls it.
+  const auto model = model_of({
+      {"src/sim/cold.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "inline int* setup_only() { return new int{4}; }\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "hot_path_reach");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(HotPathReachRule, SuppressionAtTheEvidenceSiteSilences) {
+  const auto model = model_of({
+      {"src/sim/ev.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "struct E {\n"
+       "  void fire() noexcept override {\n"
+       "    // lint: hot-ok(fixture: amortized)\n"
+       "    buf_.push_back(1);\n"
+       "  }\n"
+       "  std::vector<int> buf_;\n"
+       "};\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "hot_path_reach");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// ---- shard safety -----------------------------------------------------------
+
+TEST(ShardSafetyRule, HiddenGlobalsFixtureTripsBothKinds) {
+  const auto findings = analyze_fixture("global");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "shard_safety");
+  EXPECT_NE(findings[0].message.find("halfback::net::g_total_packets"),
+            std::string::npos);
+  EXPECT_NE(findings[1].message.find("halfback::net::sequence::next"),
+            std::string::npos);
+}
+
+TEST(ShardSafetyRule, JustifiedAllowlistEntriesAreClean) {
+  // Identical tree to `global`, plus a tools/lint/shard_allowlist.txt whose
+  // entries carry justifications.
+  const auto findings = analyze_fixture("global_allowed");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(ShardSafetyRule, UnjustifiedAllowlistEntryIsAFinding) {
+  lint::ShardAllowlist allowlist;
+  std::string error;
+  ASSERT_TRUE(lint::ShardAllowlist::parse(
+      "halfback::net::g_x src/net/g.h\n", allowlist, error))
+      << error;
+  const auto model = model_of({
+      {"src/net/g.h",
+       "#pragma once\nnamespace halfback::net {\nint g_x = 0;\n}\n"},
+  });
+  const auto findings =
+      lint::analyze_model(model, allowlist, "shard_safety");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("no justification"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(ShardSafetyRule, StaleAllowlistEntryIsAFinding) {
+  lint::ShardAllowlist allowlist;
+  std::string error;
+  ASSERT_TRUE(lint::ShardAllowlist::parse(
+      "halfback::net::gone src/net/g.h removed long ago\n", allowlist, error))
+      << error;
+  const auto model = model_of({
+      {"src/net/g.h", "#pragma once\n"},
+  });
+  const auto findings =
+      lint::analyze_model(model, allowlist, "shard_safety");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("stale"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(ShardSafetyRule, ConstAndConstexprStateIsNotInventoried) {
+  const auto model = model_of({
+      {"src/net/tables.h",
+       "#pragma once\n"
+       "namespace halfback::net {\n"
+       "constexpr int kWindow = 64;\n"
+       "const char* const kName = \"halfback\";\n"
+       "inline int lookup(int i) {\n"
+       "  static constexpr int kTable[2] = {1, 2};\n"
+       "  return kTable[i & 1];\n"
+       "}\n"
+       "}  // namespace halfback::net\n"},
+  });
+  const auto findings =
+      lint::analyze_model(model, {}, "shard_safety");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// ---- determinism taint ------------------------------------------------------
+
+TEST(RngTaintRule, AmbientAndDefaultConstructionFixtureTrips) {
+  const auto findings = analyze_fixture("rng");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "rng_taint");
+  EXPECT_NE(findings[0].message.find("default-constructed"),
+            std::string::npos);
+  EXPECT_NE(findings[1].message.find("ambient source"), std::string::npos);
+}
+
+TEST(RngTaintRule, SeedDerivedConstructionsAreClean) {
+  const auto model = model_of({
+      {"src/sim/ok.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "struct S {\n"
+       "  explicit S(const Random& parent) : rng_{parent.fork(0x11bbULL)} {}\n"
+       "  Random rng_{0};\n"
+       "};\n"
+       "inline Random stream(unsigned long long seed) {\n"
+       "  Random r{seed};\n"
+       "  return r;\n"
+       "}\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "rng_taint");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(RngTaintRule, MemberInitFromAmbientSourceTrips) {
+  // The ctor-init-list path: the member's RNG type is declared on one line,
+  // the tainted construction happens in the initializer list.
+  const auto model = model_of({
+      {"src/sim/bad_member.h",
+       "#pragma once\n"
+       "#include <random>\n"
+       "namespace halfback::sim {\n"
+       "struct S {\n"
+       "  S() : gen_{std::random_device{}()} {}\n"
+       "  std::mt19937 gen_{1};\n"
+       "};\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "rng_taint");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("ambient"), std::string::npos)
+      << findings[0].message;
+}
+
+// ---- green fixtures and the live tree --------------------------------------
+
+TEST(CleanFixture, AnalyzesCleanAcrossAllRules) {
+  const auto findings = analyze_fixture("clean");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(Registry, EveryModelRuleHasAStableIdAndDescription) {
+  std::set<std::string_view> ids;
+  for (const auto& rule : lint::all_model_rules()) {
+    EXPECT_FALSE(rule->id().empty());
+    EXPECT_FALSE(rule->description().empty());
+    EXPECT_TRUE(ids.insert(rule->id()).second)
+        << "duplicate rule id " << rule->id();
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ShardAllowlistFile, CheckedInAllowlistIsEmptyByPolicy) {
+  std::ifstream in{repo_root() / "tools/lint/shard_allowlist.txt"};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  lint::ShardAllowlist allowlist;
+  std::string error;
+  ASSERT_TRUE(lint::ShardAllowlist::parse(text.str(), allowlist, error))
+      << error;
+  EXPECT_TRUE(allowlist.entries.empty())
+      << "policy: simulator state belongs behind instance pointers; adding "
+         "an entry needs a sharded-engine design reason";
+}
+
+TEST(Model, LiveTreeBuildsAndSeesTheHotPathRoots) {
+  const auto model = lint::ProjectModel::build(repo_root());
+  ASSERT_FALSE(model.files().empty());
+  bool saw_fire_override = false;
+  bool saw_link_send = false;
+  for (const lint::FunctionDef& fn : model.functions()) {
+    if (fn.is_fire_override &&
+        model.file(fn.file).path().starts_with("src/")) {
+      saw_fire_override = true;
+    }
+    if (fn.name == "send" && fn.class_name == "Link") saw_link_send = true;
+  }
+  EXPECT_TRUE(saw_fire_override);
+  EXPECT_TRUE(saw_link_send);
+  // The sanctioned observability edges are present and dashed in the dot.
+  const std::string dot = model.layer_graph_dot();
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Tree, LiveTreeAnalyzesCleanAgainstEmptyBaselineAndAllowlist) {
+  // The tentpole's teeth: a new upward include, hot-path allocation, hidden
+  // global, or ambient-seeded RNG anywhere in the repository fails here
+  // with the full finding text, mirroring the `analyze` build target.
+  const auto findings = lint::analyze_tree(repo_root());
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Fixture: everything the analyzer allows — a downward include, a pure
+// fire() chain, and seed-derived RNG construction (direct and member-init).
+#pragma once
+#include "sim/base.h"
+namespace halfback::net {
+
+inline int accumulate(int x) { return x + 1; }
+
+struct TickEvent : sim::Event {
+  explicit TickEvent(const sim::Random& parent)
+      : rng_{parent.fork(0x11bbULL)} {}
+  void fire() noexcept override { total_ = accumulate(total_); }
+
+  sim::Random rng_{0};
+  int total_ = 0;
+};
+
+inline sim::Random make_stream(unsigned long long seed) {
+  sim::Random rng{seed};
+  return rng.fork(7);
+}
+
+}  // namespace halfback::net

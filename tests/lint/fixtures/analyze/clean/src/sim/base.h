@@ -1,0 +1,20 @@
+// Fixture: the bottom layer of the clean mini-tree.
+#pragma once
+namespace halfback::sim {
+
+struct Event {
+  virtual ~Event() = default;
+  virtual void fire() noexcept = 0;
+};
+
+class Random {
+ public:
+  explicit Random(unsigned long long seed) : state_{seed} {}
+  Random fork(unsigned long long salt) const { return Random{state_ ^ salt}; }
+  unsigned long long state() const { return state_; }
+
+ private:
+  unsigned long long state_;
+};
+
+}  // namespace halfback::sim

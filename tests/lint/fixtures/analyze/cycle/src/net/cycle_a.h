@@ -1,0 +1,3 @@
+// Fixture: file-level include cycle (same layer, so only the cycle trips).
+#pragma once
+#include "net/cycle_b.h"

@@ -1,0 +1,3 @@
+// Fixture: closes the include cycle back to cycle_a.h.
+#pragma once
+#include "net/cycle_a.h"

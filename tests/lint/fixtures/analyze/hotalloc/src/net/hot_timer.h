@@ -1,0 +1,11 @@
+// Fixture: a fire() override whose body looks clean but transitively
+// allocates through sim::deep_stage() in another translation unit.
+#pragma once
+#include "sim/deep.h"
+namespace halfback::net {
+
+struct HotTimer : Event {
+  void fire() noexcept override { sim::deep_stage(); }
+};
+
+}  // namespace halfback::net

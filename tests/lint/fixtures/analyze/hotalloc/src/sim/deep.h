@@ -1,0 +1,9 @@
+// Fixture: the helper a hot-path fire() reaches one layer down. The
+// per-file rules cannot see this allocation from the fire() body; the
+// cross-TU reachability proof must.
+#pragma once
+namespace halfback::sim {
+
+inline int* deep_stage() { return new int{4}; }
+
+}  // namespace halfback::sim

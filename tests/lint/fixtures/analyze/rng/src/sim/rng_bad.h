@@ -1,0 +1,13 @@
+// Fixture: RNG constructions that break the seed-derivation contract — a
+// default-constructed engine and an ambient (random_device) seed.
+#pragma once
+#include <random>
+namespace halfback::sim {
+
+inline unsigned ambient_jitter() {
+  std::mt19937 gen;
+  std::mt19937_64 gen2{std::random_device{}()};
+  return static_cast<unsigned>(gen() + gen2());
+}
+
+}  // namespace halfback::sim

@@ -1,0 +1,2 @@
+// Fixture: an upper-layer header for the upward-include case to reach for.
+#pragma once

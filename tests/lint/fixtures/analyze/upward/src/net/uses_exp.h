@@ -1,0 +1,3 @@
+// Fixture: net/ reaching up into exp/ — an upward include the DAG forbids.
+#pragma once
+#include "exp/runner.h"

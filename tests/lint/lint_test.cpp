@@ -311,4 +311,33 @@ TEST(Tree, SrcLintsCleanAgainstTheEmptyBaseline) {
   EXPECT_TRUE(findings.empty()) << describe(findings);
 }
 
+TEST(Tree, ParallelSweepIsByteIdenticalToSequential) {
+  // --jobs N must not reorder or drop findings: every file has a fixed
+  // slot in the path-sorted output. The fixtures are off the discovery
+  // path, so this exercises the live tree (empty either way) AND a
+  // per-rule sweep that visits every file.
+  EXPECT_EQ(lint::lint_tree(repo_root(), {}, 4), lint::lint_tree(repo_root()));
+  EXPECT_EQ(lint::lint_tree(repo_root(), "pragma-once", 3),
+            lint::lint_tree(repo_root(), "pragma-once", 1));
+}
+
+TEST(BaselineFile, StaleEntriesAreTheOnesMatchingNoFinding) {
+  lint::Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.parse("nondeterminism src/exp/trace.cpp:42\n"
+                             "raw-unit-type src/net/link.h:7\n",
+                             error))
+      << error;
+  const std::vector<lint::Finding> findings{
+      {"nondeterminism", "src/exp/trace.cpp", 42, "still present"},
+  };
+  const auto stale = baseline.stale_entries(findings);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "raw-unit-type src/net/link.h:7");
+  EXPECT_TRUE(baseline.stale_entries({findings[0],
+                                      {"raw-unit-type", "src/net/link.h", 7,
+                                       "also present"}})
+                  .empty());
+}
+
 }  // namespace

@@ -189,5 +189,20 @@ TEST(Hub, FlowTapesCarryPhaseSpansForHalfback) {
   EXPECT_TRUE(saw_pacing);
 }
 
+TEST(HubMerge, FoldsShardRegistriesIntoTheParent) {
+  // The sharded-engine reduce: each worker records into its own Hub; the
+  // parent folds them after join. Tapes stay per-shard by design — only
+  // the metric registry merges.
+  Hub parent, shard;
+  parent.registry().counter("flows_completed", "x")->add(3);
+  shard.registry().counter("flows_completed", "x")->add(4);
+  shard.registry().gauge("max_queue_depth", "x")->set(9.0);
+  parent.merge_from(shard);
+  EXPECT_EQ(parent.registry().counter("flows_completed", "")->value(), 7u);
+  EXPECT_EQ(parent.registry().gauge("max_queue_depth", "")->value(), 9.0);
+  // The shard is read, not drained.
+  EXPECT_EQ(shard.registry().counter("flows_completed", "")->value(), 4u);
+}
+
 }  // namespace
 }  // namespace halfback::telemetry

@@ -1,0 +1,98 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace halfback::lint {
+
+bool ShardAllowlist::parse(const std::string& text, ShardAllowlist& out,
+                           std::string& error) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields{line};
+    ShardAllowEntry entry;
+    fields >> entry.qualified >> entry.path;
+    if (entry.qualified.empty() || entry.path.empty()) {
+      error = "shard allowlist line " + std::to_string(line_no) +
+              ": expected '<qualified-name> <path> <justification>', got: " +
+              line;
+      return false;
+    }
+    std::getline(fields, entry.justification);
+    const std::size_t start = entry.justification.find_first_not_of(" \t");
+    entry.justification = start == std::string::npos
+                              ? std::string{}
+                              : entry.justification.substr(start);
+    entry.source_line = line_no;
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+void ModelRule::report(const ProjectModel& model, std::size_t file, int line,
+                       std::string message, std::vector<Finding>& out) const {
+  const SourceFile& source = model.file(file);
+  const std::string_view tag = suppression_tag();
+  if (!tag.empty() && source.suppressed(line, tag)) return;
+  out.push_back({std::string{id()}, source.path(), line, std::move(message)});
+}
+
+std::vector<std::unique_ptr<ModelRule>> all_model_rules(
+    ShardAllowlist allowlist) {
+  std::vector<std::unique_ptr<ModelRule>> rules;
+  rules.push_back(make_layering_rule());
+  rules.push_back(make_hot_path_reach_rule());
+  rules.push_back(make_shard_safety_rule(std::move(allowlist)));
+  rules.push_back(make_rng_taint_rule());
+  return rules;
+}
+
+std::vector<Finding> analyze_model(const ProjectModel& model,
+                                   ShardAllowlist allowlist,
+                                   std::string_view only_rule) {
+  std::vector<Finding> findings;
+  for (const auto& rule : all_model_rules(std::move(allowlist))) {
+    if (!only_rule.empty() && rule->id() != only_rule) continue;
+    std::vector<Finding> rule_findings;
+    rule->check(model, rule_findings);
+    std::sort(rule_findings.begin(), rule_findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.path, a.line, a.message) <
+                       std::tie(b.path, b.line, b.message);
+              });
+    findings.insert(findings.end(),
+                    std::make_move_iterator(rule_findings.begin()),
+                    std::make_move_iterator(rule_findings.end()));
+  }
+  return findings;
+}
+
+std::vector<Finding> analyze_tree(const std::filesystem::path& root,
+                                  std::string_view only_rule) {
+  ShardAllowlist allowlist;
+  const std::filesystem::path allowlist_path =
+      root / "tools" / "lint" / "shard_allowlist.txt";
+  if (std::filesystem::exists(allowlist_path)) {
+    std::ifstream in{allowlist_path, std::ios::binary};
+    if (!in) {
+      throw std::runtime_error{"cannot read " + allowlist_path.string()};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!ShardAllowlist::parse(std::move(text).str(), allowlist, error)) {
+      throw std::runtime_error{error};
+    }
+  }
+  const ProjectModel model = ProjectModel::build(root);
+  return analyze_model(model, std::move(allowlist), only_rule);
+}
+
+}  // namespace halfback::lint

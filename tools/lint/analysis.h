@@ -1,0 +1,82 @@
+// Cross-TU rule framework for halfback-analyze.
+//
+// ModelRule is the whole-program counterpart of Rule (rules.h): instead of
+// one SourceFile it sees the ProjectModel, so a rule can follow an include
+// edge or a call chain across translation units. Findings, suppression
+// comments ("// lint: <tag>(reason)" on the line or the line above) and the
+// baseline format are shared with halfback-lint so CI and editors treat
+// both tools' output identically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "rules.h"
+
+namespace halfback::lint {
+
+/// The shard-safety allowlist: tolerated mutable statics, each with a
+/// justification. Parsed from tools/lint/shard_allowlist.txt.
+struct ShardAllowEntry {
+  std::string qualified;      ///< qualified variable name, e.g. "exp::g_runs"
+  std::string path;           ///< repo-relative file the variable lives in
+  std::string justification;  ///< required: why this state is shard-safe
+  int source_line = 0;        ///< line in the allowlist file (diagnostics)
+};
+
+struct ShardAllowlist {
+  std::vector<ShardAllowEntry> entries;
+
+  /// Parse allowlist text. Entry lines read
+  /// `<qualified-name> <path> <justification...>`; '#' starts a comment.
+  /// Returns false (and fills `error`) on a malformed line. A missing
+  /// justification is NOT a parse error — the shard_safety rule reports it
+  /// as a finding, so an unjustified entry fails the build visibly.
+  static bool parse(const std::string& text, ShardAllowlist& out,
+                    std::string& error);
+};
+
+class ModelRule {
+ public:
+  virtual ~ModelRule() = default;
+
+  virtual std::string_view id() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// The suppression tag that silences this rule on a line ("" = none).
+  virtual std::string_view suppression_tag() const = 0;
+
+  virtual void check(const ProjectModel& model,
+                     std::vector<Finding>& out) const = 0;
+
+ protected:
+  /// Emit unless the site in model.file(file) carries this rule's tag.
+  void report(const ProjectModel& model, std::size_t file, int line,
+              std::string message, std::vector<Finding>& out) const;
+};
+
+std::unique_ptr<ModelRule> make_layering_rule();
+std::unique_ptr<ModelRule> make_hot_path_reach_rule();
+std::unique_ptr<ModelRule> make_shard_safety_rule(ShardAllowlist allowlist);
+std::unique_ptr<ModelRule> make_rng_taint_rule();
+
+/// All model rules in the order they run and print. The shard-safety rule
+/// is constructed around `allowlist`.
+std::vector<std::unique_ptr<ModelRule>> all_model_rules(
+    ShardAllowlist allowlist = {});
+
+/// Run every model rule (or just `only_rule`, when nonempty). Findings are
+/// ordered rule-by-rule, each rule's findings sorted by (path, line).
+std::vector<Finding> analyze_model(const ProjectModel& model,
+                                   ShardAllowlist allowlist = {},
+                                   std::string_view only_rule = {});
+
+/// Build the model for `root` and analyze it. Reads the shard allowlist
+/// from root/tools/lint/shard_allowlist.txt when present. Throws
+/// std::runtime_error on I/O or allowlist parse errors.
+std::vector<Finding> analyze_tree(const std::filesystem::path& root,
+                                  std::string_view only_rule = {});
+
+}  // namespace halfback::lint

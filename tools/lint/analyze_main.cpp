@@ -1,0 +1,203 @@
+// halfback-analyze: cross-TU semantic analysis over the project model.
+//
+//   halfback-analyze --root <repo>          analyze the whole tree
+//   --baseline <file>          tolerate findings listed in <file>
+//   --update-baseline <file>   write current findings to <file> and exit 0
+//   --verify-baseline <file>   exit 1 if <file> has entries matching no
+//                              finding (the CI drift guard)
+//   --rule <id>                run a single rule family
+//   --list-rules               print the rule table and exit
+//   --dot <file>               also write the layer include graph (Graphviz)
+//
+// Exit status: 0 clean, 1 findings (or stale baseline), 2 usage or I/O
+// error — same contract as halfback-lint, so CI failures are diagnosable
+// from the code alone.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "baseline.h"
+
+namespace {
+
+using namespace halfback::lint;
+
+struct Options {
+  std::filesystem::path root = ".";
+  std::string baseline_path;
+  std::string update_baseline_path;
+  std::string verify_baseline_path;
+  std::string only_rule;
+  std::string dot_path;
+  bool list_rules = false;
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage: halfback-analyze --root <repo> [--baseline <file>]\n"
+         "                        [--update-baseline <file>] "
+         "[--verify-baseline <file>]\n"
+         "                        [--rule <id>] [--list-rules] "
+         "[--dot <file>]\n";
+  return code;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    std::string root_value;
+    if (arg == "--root") {
+      if (!value(root_value)) return false;
+      opts.root = root_value;
+    } else if (arg == "--baseline") {
+      if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--update-baseline") {
+      if (!value(opts.update_baseline_path)) return false;
+    } else if (arg == "--verify-baseline") {
+      if (!value(opts.verify_baseline_path)) return false;
+    } else if (arg == "--rule") {
+      if (!value(opts.only_rule)) return false;
+    } else if (arg == "--dot") {
+      if (!value(opts.dot_path)) return false;
+    } else if (arg == "--list-rules") {
+      opts.list_rules = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool load_baseline(const std::string& path, Baseline& baseline) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "halfback-analyze: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  if (!baseline.parse(text.str(), error)) {
+    std::cerr << "halfback-analyze: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage(std::cerr, 2);
+
+  if (opts.list_rules) {
+    for (const auto& rule : all_model_rules()) {
+      std::cout << rule->id() << "\n    " << rule->description();
+      if (!rule->suppression_tag().empty()) {
+        std::cout << "\n    suppression: // lint: " << rule->suppression_tag()
+                  << "(reason)";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!opts.baseline_path.empty() &&
+      !load_baseline(opts.baseline_path, baseline)) {
+    return 2;
+  }
+  Baseline verify;
+  if (!opts.verify_baseline_path.empty() &&
+      !load_baseline(opts.verify_baseline_path, verify)) {
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::string dot;
+  try {
+    ShardAllowlist allowlist;
+    const auto allowlist_path =
+        opts.root / "tools" / "lint" / "shard_allowlist.txt";
+    if (std::filesystem::exists(allowlist_path)) {
+      std::ifstream in{allowlist_path, std::ios::binary};
+      if (!in) {
+        std::cerr << "halfback-analyze: cannot read " << allowlist_path
+                  << "\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string error;
+      if (!ShardAllowlist::parse(std::move(text).str(), allowlist, error)) {
+        std::cerr << "halfback-analyze: " << error << "\n";
+        return 2;
+      }
+    }
+    const ProjectModel model = ProjectModel::build(opts.root);
+    findings = analyze_model(model, std::move(allowlist), opts.only_rule);
+    if (!opts.dot_path.empty()) dot = model.layer_graph_dot();
+  } catch (const std::exception& e) {
+    std::cerr << "halfback-analyze: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!opts.dot_path.empty()) {
+    std::ofstream out{opts.dot_path};
+    if (!out) {
+      std::cerr << "halfback-analyze: cannot write " << opts.dot_path << "\n";
+      return 2;
+    }
+    out << dot;
+  }
+
+  if (!opts.update_baseline_path.empty()) {
+    std::ofstream out{opts.update_baseline_path};
+    if (!out) {
+      std::cerr << "halfback-analyze: cannot write "
+                << opts.update_baseline_path << "\n";
+      return 2;
+    }
+    out << Baseline::render(findings, "halfback-analyze");
+    std::cout << "halfback-analyze: wrote " << findings.size()
+              << " finding(s) to " << opts.update_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!opts.verify_baseline_path.empty()) {
+    const auto stale = verify.stale_entries(findings);
+    if (!stale.empty()) {
+      for (const std::string& entry : stale) {
+        std::cout << "stale baseline entry: " << entry << "\n";
+      }
+      std::cout << "halfback-analyze: " << stale.size()
+                << " stale baseline entr(ies) in " << opts.verify_baseline_path
+                << "\n";
+      return 1;
+    }
+  }
+
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    if (baseline.contains(f)) continue;
+    ++reported;
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (reported == 0) {
+    std::cout << "halfback-analyze: clean (" << findings.size()
+              << " finding(s) total, " << baseline.size()
+              << " baseline entr(ies))\n";
+    return 0;
+  }
+  std::cout << "halfback-analyze: " << reported << " finding(s)\n";
+  return 1;
+}

@@ -1,0 +1,113 @@
+// hot_path_reach: transitive hot-path purity proofs.
+//
+// The per-file hot_path_function / noexcept_fire rules (PR 3) check bodies
+// they can see; this rule closes the gap the ISSUE calls out — a fire()
+// body calling a helper two TUs away that allocates. Roots are every
+// `fire()` override defined under src/ (the event-dispatch hot path; that
+// set includes the net::Link TX/RX events) plus net::Link::send, the
+// per-packet entry point itself. A multi-source BFS over the call graph
+// marks everything reachable; any evidence (allocation, throw,
+// std::function construction, container growth) in a reached function is a
+// finding, reported with the call chain that proves reachability.
+//
+// Deliberate blind spots, chosen so the model misses rather than invents:
+//   * std::function / function-pointer calls are invisible edges (the
+//     per-file rules still police the bodies of the callbacks themselves
+//     when they live in hot-path files);
+//   * src/audit and src/telemetry are not traversed — the observation
+//     layer is preallocated-by-design and compiled out of measurement
+//     builds, so charging its bodies to the packet path would be noise;
+//   * only functions defined under src/ are traversed, so a name collision
+//     with a test helper cannot drag tests/ code into the proof.
+#include <map>
+#include <sstream>
+
+#include "analysis.h"
+
+namespace halfback::lint {
+namespace {
+
+constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+bool traversable(const ProjectModel& model, const FunctionDef& fn) {
+  const std::string& path = model.file(fn.file).path();
+  if (!path.starts_with("src/")) return false;
+  if (path.starts_with("src/audit/") || path.starts_with("src/telemetry/")) {
+    return false;
+  }
+  return true;
+}
+
+class HotPathReachRule final : public ModelRule {
+ public:
+  std::string_view id() const override { return "hot_path_reach"; }
+  std::string_view description() const override {
+    return "no function transitively reachable from fire() overrides or "
+           "Link::send may allocate, throw, or construct std::function";
+  }
+  std::string_view suppression_tag() const override { return "hot-ok"; }
+
+  void check(const ProjectModel& model,
+             std::vector<Finding>& out) const override {
+    const auto& functions = model.functions();
+    const auto& edges = model.call_edges();
+    std::vector<std::size_t> parent(functions.size(), kNoParent);
+    std::vector<bool> reached(functions.size(), false);
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      const FunctionDef& fn = functions[i];
+      if (!traversable(model, fn)) continue;
+      const bool is_root =
+          fn.is_fire_override ||
+          (fn.name == "send" && fn.class_name == "Link" &&
+           model.file(fn.file).path().starts_with("src/net/"));
+      if (is_root) {
+        reached[i] = true;
+        queue.push_back(i);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t node = queue[head];
+      for (std::size_t next : edges[node]) {
+        if (reached[next] || !traversable(model, functions[next])) continue;
+        reached[next] = true;
+        parent[next] = node;
+        queue.push_back(next);
+      }
+    }
+    for (std::size_t i : queue) {
+      const FunctionDef& fn = functions[i];
+      for (const Evidence& ev : fn.evidence) {
+        std::ostringstream msg;
+        msg << "hot path: '" << fn.qualified << "' (" << chain(functions, parent, i)
+            << ") must not contain " << to_string(ev.kind) << " ('"
+            << ev.detail << "')";
+        report(model, fn.file, ev.line, std::move(msg).str(), out);
+      }
+    }
+  }
+
+ private:
+  static std::string chain(const std::vector<FunctionDef>& functions,
+                           const std::vector<std::size_t>& parent,
+                           std::size_t node) {
+    std::vector<std::size_t> path{node};
+    while (parent[path.back()] != kNoParent) path.push_back(parent[path.back()]);
+    if (path.size() == 1) return "a hot-path root";
+    std::ostringstream out;
+    out << "reached via ";
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (it != path.rbegin()) out << " -> ";
+      out << functions[*it].qualified;
+    }
+    return std::move(out).str();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelRule> make_hot_path_reach_rule() {
+  return std::make_unique<HotPathReachRule>();
+}
+
+}  // namespace halfback::lint

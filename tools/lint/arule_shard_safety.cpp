@@ -1,0 +1,110 @@
+// shard_safety: inventory mutable state with static storage duration.
+//
+// The sharded parallel experiment engine (ROADMAP) runs many simulator
+// instances in one process. That is only sound if simulator code keeps all
+// mutable state behind instance pointers: any non-const namespace-scope
+// variable, mutable static data member, or function-local `static` (the
+// classic singleton accessor) under src/ is shared across shards and a
+// latent cross-shard race / determinism leak. This rule is the
+// machine-checked precondition the sharded-engine PR cites: every such
+// variable must either not exist or appear in tools/lint/shard_allowlist.txt
+// with a one-line justification saying why it is shard-safe (const-after-
+// init, synchronized, intentionally process-wide).
+//
+// The audit covers all of src/ — the ISSUE names sim|net|transport|schemes|
+// netfault|telemetry, and the remaining src layers (workload, stats, audit,
+// exp) are included too because every one of them is reachable from
+// experiment code; a hidden global there is just as fatal to shard
+// isolation.
+#include <set>
+
+#include "analysis.h"
+
+namespace halfback::lint {
+namespace {
+
+class ShardSafetyRule final : public ModelRule {
+ public:
+  explicit ShardSafetyRule(ShardAllowlist allowlist)
+      : allowlist_{std::move(allowlist)} {}
+
+  std::string_view id() const override { return "shard_safety"; }
+  std::string_view description() const override {
+    return "src/ must hold no mutable static-storage state outside the "
+           "justified allowlist (sharded-engine precondition)";
+  }
+  std::string_view suppression_tag() const override { return "shard-ok"; }
+
+  void check(const ProjectModel& model,
+             std::vector<Finding>& out) const override {
+    std::set<std::size_t> used;  // indices of allowlist entries that matched
+    for (const GlobalVar& var : model.globals()) {
+      const std::string& path = model.file(var.file).path();
+      if (!path.starts_with("src/")) continue;
+      const auto entry = match(var, path);
+      if (entry != kNoEntry) {
+        used.insert(entry);
+        if (allowlist_.entries[entry].justification.empty()) {
+          report(model, var.file, var.line,
+                 "allowlist entry for '" + var.qualified +
+                     "' carries no justification (shard_allowlist.txt line " +
+                     std::to_string(allowlist_.entries[entry].source_line) +
+                     ")",
+                 out);
+        }
+        continue;
+      }
+      report(model, var.file, var.line,
+             std::string{var.is_local_static ? "function-local static '"
+                                             : "mutable static-storage "
+                                               "variable '"} +
+                 var.qualified +
+                 "' is shared across simulator shards; remove it or justify "
+                 "it in tools/lint/shard_allowlist.txt",
+             out);
+    }
+    // A stale allowlist entry is a finding too: the state it excused is
+    // gone, and keeping the entry would silently excuse a future variable
+    // that happens to reuse the name.
+    for (std::size_t i = 0; i < allowlist_.entries.size(); ++i) {
+      if (used.contains(i)) continue;
+      const ShardAllowEntry& entry = allowlist_.entries[i];
+      if (const auto file = model.file_index(entry.path)) {
+        report(model, *file, 1,
+               "stale shard allowlist entry '" + entry.qualified +
+                   "' (shard_allowlist.txt line " +
+                   std::to_string(entry.source_line) +
+                   ") matches no variable",
+               out);
+      } else {
+        // The file itself is gone; anchor the finding on the allowlist
+        // concept rather than a modeled file.
+        out.push_back({std::string{id()}, "tools/lint/shard_allowlist.txt",
+                       entry.source_line,
+                       "stale entry '" + entry.qualified + "': file " +
+                           entry.path + " is not in the tree"});
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+  std::size_t match(const GlobalVar& var, const std::string& path) const {
+    for (std::size_t i = 0; i < allowlist_.entries.size(); ++i) {
+      const ShardAllowEntry& entry = allowlist_.entries[i];
+      if (entry.path == path && entry.qualified == var.qualified) return i;
+    }
+    return kNoEntry;
+  }
+
+  ShardAllowlist allowlist_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelRule> make_shard_safety_rule(ShardAllowlist allowlist) {
+  return std::make_unique<ShardSafetyRule>(std::move(allowlist));
+}
+
+}  // namespace halfback::lint

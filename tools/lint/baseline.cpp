@@ -36,9 +36,23 @@ bool Baseline::parse(const std::string& text, std::string& error) {
   return true;
 }
 
-std::string Baseline::render(const std::vector<Finding>& findings) {
+std::vector<std::string> Baseline::stale_entries(
+    const std::vector<Finding>& findings) const {
+  std::set<std::tuple<std::string, std::string, int>> live;
+  for (const Finding& f : findings) live.insert({f.rule, f.path, f.line});
+  std::vector<std::string> stale;
+  for (const auto& [rule, path, line] : entries_) {
+    if (live.contains({rule, path, line})) continue;
+    stale.push_back(rule + " " + path + ":" + std::to_string(line));
+  }
+  return stale;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings,
+                             std::string_view tool) {
   std::ostringstream out;
-  out << "# halfback-lint suppression baseline. Policy: keep this file "
+  out << "# " << tool
+      << " suppression baseline. Policy: keep this file "
          "empty;\n# justify findings inline with '// lint: <tag>(reason)' "
          "instead.\n";
   for (const Finding& f : findings) {

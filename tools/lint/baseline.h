@@ -31,8 +31,18 @@ class Baseline {
 
   std::size_t size() const { return entries_.size(); }
 
-  /// Render findings in baseline format (for --update-baseline).
-  static std::string render(const std::vector<Finding>& findings);
+  /// Entries matching none of `findings`, rendered as `<rule> <path>:<line>`
+  /// lines. A stale entry means the finding it excused is gone — the CI
+  /// drift guard (--verify-baseline) fails on these so suppressions cannot
+  /// outlive their findings.
+  std::vector<std::string> stale_entries(
+      const std::vector<Finding>& findings) const;
+
+  /// Render findings in baseline format (for --update-baseline). The
+  /// header names the emitting tool so the CI drift guard's byte-for-byte
+  /// compare against the checked-in file holds for both CLIs.
+  static std::string render(const std::vector<Finding>& findings,
+                            std::string_view tool = "halfback-lint");
 
  private:
   std::set<std::tuple<std::string, std::string, int>> entries_;

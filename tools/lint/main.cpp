@@ -7,7 +7,10 @@
 //                                               path (fixture testing)
 //   --baseline <file>       tolerate findings listed in <file>
 //   --update-baseline <file>  write current findings to <file> and exit 0
+//   --verify-baseline <file>  exit 1 if <file> has entries matching no
+//                           finding (the CI drift guard)
 //   --rule <id>             run a single rule
+//   --jobs <n>              scan files on n workers (output is identical)
 //   --list-rules            print the rule table and exit
 //
 // Exit status: 0 clean, 1 findings, 2 usage or I/O error.
@@ -30,7 +33,9 @@ struct Options {
   std::filesystem::path root = ".";
   std::string baseline_path;
   std::string update_baseline_path;
+  std::string verify_baseline_path;
   std::string only_rule;
+  int jobs = 1;
   std::string as_path;
   std::vector<std::string> files;
   bool list_rules = false;
@@ -39,8 +44,10 @@ struct Options {
 int usage(std::ostream& out, int code) {
   out << "usage: halfback-lint --root <repo> [--baseline <file>] "
          "[--update-baseline <file>]\n"
-         "                     [--rule <id>] [--list-rules] "
-         "[--as <logical-path>] [files...]\n";
+         "                     [--verify-baseline <file>] [--rule <id>] "
+         "[--jobs <n>]\n"
+         "                     [--list-rules] [--as <logical-path>] "
+         "[files...]\n";
   return code;
 }
 
@@ -60,6 +67,17 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (!value(opts.baseline_path)) return false;
     } else if (arg == "--update-baseline") {
       if (!value(opts.update_baseline_path)) return false;
+    } else if (arg == "--verify-baseline") {
+      if (!value(opts.verify_baseline_path)) return false;
+    } else if (arg == "--jobs") {
+      std::string jobs_value;
+      if (!value(jobs_value)) return false;
+      try {
+        opts.jobs = std::stoi(jobs_value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (opts.jobs < 1) return false;
     } else if (arg == "--rule") {
       if (!value(opts.only_rule)) return false;
     } else if (arg == "--as") {
@@ -93,27 +111,35 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Baseline baseline;
-  if (!opts.baseline_path.empty()) {
-    std::ifstream in{opts.baseline_path};
+  auto load = [](const std::string& path, Baseline& into) {
+    std::ifstream in{path};
     if (!in) {
-      std::cerr << "halfback-lint: cannot read baseline " << opts.baseline_path
-                << "\n";
-      return 2;
+      std::cerr << "halfback-lint: cannot read baseline " << path << "\n";
+      return false;
     }
     std::ostringstream text;
     text << in.rdbuf();
     std::string error;
-    if (!baseline.parse(text.str(), error)) {
+    if (!into.parse(text.str(), error)) {
       std::cerr << "halfback-lint: " << error << "\n";
-      return 2;
+      return false;
     }
+    return true;
+  };
+  Baseline baseline;
+  if (!opts.baseline_path.empty() && !load(opts.baseline_path, baseline)) {
+    return 2;
+  }
+  Baseline verify;
+  if (!opts.verify_baseline_path.empty() &&
+      !load(opts.verify_baseline_path, verify)) {
+    return 2;
   }
 
   std::vector<Finding> findings;
   try {
     if (opts.files.empty()) {
-      findings = lint_tree(opts.root, opts.only_rule);
+      findings = lint_tree(opts.root, opts.only_rule, opts.jobs);
     } else {
       for (const std::string& f : opts.files) {
         const std::string logical =
@@ -135,6 +161,19 @@ int main(int argc, char** argv) {
     std::cout << "halfback-lint: wrote " << findings.size() << " finding(s) to "
               << opts.update_baseline_path << "\n";
     return 0;
+  }
+
+  if (!opts.verify_baseline_path.empty()) {
+    const auto stale = verify.stale_entries(findings);
+    if (!stale.empty()) {
+      for (const std::string& entry : stale) {
+        std::cout << "stale baseline entry: " << entry << "\n";
+      }
+      std::cout << "halfback-lint: " << stale.size()
+                << " stale baseline entr(ies) in " << opts.verify_baseline_path
+                << "\n";
+      return 1;
+    }
   }
 
   std::size_t reported = 0;

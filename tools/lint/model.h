@@ -1,0 +1,162 @@
+// The cross-translation-unit project model behind halfback-analyze.
+//
+// halfback-lint (rules.h) sees one file at a time; the whole-program
+// contracts — layering, transitive hot-path purity, shard safety,
+// seed-derived randomness — need a view of the tree. The ProjectModel is
+// that view: every source file tokenized once, plus
+//
+//   * an include graph (file -> file edges, resolved against the tree),
+//   * a symbol table of function definitions with per-body evidence
+//     (allocations, throws, std::function construction, container growth),
+//   * a best-effort call graph (callee names resolved to definitions, with
+//     class-qualifier filtering),
+//   * an inventory of namespace-scope variables and function-local statics,
+//   * every RNG construction site with its argument tokens.
+//
+// "Best effort" is a design point, not an apology: the model is built by
+// the same zero-dependency tokenizer as the linter (no libclang), so calls
+// through std::function / function pointers are invisible and overload sets
+// collapse to name matches. The rules on top (analysis.h) are written so
+// that blindness makes them miss findings, never invent them.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source_file.h"
+
+namespace halfback::lint {
+
+/// One resolved `#include "..."` edge between files in the model.
+struct IncludeEdge {
+  std::size_t from = 0;  ///< index into files()
+  std::size_t to = 0;    ///< index into files()
+  int line = 0;
+};
+
+/// What a function body does that the hot-path contract cares about.
+enum class EvidenceKind {
+  naked_new,           ///< `new` expression
+  alloc_call,          ///< make_unique/make_shared/malloc/...
+  container_growth,    ///< member .push_back/.insert/.resize/...
+  throw_stmt,          ///< throw expression
+  function_construct,  ///< std::function mentioned in a body
+};
+
+std::string_view to_string(EvidenceKind kind);
+
+struct Evidence {
+  EvidenceKind kind;
+  int line = 0;
+  std::string detail;  ///< the offending token, e.g. "make_unique"
+};
+
+/// A call site inside a function body.
+struct CallSite {
+  std::string callee;     ///< unqualified name, e.g. "enqueue"
+  std::string qualifier;  ///< "Link", "std", "<member>" (obj./ptr->), or ""
+  int line = 0;
+};
+
+/// One function definition (a body was seen, not just a declaration).
+struct FunctionDef {
+  std::string name;        ///< unqualified, e.g. "fire"
+  std::string qualified;   ///< best effort, e.g. "net::Link::send"
+  std::string class_name;  ///< enclosing (or declarator-qualifying) class
+  std::size_t file = 0;    ///< index into files()
+  int line = 0;
+  bool is_fire_override = false;
+  std::vector<CallSite> calls;
+  std::vector<Evidence> evidence;
+};
+
+/// Mutable state with static storage duration (shard-safety rule input).
+struct GlobalVar {
+  std::string name;
+  std::string qualified;  ///< namespace-qualified, best effort
+  std::size_t file = 0;
+  int line = 0;
+  /// true: `static` local inside a function (includes singleton accessors);
+  /// false: namespace-scope variable or static data member.
+  bool is_local_static = false;
+};
+
+/// A construction of an RNG object (sim::Random or a <random> engine).
+struct RngConstruction {
+  std::string type_name;  ///< "Random", "mt19937_64", ... ("" for members
+                          ///< initialized in a ctor-init-list)
+  std::string var_name;   ///< the variable/member being constructed, if any
+  std::size_t file = 0;
+  int line = 0;
+  bool default_constructed = false;
+  std::vector<Token> args;  ///< constructor argument tokens
+};
+
+class ProjectModel {
+ public:
+  /// Build the model for a tree: every *.h / *.cpp under root/{src,bench,
+  /// examples,tests,tools}, except tests/lint/fixtures (deliberately broken
+  /// inputs). Throws std::runtime_error when a file cannot be read.
+  static ProjectModel build(const std::filesystem::path& root);
+
+  /// In-memory construction for tests: add files, then finalize().
+  void add_file(SourceFile file);
+
+  /// Resolve include edges, the call graph, and the RNG member-init sites.
+  /// Must be called once, after the last add_file().
+  void finalize();
+
+  const std::vector<SourceFile>& files() const { return files_; }
+  const SourceFile& file(std::size_t i) const { return files_[i]; }
+  std::optional<std::size_t> file_index(std::string_view path) const;
+
+  const std::vector<IncludeEdge>& includes() const { return includes_; }
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+  const std::vector<GlobalVar>& globals() const { return globals_; }
+  const std::vector<RngConstruction>& rng_sites() const { return rng_sites_; }
+
+  /// Call graph: call_edges()[f] are indices into functions() that the
+  /// body of functions()[f] may call (name-resolved, qualifier-filtered).
+  const std::vector<std::vector<std::size_t>>& call_edges() const {
+    return call_edges_;
+  }
+
+  /// The layer a path belongs to: "sim", "net", ... for src/<dir>/...;
+  /// "bench", "tests", "examples", "tools" for the top-level dirs; "" when
+  /// the path fits no layer.
+  static std::string layer_of(std::string_view path);
+
+  /// Graphviz digraph of the layer-level include graph (edges aggregated
+  /// from file-level edges, labeled with counts; the sanctioned
+  /// observability-interface edges are drawn dashed).
+  std::string layer_graph_dot() const;
+
+  /// True when `to` (a repo-relative header path) is one of the sanctioned
+  /// observability interface headers that any src/ layer may include (the
+  /// audit hook and the telemetry probe surface; see docs/static-analysis.md).
+  static bool is_interface_header(std::string_view to);
+
+ private:
+  void parse_file(std::size_t index);
+  void resolve_includes();
+  void resolve_calls();
+
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t, std::less<>> path_index_;
+  std::vector<IncludeEdge> includes_;
+  std::vector<FunctionDef> functions_;
+  std::vector<GlobalVar> globals_;
+  std::vector<RngConstruction> rng_sites_;
+  std::vector<std::vector<std::size_t>> call_edges_;
+  /// Ctor-init-list entries (member name -> construction), kept until
+  /// finalize() knows which member names are RNG-typed.
+  std::vector<std::pair<std::string, RngConstruction>> pending_member_inits_;
+  std::vector<std::string> rng_member_names_;
+};
+
+}  // namespace halfback::lint

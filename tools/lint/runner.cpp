@@ -1,11 +1,43 @@
 #include "runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+
+#include "sim/annotations.h"
 
 namespace halfback::lint {
+namespace {
+
+/// First-error capture for the worker pool (same shape as
+/// exp::ErrorSlot — this is the annotation dogfood the --jobs satellite
+/// exists for; the tsan CI leg runs the pool in anger).
+class LintErrorSlot {
+ public:
+  void capture(std::string what) HB_EXCLUDES(mu_) {
+    MutexLock lock{mu_};
+    if (what_.empty()) what_ = std::move(what);
+  }
+
+  /// Called after all workers join; throws the first captured error.
+  void rethrow_if_set() HB_EXCLUDES(mu_) {
+    std::string what;
+    {
+      MutexLock lock{mu_};
+      what = what_;
+    }
+    if (!what.empty()) throw std::runtime_error{what};
+  }
+
+ private:
+  Mutex mu_;
+  std::string what_ HB_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 std::vector<std::filesystem::path> discover_files(
     const std::filesystem::path& root, const std::string& subdir) {
@@ -34,15 +66,45 @@ std::vector<Finding> lint_path(const std::filesystem::path& file,
 }
 
 std::vector<Finding> lint_tree(const std::filesystem::path& root,
-                               std::string_view only_rule) {
-  std::vector<Finding> findings;
-  for (const auto& file : discover_files(root)) {
+                               std::string_view only_rule, int jobs) {
+  const auto files = discover_files(root);
+  // Each file owns a slot in the path-sorted order; workers fill slots in
+  // whatever order the pool reaches them and the concatenation below
+  // restores the deterministic sequence.
+  std::vector<std::vector<Finding>> slots(files.size());
+  auto lint_slot = [&](std::size_t i) {
     const std::string logical =
-        std::filesystem::relative(file, root).generic_string();
-    auto file_findings = lint_path(file, logical, only_rule);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+        std::filesystem::relative(files[i], root).generic_string();
+    slots[i] = lint_path(files[i], logical, only_rule);
+  };
+  const std::size_t workers = std::min<std::size_t>(
+      jobs < 1 ? 1 : static_cast<std::size_t>(jobs), files.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) lint_slot(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    LintErrorSlot first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1)) {
+          try {
+            lint_slot(i);
+          } catch (const std::exception& e) {
+            first_error.capture(e.what());
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    first_error.rethrow_if_set();
+  }
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& slot : slots) {
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
   }
   return findings;
 }

@@ -21,8 +21,11 @@ std::vector<Finding> lint_path(const std::filesystem::path& file,
                                std::string_view only_rule = {});
 
 /// Lint every discovered file under root/src. Findings are ordered by path,
-/// then by rule registration order within a file.
+/// then by rule registration order within a file — regardless of `jobs`:
+/// with jobs > 1 files are scanned by a worker pool, but every file has a
+/// fixed slot in the path-sorted output, so parallel runs are byte-
+/// identical to sequential ones.
 std::vector<Finding> lint_tree(const std::filesystem::path& root,
-                               std::string_view only_rule = {});
+                               std::string_view only_rule = {}, int jobs = 1);
 
 }  // namespace halfback::lint
