@@ -3,7 +3,6 @@
 #include <memory>
 
 #include "sim/timer.h"
-#include "transport/tcp_sender.h"
 
 namespace halfback::exp {
 
@@ -63,11 +62,9 @@ std::vector<FlowTrace> run_trace(const TraceConfig& config, TraceScenario scenar
       if (burst_window > 0) {
         // "Optimal": the whole flow leaves in one immediate burst (an ICW
         // covering the flow), the best a sender-side scheme could do.
-        transport::SenderConfig sc = config.sender_config;
-        sc.initial_window = burst_window;
-        sender = std::make_unique<transport::TcpSender>(
-            simulator, network.node(dumbbell.senders[raw->pair]),
-            dumbbell.receivers[raw->pair], raw->flow, bytes, sc, "optimal");
+        sender = schemes::make_optimal_sender(
+            context, simulator, network.node(dumbbell.senders[raw->pair]),
+            dumbbell.receivers[raw->pair], raw->flow, bytes, burst_window);
       } else {
         sender = schemes::make_sender(scheme, context, simulator,
                                       network.node(dumbbell.senders[raw->pair]),

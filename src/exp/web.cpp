@@ -1,6 +1,7 @@
 #include "exp/web.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 namespace halfback::exp {
@@ -14,6 +15,11 @@ struct PageState {
   std::size_t next_object = 0;
   std::size_t completed_objects = 0;
   PageResult result;
+  /// Per-page flow-completion handler. Every flow of this page hands the
+  /// agent a FunctionRef to this one callable: the reference needs a
+  /// referent that outlives the flow, and the page does (one allocation
+  /// per page, none per flow).
+  std::function<void(const transport::FlowRecord&)> on_flow_complete;
 };
 
 }  // namespace
@@ -66,25 +72,28 @@ WebRunOutcome WebRunner::run(schemes::Scheme scheme,
     auto sender = schemes::make_sender(
         scheme, context, simulator, network.node(dumbbell.senders[state.pair]),
         dumbbell.receivers[state.pair], flow, bytes);
+    (void)bytes;
     server_agents[state.pair]->start_flow(
-        std::move(sender), [&, bytes](const transport::FlowRecord&) {
-          ++state.completed_objects;
-          (void)bytes;
-          if (state.completed_objects == state.page->object_bytes.size()) {
-            state.result.finished = true;
-            state.result.completed = simulator.now();
-            return;
-          }
-          if (state.completed_objects == 1) {
-            // HTML delivered: open the concurrent subresource lanes.
-            const auto lanes = std::min<std::size_t>(
-                static_cast<std::size_t>(config_.max_connections),
-                state.page->object_bytes.size() - 1);
-            for (std::size_t lane = 0; lane < lanes; ++lane) launch_next(state);
-          } else {
-            launch_next(state);  // this lane takes the next object
-          }
-        });
+        std::move(sender),
+        transport::SenderBase::CompletionRef{state.on_flow_complete});
+  };
+
+  auto on_object_complete = [&](PageState& state) {
+    ++state.completed_objects;
+    if (state.completed_objects == state.page->object_bytes.size()) {
+      state.result.finished = true;
+      state.result.completed = simulator.now();
+      return;
+    }
+    if (state.completed_objects == 1) {
+      // HTML delivered: open the concurrent subresource lanes.
+      const auto lanes = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.max_connections),
+          state.page->object_bytes.size() - 1);
+      for (std::size_t lane = 0; lane < lanes; ++lane) launch_next(state);
+    } else {
+      launch_next(state);  // this lane takes the next object
+    }
   };
 
   sim::Time last_request;
@@ -98,6 +107,9 @@ WebRunOutcome WebRunner::run(schemes::Scheme scheme,
     state->result.objects = state->page->object_bytes.size();
     state->result.bytes = state->page->total_bytes();
     PageState* raw = state.get();
+    raw->on_flow_complete = [&, raw](const transport::FlowRecord&) {
+      on_object_complete(*raw);
+    };
     pages.push_back(std::move(state));
     // Browser behaviour: the HTML document is fetched first on a single
     // connection; the subresource lanes open once it arrives.

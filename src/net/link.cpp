@@ -34,6 +34,7 @@ void Link::send(Packet p) {
     return;
   }
   if (transmitting_) {
+    // lint: hot-ok(queue discipline is the per-link seam; one indirect call per enqueue)
     queue_->enqueue(std::move(p), simulator_.now());
     return;
   }
@@ -75,6 +76,7 @@ void Link::launch(Packet p, sim::Time pipe_delay) {
 void Link::apply_faults() {
   // Out of line so the fault-free fast path in on_serialization_done stays
   // a single null test. The hook decides; the link executes.
+  // lint: hot-ok(fault hook is opt-in; measured runs install no hook and never reach this)
   FaultDecision decision = fault_hook_->on_transmit(tx_packet_, simulator_.now());
   if (decision.drop) {
     ++stats_.fault_dropped_packets;
@@ -135,10 +137,31 @@ void Link::deliver(PacketEvent& node) {
   ++stats_.delivered_packets;
   stats_.delivered_bytes += p.size_bytes;
   HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_delivered(*this, p));
-  if (receiver_) receiver_(std::move(p));
+  if (receiver_) {
+    receiver_(std::move(p));
+  } else if (dst_node_ != nullptr) {
+    HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_node_received(dst_node_->id(), p));
+    dst_node_->handle(std::move(p));
+  }
+}
+
+// lint: function-ok(tap-chaining accessor; wiring time only, never per packet)
+std::function<void(Packet)> Link::receiver() const {
+  if (receiver_) return receiver_;
+  if (dst_node_ == nullptr) return {};
+  // Wrap the node fast path so a tap's captured downstream still delivers
+  // (and still reports the arrival to an attached auditor).
+  Node* node = dst_node_;
+  sim::Simulator& simulator = simulator_;
+  return [node, &simulator](Packet p) {
+    (void)simulator;
+    HALFBACK_AUDIT_HOOK(simulator.auditor(), on_node_received(node->id(), p));
+    node->handle(std::move(p));
+  };
 }
 
 void Link::on_transmission_complete() {
+  // lint: hot-ok(queue discipline is the per-link seam; one indirect call per dequeue)
   if (auto next = queue_->dequeue(simulator_.now())) {
     begin_transmission(std::move(*next));
   } else {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "net/fault_hook.h"
+#include "net/node.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
@@ -77,14 +78,22 @@ class Link {
        std::unique_ptr<PacketQueue> queue, LossRate random_loss_rate = {},
        PacketPool* pool = nullptr);
 
-  /// Where delivered packets go (the far-end node).
+  /// Where delivered packets go (the far-end node). The node fast path: a
+  /// direct call into Node::handle with no type erasure on the per-packet
+  /// hop. An installed set_receiver() callback takes precedence, so taps
+  /// and tests can still intercept delivery.
+  void set_receiver_node(Node& node) { dst_node_ = &node; }
+
+  /// Custom delivery callback; overrides the node fast path while set.
   // lint: function-ok(bound once at wiring time; invoked, never rebound, per packet)
   void set_receiver(std::function<void(Packet)> receiver) {
     receiver_ = std::move(receiver);
   }
-  /// Current delivery target (empty if none) — lets taps chain.
+  /// Current delivery target (empty if none) — lets taps chain. When the
+  /// link delivers straight to a node, the returned callable wraps that
+  /// node so a tap's downstream keeps delivering.
   // lint: function-ok(accessor for the once-bound delivery target)
-  const std::function<void(Packet)>& receiver() const { return receiver_; }
+  std::function<void(Packet)> receiver() const;
 
   /// Fault-injection hook: packets for which the filter returns false are
   /// dropped before entering the queue (counted as corrupted). Used by
@@ -160,6 +169,7 @@ class Link {
   std::unique_ptr<PacketQueue> queue_;
   LossRate random_loss_rate_;
   sim::Random loss_rng_;
+  Node* dst_node_ = nullptr;                        ///< direct-delivery fast path
   std::function<void(Packet)> receiver_;            // lint: function-ok(bound once at wiring time)
   std::function<bool(const Packet&)> packet_filter_;  // lint: function-ok(test-only hook)
   FaultHook* fault_hook_ = nullptr;  ///< not owned; nullptr = fault-free fast path

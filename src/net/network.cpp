@@ -39,10 +39,7 @@ Link* Network::make_link(NodeId from, NodeId to, const LinkConfig& config) {
                                      std::move(queue), config.random_loss_rate,
                                      &pool_);
   Link* raw = link.get();
-  raw->set_receiver([this, to](Packet p) {
-    HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_node_received(to, p));
-    nodes_.at(to)->handle(std::move(p));
-  });
+  raw->set_receiver_node(*nodes_.at(to));
   nodes_.at(from)->add_egress(to, raw);
   links_.push_back(std::move(link));
   edges_.push_back(Edge{from, to});

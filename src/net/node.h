@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/packet.h"
 
@@ -24,10 +25,10 @@ class Node {
   NodeId id() const { return id_; }
 
   /// Attach the egress link toward a directly-connected neighbor.
-  void add_egress(NodeId neighbor, Link* link) { egress_[neighbor] = link; }
+  void add_egress(NodeId neighbor, Link* link);
 
   /// Install a route: packets for `dest` leave via `next_hop`.
-  void set_route(NodeId dest, NodeId next_hop) { routes_[dest] = next_hop; }
+  void set_route(NodeId dest, NodeId next_hop);
 
   /// Protocol stack entry point for packets addressed to this node.
   void set_local_handler(std::function<void(Packet)> handler) {
@@ -45,9 +46,18 @@ class Node {
   bool has_route_to(NodeId dest) const;
 
  private:
+  /// Rebuild the forwarding-cache entry for `dest` from routes_ + egress_.
+  void refresh_forward(NodeId dest);
+
   NodeId id_;
   std::unordered_map<NodeId, Link*> egress_;
   std::unordered_map<NodeId, NodeId> routes_;
+  /// Destination-indexed forwarding cache: node ids are small and dense
+  /// (Network hands them out sequentially), so the per-hop lookup is one
+  /// array load instead of two hash probes. nullptr marks "no resolved
+  /// route"; handle() falls back to the maps there to raise the precise
+  /// misconfiguration error.
+  std::vector<Link*> forward_;
   std::function<void(Packet)> local_handler_;
 };
 

@@ -5,9 +5,10 @@
 // identified by its segment index within the flow, not a byte offset.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "sim/time.h"
 
@@ -42,6 +43,45 @@ struct SackBlock {
   bool operator==(const SackBlock&) const = default;
 };
 
+/// The SACK option of one ACK: a bounded, inline list of blocks.
+///
+/// A real SACK option caps out at three or four blocks, so the list lives
+/// inline in the packet rather than on the heap — packets stay trivially
+/// copyable and the per-ACK path never allocates. push_back beyond capacity
+/// drops the block, mirroring how a real option silently omits runs that
+/// do not fit (the receiver already bounds itself via max_sack_blocks).
+class SackList {
+ public:
+  static constexpr std::size_t kMaxBlocks = 4;
+
+  void push_back(const SackBlock& block) {
+    if (size_ < kMaxBlocks) blocks_[size_++] = block;
+  }
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const SackBlock& operator[](std::size_t i) const { return blocks_[i]; }
+
+  const SackBlock* begin() const { return blocks_; }
+  const SackBlock* end() const { return blocks_ + size_; }
+  const SackBlock* data() const { return blocks_; }
+
+  operator std::span<const SackBlock>() const { return {blocks_, size_}; }
+
+  bool operator==(const SackList& other) const {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (!(blocks_[i] == other.blocks_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  SackBlock blocks_[kMaxBlocks];
+  std::size_t size_ = 0;
+};
+
 /// A simulated packet. Value type; links copy it as it propagates.
 struct Packet {
   FlowId flow = 0;
@@ -64,7 +104,7 @@ struct Packet {
 
   /// ack: selective acknowledgement blocks above cum_ack (most recent
   /// first, bounded length like a real SACK option).
-  std::vector<SackBlock> sacks;
+  SackList sacks;
 
   /// data: true when this is any kind of retransmission.
   bool is_retx = false;

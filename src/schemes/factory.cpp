@@ -76,4 +76,14 @@ std::unique_ptr<transport::SenderBase> make_sender(
   throw std::invalid_argument{"unknown scheme"};
 }
 
+std::unique_ptr<transport::SenderBase> make_optimal_sender(
+    const SchemeContext& context, sim::Simulator& simulator,
+    net::Node& local_node, net::NodeId peer, net::FlowId flow,
+    sim::Bytes flow_bytes, std::uint32_t burst_window) {
+  transport::SenderConfig config = context.sender_config;
+  config.initial_window = burst_window;
+  return std::make_unique<transport::TcpSender>(
+      simulator, local_node, peer, flow, flow_bytes, config, "optimal");
+}
+
 }  // namespace halfback::schemes

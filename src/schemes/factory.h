@@ -30,4 +30,15 @@ std::unique_ptr<transport::SenderBase> make_sender(
     net::Node& local_node, net::NodeId peer, net::FlowId flow,
     sim::Bytes flow_bytes);
 
+/// Build the "optimal" reference sender (Fig. 2's upper bound): plain TCP
+/// whose initial window is forced to `burst_window` segments, so the whole
+/// flow leaves in one immediate burst — the best any sender-side scheme
+/// could do. Lives here so every sender in the tree, including the
+/// comparison baselines, is constructed through this factory — the single
+/// type-erased seam of the static pipeline.
+std::unique_ptr<transport::SenderBase> make_optimal_sender(
+    const SchemeContext& context, sim::Simulator& simulator,
+    net::Node& local_node, net::NodeId peer, net::FlowId flow,
+    sim::Bytes flow_bytes, std::uint32_t burst_window);
+
 }  // namespace halfback::schemes

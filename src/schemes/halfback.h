@@ -63,23 +63,26 @@ struct HalfbackConfig {
 /// Phase 3 (fallback, §3.3): flows longer than the threshold continue with
 /// normal congestion avoidance from cwnd = s·RTT, where s is the ACK
 /// arrival rate observed during ROPR.
-class HalfbackSender final : public PacedStartSender {
+class HalfbackSender final : public PacedStartImpl<HalfbackSender> {
+  using Base = PacedStartImpl<HalfbackSender>;
+  using Tcp = transport::TcpSenderImpl<HalfbackSender>;
+
  public:
   HalfbackSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                  net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config, HalfbackConfig halfback_config,
                  std::string scheme_name = "halfback",
                  std::shared_ptr<ThroughputHistory> history = nullptr)
-      : PacedStartSender{simulator,
-                         local_node,
-                         peer,
-                         flow,
-                         flow_bytes,
-                         config,
-                         halfback_config.pacing_threshold_segments,
-                         std::move(scheme_name),
-                         PacedStartSender::kDefaultPacingQuantum,
-                         halfback_config.initial_burst_segments},
+      : Base{simulator,
+             local_node,
+             peer,
+             flow,
+             flow_bytes,
+             config,
+             halfback_config.pacing_threshold_segments,
+             std::move(scheme_name),
+             Base::kDefaultPacingQuantum,
+             halfback_config.initial_burst_segments},
         halfback_{halfback_config},
         history_{std::move(history)} {
     // Normal retransmissions are ACK-clocked too — at most one per ACK,
@@ -90,8 +93,9 @@ class HalfbackSender final : public PacedStartSender {
   bool ropr_active() const { return ropr_active_; }
   bool ropr_done() const { return ropr_done_; }
 
- protected:
-  void on_established() override {
+  // --- policy hooks (statically dispatched by Sender<HalfbackSender>) ------
+
+  void on_established() {
     if (halfback_.history_threshold && history_ != nullptr) {
       // §3.1: threshold = best recent throughput x handshake RTT.
       if (auto bps = history_->best_bytes_per_second(node_.id(), peer_)) {
@@ -100,11 +104,10 @@ class HalfbackSender final : public PacedStartSender {
             static_cast<std::uint32_t>(bytes / net::kSegmentPayloadBytes));
       }
     }
-    PacedStartSender::on_established();
+    Base::on_established();
   }
 
-  void on_flow_complete() override {
-    PacedStartSender::on_flow_complete();
+  void on_flow_complete() {
     if (history_ != nullptr && record_.completion_time > record_.established_time) {
       const double elapsed =
           (record_.completion_time - record_.established_time).to_seconds();
@@ -113,7 +116,7 @@ class HalfbackSender final : public PacedStartSender {
     }
   }
 
-  void on_pacing_complete() override {
+  void on_pacing_complete() {
     // ROPR is armed; it begins with the next ACK (§3.2: "we choose to start
     // this phase when the sender receives the first ACK after the Pacing
     // phase"; early ACKs "will not trigger proactive retransmission until
@@ -121,8 +124,8 @@ class HalfbackSender final : public PacedStartSender {
     ropr_armed_ = true;
   }
 
-  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override {
-    TcpSender::handle_ack(ack, update);
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) {
+    Tcp::handle_ack(ack, update);
     if (complete()) return;
     if (ropr_armed_ && !ropr_done_) {
       if (!ropr_active_) begin_ropr();
@@ -141,7 +144,7 @@ class HalfbackSender final : public PacedStartSender {
     }
   }
 
-  void on_timeout() override {
+  void on_timeout() {
     // Graceful degradation under severe loss (§3.2's machinery assumes ACKs
     // keep arriving): an RTO means the ACK clock collapsed — the paced
     // batch, the ROPR copies, or the ACKs themselves are being lost in
@@ -164,11 +167,11 @@ class HalfbackSender final : public PacedStartSender {
         enter_phase(telemetry::FlowPhase::fallback);
       }
     }
-    PacedStartSender::on_timeout();
+    Base::on_timeout();
   }
 
-  void after_transmit(std::uint32_t seq, bool proactive) override {
-    PacedStartSender::after_transmit(seq, proactive);
+  void after_transmit(std::uint32_t seq, bool proactive) {
+    Base::after_transmit(seq, proactive);
     auto* probes = scheme_probes();
     if (probes == nullptr) return;
     if (proactive) {
@@ -179,12 +182,12 @@ class HalfbackSender final : public PacedStartSender {
     }
   }
 
-  std::uint32_t new_data_limit() const override {
+  std::uint32_t new_data_limit() const {
     // No new data competes with the paced batch or with ROPR (§3.3: the
     // first k bytes are delivered by Pacing + ROPR, *then* TCP resumes).
     if (!pacing_done()) return 0;
     if (!ropr_done_) return batch_end();
-    return TcpSender::new_data_limit();
+    return Tcp::new_data_limit();
   }
 
  private:

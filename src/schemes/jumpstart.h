@@ -13,31 +13,35 @@ namespace halfback::schemes {
 /// packets and will often incur even more loss." We model that burst
 /// explicitly — every newly detected loss is retransmitted immediately at
 /// line rate, outside any congestion-window budget.
-class JumpStartSender final : public PacedStartSender {
+class JumpStartSender final : public PacedStartImpl<JumpStartSender> {
+  using Base = PacedStartImpl<JumpStartSender>;
+  using Tcp = transport::TcpSenderImpl<JumpStartSender>;
+
  public:
   JumpStartSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                   net::FlowId flow, sim::Bytes flow_bytes,
                   transport::SenderConfig config)
-      : PacedStartSender{simulator,
-                         local_node,
-                         peer,
-                         flow,
-                         flow_bytes,
-                         config,
-                         config.receive_window_segments,
-                         "jumpstart"} {}
+      : Base{simulator,
+             local_node,
+             peer,
+             flow,
+             flow_bytes,
+             config,
+             config.receive_window_segments,
+             "jumpstart"} {}
 
- protected:
-  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override {
-    TcpSender::handle_ack(ack, update);
+  // --- policy hooks (statically dispatched by Sender<JumpStartSender>) -----
+
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) {
+    Tcp::handle_ack(ack, update);
     // Bursty recovery: whatever the SACK scoreboard deems lost goes out
     // back to back, and is burst *again* every NAK round it stays unfilled
     // ("each lost packet may require multiple retransmissions", §4.2.3).
     burst_stale_lost_segments();
   }
 
-  void on_timeout() override {
-    PacedStartSender::on_timeout();  // abort pacing, collapse cwnd, retransmit hole
+  void on_timeout() {
+    Base::on_timeout();  // abort pacing, collapse cwnd, retransmit hole
     // The UDT substrate's EXP timeout is go-back-N: every segment not yet
     // covered by the *cumulative* ACK goes back on the wire at line rate,
     // SACKed or not. Flows that lost packets together time out together,

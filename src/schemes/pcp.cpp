@@ -7,13 +7,17 @@ namespace halfback::schemes {
 PcpSender::PcpSender(sim::Simulator& simulator, net::Node& local_node,
                      net::NodeId peer, net::FlowId flow, sim::Bytes flow_bytes,
                      transport::SenderConfig config)
-    : SenderBase{simulator, local_node, peer,  flow,
-                 flow_bytes, config,    "pcp"} {
-  tick_timer_.bind(simulator, [this] {
-    tick_pending_ = false;
-    data_tick();
-  });
-  round_timer_.bind(simulator, [this] { end_round(); });
+    : Sender{simulator, local_node, peer,  flow,
+             flow_bytes, config,    "pcp"} {
+  tick_timer_.bind(simulator,
+                   sim::FunctionRef<void()>::from<&PcpSender::on_tick>(*this));
+  round_timer_.bind(
+      simulator, sim::FunctionRef<void()>::from<&PcpSender::end_round>(*this));
+}
+
+void PcpSender::on_tick() {
+  tick_pending_ = false;
+  data_tick();
 }
 
 PcpSender::~PcpSender() { train_event_.cancel(); }

@@ -26,7 +26,9 @@
 
 namespace halfback::schemes {
 
-class PcpSender final : public transport::SenderBase {
+/// PCP does not reuse the TCP machinery at all, so it sits directly on
+/// Sender<PcpSender> rather than on TcpSenderImpl.
+class PcpSender final : public transport::Sender<PcpSender> {
  public:
   PcpSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
             net::FlowId flow, sim::Bytes flow_bytes, transport::SenderConfig config);
@@ -36,10 +38,10 @@ class PcpSender final : public transport::SenderBase {
   double probe_rate_segments_per_second() const { return probe_rate_; }
   bool paused() const { return paused_; }
 
- protected:
-  void on_established() override;
-  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override;
-  void on_timeout() override;
+  // --- policy hooks (statically dispatched by Sender<PcpSender>) -----------
+  void on_established();
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update);
+  void on_timeout();
 
  private:
   /// Segments per probe train (the paper's PCP uses short trains).
@@ -48,6 +50,7 @@ class PcpSender final : public transport::SenderBase {
   /// round as congested.
   static constexpr double kDelayTolerance = 0.15;  // +15% of base RTT
 
+  void on_tick();
   void begin_round();
   void end_round();
   void send_probe_train();
@@ -62,8 +65,8 @@ class PcpSender final : public transport::SenderBase {
 
   bool tick_pending_ = false;
   bool idle_ = false;
-  sim::Timer tick_timer_;   ///< paced data clock, one outstanding tick
-  sim::Timer round_timer_;  ///< per-RTT probe-round boundary
+  sim::StaticTimer tick_timer_;   ///< paced data clock, one outstanding tick
+  sim::StaticTimer round_timer_;  ///< per-RTT probe-round boundary
   // Probe trains deliberately stay on the std::function shim: a new round
   // can start while the previous round's train is still stepping, and those
   // chains must coexist (a reusable Timer would cancel the older chain).

@@ -11,17 +11,15 @@ namespace halfback::schemes {
 /// normal (loss-triggered) retransmission and does not occupy the pipe a
 /// second time. The paper shows this doubling collapses the network at
 /// ~45% utilization (Fig. 12).
-class ProactiveSender final : public transport::TcpSender {
+class ProactiveSender final : public transport::TcpSenderImpl<ProactiveSender> {
  public:
-  using TcpSender::TcpSender;
-
   ProactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                   net::FlowId flow, sim::Bytes flow_bytes,
                   transport::SenderConfig config)
-      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "proactive"} {}
+      : TcpSenderImpl{simulator, local_node, peer, flow, flow_bytes, config, "proactive"} {}
 
- protected:
-  void after_transmit(std::uint32_t seq, bool proactive) override {
+  // Statically dispatched by Sender<ProactiveSender>.
+  void after_transmit(std::uint32_t seq, bool proactive) {
     if (!proactive) send_segment(seq, /*proactive=*/true);
   }
 };

@@ -24,18 +24,20 @@
 
 namespace halfback::schemes {
 
-class Rc3Sender final : public transport::TcpSender {
+class Rc3Sender final : public transport::TcpSenderImpl<Rc3Sender> {
+  using Tcp = transport::TcpSenderImpl<Rc3Sender>;
+
  public:
   Rc3Sender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
             net::FlowId flow, sim::Bytes flow_bytes,
             transport::SenderConfig config)
-      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "rc3"} {}
+      : TcpSenderImpl{simulator, local_node, peer, flow, flow_bytes, config, "rc3"} {}
 
   std::uint32_t rlp_copies_sent() const { return rlp_sent_; }
 
- protected:
-  void on_established() override {
-    TcpSender::on_established();  // the primary loop slow-starts from seq 0
+  // Statically dispatched by Sender<Rc3Sender>.
+  void on_established() {
+    Tcp::on_established();  // the primary loop slow-starts from seq 0
     // RLP: the whole remaining flow, reverse order, line rate, priority 1.
     // Bounded by the receive window like everything else.
     const std::uint32_t window_limit =

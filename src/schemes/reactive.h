@@ -16,30 +16,35 @@ namespace halfback::schemes {
 /// fast-retransmit machinery find the real holes. As the paper notes
 /// (§2.2), this "does not solve the problem that the starting phase is too
 /// conservative" — only the tail-loss penalty is reduced.
-class ReactiveSender final : public transport::TcpSender {
+class ReactiveSender final : public transport::TcpSenderImpl<ReactiveSender> {
+  using Tcp = transport::TcpSenderImpl<ReactiveSender>;
+
  public:
   ReactiveSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                  net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config)
-      : TcpSender{simulator, local_node, peer, flow, flow_bytes, config, "reactive"} {
-    pto_timer_.bind(simulator, [this] { fire_probe(); });
+      : TcpSenderImpl{simulator, local_node, peer, flow, flow_bytes, config, "reactive"} {
+    pto_timer_.bind(
+        simulator,
+        sim::FunctionRef<void()>::from<&ReactiveSender::fire_probe>(*this));
   }
 
- protected:
-  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) override {
-    TcpSender::handle_ack(ack, update);
+  // --- policy hooks (statically dispatched by Sender<ReactiveSender>) ------
+
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) {
+    Tcp::handle_ack(ack, update);
     // Each ACK re-opens the probe opportunity.
     probe_sent_ = false;
     rearm_pto();
   }
 
-  void after_transmit(std::uint32_t /*seq*/, bool /*proactive*/) override {
+  void after_transmit(std::uint32_t /*seq*/, bool /*proactive*/) {
     rearm_pto();
   }
 
-  void on_timeout() override {
+  void on_timeout() {
     pto_timer_.cancel();
-    TcpSender::on_timeout();
+    Tcp::on_timeout();
   }
 
  private:
@@ -65,7 +70,7 @@ class ReactiveSender final : public transport::TcpSender {
     }
   }
 
-  sim::Timer pto_timer_;
+  sim::StaticTimer pto_timer_;
   bool probe_sent_ = false;
 };
 

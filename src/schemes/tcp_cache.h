@@ -52,18 +52,21 @@ class PathCache {
 };
 
 /// TCP that starts from the cached window of the last flow on this path.
-class TcpCacheSender final : public transport::TcpSender {
+class TcpCacheSender final : public transport::TcpSenderImpl<TcpCacheSender> {
+  using Tcp = transport::TcpSenderImpl<TcpCacheSender>;
+
  public:
   TcpCacheSender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
                  net::FlowId flow, sim::Bytes flow_bytes,
                  transport::SenderConfig config, std::shared_ptr<PathCache> cache)
-      : TcpSender{simulator, local_node, peer,  flow,
-                  flow_bytes, config,    "tcp-cache"},
+      : TcpSenderImpl{simulator, local_node, peer,  flow,
+                      flow_bytes, config,    "tcp-cache"},
         cache_{std::move(cache)} {}
 
- protected:
-  void on_established() override {
-    TcpSender::on_established();
+  // --- policy hooks (statically dispatched by Sender<TcpCacheSender>) ------
+
+  void on_established() {
+    Tcp::on_established();
     const PathCache::Entry* entry =
         cache_ ? cache_->lookup(node_.id(), peer_, simulator_.now()) : nullptr;
     if (entry != nullptr) {
@@ -75,7 +78,7 @@ class TcpCacheSender final : public transport::TcpSender {
     }
   }
 
-  void on_flow_complete() override {
+  void on_flow_complete() {
     if (!cache_) return;
     PathCache::Entry entry;
     entry.cwnd = cwnd_;

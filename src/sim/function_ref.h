@@ -1,0 +1,69 @@
+// A non-owning, non-allocating callable reference: two words (object
+// pointer + invoker function pointer), trivially copyable, never touches
+// the heap. This is what the static sender pipeline uses instead of
+// std::function for per-flow callbacks — completion notifications, timer
+// callbacks — where the callee outlives the reference by construction.
+//
+// lint: hot-path — FunctionRef is invoked per packet; nothing here may
+// allocate.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace halfback::sim {
+
+template <class Sig>
+class FunctionRef;  // undefined; only the function-signature partial below
+
+/// Usage:
+///   * `FunctionRef<void(int)> ref{callable};` — binds to any lvalue
+///     callable (lambda, functor). Temporaries are rejected at compile
+///     time: the referent must outlive the reference, and a temporary
+///     never does.
+///   * `FunctionRef<void()>::from<&T::method>(obj)` — binds a member
+///     function with zero per-call overhead beyond one indirect call (the
+///     member call is inlined into the generated thunk).
+///   * default-constructed / `nullptr` is empty; test with `operator bool`.
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+  constexpr FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Bind an lvalue callable. Intentionally not accepting rvalues: a
+  /// FunctionRef never extends lifetimes.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F& callable)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(&callable))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<F*>(object))(std::forward<Args>(args)...);
+        }) {}
+
+  /// Bind a member function: `FunctionRef<void()>::from<&T::method>(obj)`.
+  template <auto Method, class T>
+  static FunctionRef from(T& object) {
+    FunctionRef ref;
+    ref.object_ = const_cast<void*>(static_cast<const void*>(&object));
+    ref.invoke_ = [](void* o, Args... args) -> R {
+      return (static_cast<T*>(o)->*Method)(std::forward<Args>(args)...);
+    };
+    return ref;
+  }
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace halfback::sim

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "sim/function_ref.h"
 #include "sim/simulator.h"
 
 namespace halfback::sim {
@@ -67,6 +68,53 @@ class Timer final : public Event {
 
   Simulator* simulator_ = nullptr;
   std::function<void()> callback_;  // lint: function-ok(bound once, reused)
+};
+
+/// Timer over a FunctionRef instead of a std::function: two words of
+/// callback state, zero allocations ever (not even at bind time), one
+/// indirect call to fire. This is what the static sender pipeline embeds
+/// for its per-flow timers (RTO, SYN retransmission, pacing quanta, probe
+/// ticks): with thousands to millions of concurrent flows, the per-timer
+/// footprint and the bind-time allocation of std::function both matter.
+///
+/// Semantics are identical to Timer (one-shot, re-arm from the callback,
+/// arming while pending replaces the deadline and moves to the back of
+/// the FIFO tie-break). Lifetime: the callback's referent must outlive
+/// the timer's pending window; in the sender pipeline the referent *is*
+/// the owning component, so this holds by construction.
+class StaticTimer final : public Event {
+ public:
+  StaticTimer() = default;
+  ~StaticTimer() override { cancel(); }
+
+  /// Attach the simulator and callback. Must be called exactly once,
+  /// before the first schedule_after/schedule_at.
+  void bind(Simulator& simulator, FunctionRef<void()> callback) {
+    simulator_ = &simulator;
+    callback_ = callback;
+  }
+  bool bound() const { return simulator_ != nullptr; }
+
+  /// (Re)arm to fire after `delay` (>= 0) from now.
+  void schedule_after(Time delay) { simulator_->reschedule_event(delay, *this); }
+
+  /// (Re)arm to fire at absolute time `at` (>= now).
+  void schedule_at(Time at) { simulator_->reschedule_event_at(at, *this); }
+
+  /// Disarm; no-op if not pending. Safe to call from inside the callback.
+  void cancel() {
+    if (queued()) simulator_->cancel_event(*this);
+  }
+
+  /// True while armed and not yet fired.
+  bool pending() const { return queued(); }
+
+ private:
+  // lint: fire-may-throw(runs an arbitrary user callback; throws must reach run()'s caller)
+  void fire() override { callback_(); }
+
+  Simulator* simulator_ = nullptr;
+  FunctionRef<void()> callback_;
 };
 
 }  // namespace halfback::sim

@@ -5,7 +5,6 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/network.h"
@@ -13,6 +12,7 @@
 #include "net/packet.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
+#include "transport/uid_set.h"
 
 namespace halfback::transport {
 
@@ -37,9 +37,11 @@ class TransportAgent {
   TransportAgent& operator=(const TransportAgent&) = delete;
 
   /// Take ownership of a sender and start it. The agent chains your
-  /// completion callback after its own bookkeeping.
+  /// completion callback after its own bookkeeping. The callback is a
+  /// non-owning FunctionRef: its referent must outlive the flow (capture
+  /// state in a long-lived object, not a temporary lambda).
   SenderBase& start_flow(std::unique_ptr<SenderBase> sender,
-                         SenderBase::CompletionCallback on_complete = nullptr);
+                         SenderBase::CompletionRef on_complete = {});
 
   /// Attach a telemetry hub (nullptr detaches; owned by the caller).
   /// Senders started afterwards get their flight-recorder tape installed
@@ -72,11 +74,22 @@ class TransportAgent {
   std::size_t active_sender_count() const;
 
  private:
+  /// A sender plus the caller's completion callback. The sender notifies
+  /// the agent (on_sender_complete) through a FunctionRef; the agent then
+  /// records the flow and chains the caller's callback — no per-flow
+  /// std::function anywhere.
+  struct FlowSlot {
+    std::unique_ptr<SenderBase> sender;
+    SenderBase::CompletionRef on_complete;
+  };
+
   void on_packet(net::Packet packet);
+  void on_sender_complete(const FlowRecord& record);
+  void on_receiver_complete(const Receiver& receiver);
 
   sim::Simulator& simulator_;
   net::Node& node_;
-  std::unordered_map<net::FlowId, std::unique_ptr<SenderBase>> senders_;
+  std::unordered_map<net::FlowId, FlowSlot> senders_;
   std::unordered_map<net::FlowId, std::unique_ptr<Receiver>> receivers_;
   std::vector<FlowRecord> completed_;
   std::function<void(const Receiver&)> on_receive_complete_;
@@ -87,7 +100,7 @@ class TransportAgent {
   /// so a sender-assigned data uid and a receiver-assigned ACK uid of the
   /// same flow can never collide). Injected duplicates are exact copies —
   /// same uid — so they are rejected here, once, at the delivery boundary.
-  std::unordered_set<std::uint64_t> seen_uids_;
+  UidSet seen_uids_;
 };
 
 }  // namespace halfback::transport

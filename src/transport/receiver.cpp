@@ -11,7 +11,9 @@ Receiver::Receiver(sim::Simulator& simulator, net::Node& local_node, net::NodeId
       peer_{peer},
       flow_{flow},
       config_{config} {
-  delack_timer_.bind(simulator_, [this] { fire_delayed_ack(); });
+  delack_timer_.bind(
+      simulator_,
+      sim::FunctionRef<void()>::from<&Receiver::fire_delayed_ack>(*this));
 }
 
 // delack_timer_ cancels itself on destruction.
@@ -59,6 +61,7 @@ void Receiver::handle_data(const net::Packet& data) {
 
   if (data.seq < received_.size() && !received_[data.seq]) {
     received_[data.seq] = true;
+    note_received(data.seq);
     ++stats_.unique_segments;
     highest_received_ = std::max(highest_received_, data.seq + 1);
     while (cum_ack_ < received_.size() && received_[cum_ack_]) ++cum_ack_;
@@ -100,15 +103,45 @@ void Receiver::fire_delayed_ack() {
   send_ack(pending_trigger_);
 }
 
+void Receiver::note_received(std::uint32_t seq) {
+  // Merge [seq, seq + 1) into the run set: extend the left-adjacent run,
+  // absorb the right-adjacent one, or open a new run.
+  auto right = runs_.find(seq + 1);
+  auto after = runs_.upper_bound(seq);
+  if (after != runs_.begin()) {
+    auto left = std::prev(after);
+    if (left->second == seq) {
+      left->second = seq + 1;
+      if (right != runs_.end()) {
+        left->second = right->second;
+        runs_.erase(right);
+      }
+      return;
+    }
+  }
+  if (right != runs_.end()) {
+    const std::uint32_t end = right->second;
+    runs_.erase(right);
+    runs_.emplace(seq, end);
+  } else {
+    runs_.emplace(seq, seq + 1);
+  }
+}
+
 net::SackBlock Receiver::run_containing(std::uint32_t seq) const {
   net::SackBlock block{seq, seq};
-  if (seq >= received_.size() || !received_[seq]) return block;  // empty
-  while (block.begin > cum_ack_ && received_[block.begin - 1]) --block.begin;
-  while (block.end < highest_received_ && received_[block.end]) ++block.end;
+  auto after = runs_.upper_bound(seq);  // first run starting above seq
+  if (after == runs_.begin()) return block;  // empty: seq not received
+  const auto run = std::prev(after);
+  if (seq >= run->second) return block;  // empty: gap after the prior run
+  // A run never reports below the cumulative ACK (those segments are
+  // covered by cum_ack, exactly where the bitmap walk used to stop).
+  block.begin = std::max(run->first, cum_ack_);
+  block.end = run->second;
   return block;
 }
 
-std::vector<net::SackBlock> Receiver::build_sack_blocks(std::uint32_t trigger_seq) {
+net::SackList Receiver::build_sack_blocks(std::uint32_t trigger_seq) {
   // TCP SACK semantics: the first block covers the segment that triggered
   // this ACK; the remaining slots repeat the most recently reported other
   // runs. The sender accumulates blocks across ACKs in its scoreboard.
@@ -119,9 +152,11 @@ std::vector<net::SackBlock> Receiver::build_sack_blocks(std::uint32_t trigger_se
       recent_seqs_.resize(2 * config_.max_sack_blocks);
     }
   }
-  std::vector<net::SackBlock> blocks;
+  const std::size_t limit =
+      std::min(config_.max_sack_blocks, net::SackList::kMaxBlocks);
+  net::SackList blocks;
   for (std::uint32_t anchor : recent_seqs_) {
-    if (blocks.size() >= config_.max_sack_blocks) break;
+    if (blocks.size() >= limit) break;
     if (anchor < cum_ack_) continue;  // merged into the cumulative ACK
     net::SackBlock block = run_containing(anchor);
     if (block.begin >= block.end) continue;

@@ -2,11 +2,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <map>
 #include <vector>
 
 #include "net/node.h"
 #include "net/packet.h"
+#include "sim/function_ref.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 
@@ -36,7 +37,10 @@ class Receiver {
     sim::Time complete_at;
   };
 
-  using CompletionCallback = std::function<void(const Receiver&)>;
+  /// Non-owning completion notification (see SenderBase::CompletionRef):
+  /// the callee — in practice the spawning TransportAgent — must outlive
+  /// the receiver.
+  using CompletionRef = sim::FunctionRef<void(const Receiver&)>;
 
   /// `config.max_sack_blocks` defaults to 3, matching the TCP SACK
   /// option's practical limit. Scattered losses across more than three
@@ -49,7 +53,7 @@ class Receiver {
            net::FlowId flow, Config config);
   ~Receiver();
 
-  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_completion_callback(CompletionRef cb) { on_complete_ = cb; }
 
   /// Entry point for SYN and DATA packets of this flow.
   void on_packet(const net::Packet& packet);
@@ -69,23 +73,30 @@ class Receiver {
   /// hold and arm the timer.
   void maybe_ack(const net::Packet& trigger, bool in_order);
   void fire_delayed_ack();
-  /// Up to max_sack_blocks blocks: the run containing the triggering
-  /// segment first, then the most recently reported other runs (TCP SACK
-  /// option semantics).
-  std::vector<net::SackBlock> build_sack_blocks(std::uint32_t trigger_seq);
+  /// Up to max_sack_blocks blocks (clamped to net::SackList::kMaxBlocks):
+  /// the run containing the triggering segment first, then the most
+  /// recently reported other runs (TCP SACK option semantics).
+  net::SackList build_sack_blocks(std::uint32_t trigger_seq);
   net::SackBlock run_containing(std::uint32_t seq) const;
+  /// Merge a newly-received segment into runs_.
+  void note_received(std::uint32_t seq);
 
   sim::Simulator& simulator_;
   net::Node& node_;
   net::NodeId peer_;
   net::FlowId flow_;
   Config config_;
-  CompletionCallback on_complete_;
-  sim::Timer delack_timer_;
+  CompletionRef on_complete_;
+  sim::StaticTimer delack_timer_;
   int unacked_arrivals_ = 0;
   net::Packet pending_trigger_;  ///< newest data packet awaiting an ACK
 
   std::vector<bool> received_;
+  /// Maximal runs of received segments, keyed by run start (half-open
+  /// [begin, end)). Mirrors received_: SACK-block construction reads a run
+  /// in one lookup instead of walking the bitmap, whose runs grow to the
+  /// whole window as a flow progresses.
+  std::map<std::uint32_t, std::uint32_t> runs_;
   std::uint32_t cum_ack_ = 0;
   std::uint32_t highest_received_ = 0;  ///< one past highest received index
   std::vector<std::uint32_t> recent_seqs_;  ///< anchors of recently reported runs

@@ -1,6 +1,7 @@
 #include "transport/scoreboard.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
@@ -38,6 +39,7 @@ void Scoreboard::on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now,
   if (seq >= total_) throw std::logic_error{"on_sent beyond flow length"};
   if (seq < cum_ack_) return;  // stale retransmission of an acked segment
   SegmentState& s = ensure_state(seq);
+  account(s, seq, -1);
   if (s.times_sent == 0) s.first_sent = now;
   // Saturate rather than wrap: a pathological retransmit storm (RTO backoff
   // bugs, fuzzed traces) could otherwise overflow the 16-bit counters and
@@ -48,11 +50,13 @@ void Scoreboard::on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now,
   s.last_sent = now;
   s.last_uid = uid;
   if (s.lost && !proactive) s.retx_after_loss = true;
+  account(s, seq, +1);
   if (seq >= next_sent_) next_sent_ = seq + 1;
 }
 
 void Scoreboard::trim() {
   while (!window_.empty() && window_base_ < cum_ack_) {
+    account(window_.front(), window_base_, -1);
     window_.pop_front();
     ++window_base_;
   }
@@ -60,7 +64,7 @@ void Scoreboard::trim() {
 }
 
 AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
-                                const std::vector<net::SackBlock>& sacks) {
+                                std::span<const net::SackBlock> sacks) {
   AckUpdate update;
   update.cum_ack_before = cum_ack_;
   if (cum_ack > cum_ack_) {
@@ -82,7 +86,9 @@ AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
       if (seq >= total_) break;
       SegmentState& s = ensure_state(seq);
       if (!s.sacked) {
+        account(s, seq, -1);
         s.sacked = true;
+        account(s, seq, +1);
         update.newly_sacked.push_back(seq);
       }
     }
@@ -93,11 +99,24 @@ AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
 std::vector<std::uint32_t> Scoreboard::detect_losses(int dup_threshold) {
   std::vector<std::uint32_t> newly_lost;
   if (window_.empty()) return newly_lost;
+  // Loss-free fast path: with nothing SACKed, no un-SACKed segment can have
+  // dup_threshold SACKed segments above it, so the scan below would mark
+  // nothing. This skips the per-ACK window walk for the common clean flow.
+  if (sacked_in_window_ == 0 && dup_threshold > 0) return newly_lost;
 
   // Count SACKed segments above each un-SACKed, sent segment: walk the
-  // window from the top accumulating the count.
+  // window from the top accumulating the count. Positions at or above
+  // highest_sacked_ (a conservative-high hint) contain no SACKed segment,
+  // so for a positive threshold they can neither be marked lost nor change
+  // the accumulator — skip them.
+  std::size_t start = window_.size();
+  if (dup_threshold > 0) {
+    const std::size_t cap =
+        highest_sacked_ > window_base_ ? highest_sacked_ - window_base_ : 0;
+    start = std::min(start, cap);
+  }
   int sacked_above = 0;
-  for (std::size_t i = window_.size(); i-- > 0;) {
+  for (std::size_t i = start; i-- > 0;) {
     SegmentState& s = window_[i];
     const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
     if (seq < cum_ack_) break;
@@ -106,8 +125,10 @@ std::vector<std::uint32_t> Scoreboard::detect_losses(int dup_threshold) {
       continue;
     }
     if (s.times_sent > 0 && !s.lost && sacked_above >= dup_threshold) {
+      account(s, seq, -1);
       s.lost = true;
       s.retx_after_loss = false;
+      account(s, seq, +1);
       newly_lost.push_back(seq);
     }
   }
@@ -119,33 +140,50 @@ void Scoreboard::mark_all_outstanding_lost() {
   for (std::size_t i = 0; i < window_.size(); ++i) {
     SegmentState& s = window_[i];
     if (s.times_sent > 0 && !s.sacked) {
+      const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
+      account(s, seq, -1);
       s.lost = true;
       s.retx_after_loss = false;
+      account(s, seq, +1);
     }
   }
 }
 
 std::optional<std::uint32_t> Scoreboard::next_lost_needing_retx() const {
-  for (std::size_t i = 0; i < window_.size(); ++i) {
+  if (lost_pending_ == 0) return std::nullopt;
+  // lost_floor_ is a conservative-low bound on the lowest matching seq, so
+  // the scan can start there instead of at the window base; the result is
+  // the same as a full scan. Found position re-tightens the hint.
+  std::size_t i = lost_floor_ > window_base_ ? lost_floor_ - window_base_ : 0;
+  for (; i < window_.size(); ++i) {
     const SegmentState& s = window_[i];
     if (s.lost && !s.retx_after_loss && !s.sacked && s.times_sent > 0) {
-      return window_base_ + static_cast<std::uint32_t>(i);
+      const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
+      lost_floor_ = seq;
+      return seq;
     }
   }
   return std::nullopt;
 }
 
 std::uint32_t Scoreboard::pipe() const {
-  std::uint32_t count = 0;
+#ifndef NDEBUG
+  // Cross-check the incremental aggregate against a window scan in debug
+  // builds: any mutation path that skips its account() bracket shows up in
+  // the unit/fuzz suites as an assertion, not as a silent behaviour drift.
+  std::uint32_t scanned = 0;
   for (std::size_t i = 0; i < window_.size(); ++i) {
     const std::uint32_t seq = window_base_ + static_cast<std::uint32_t>(i);
     if (seq < cum_ack_ || seq >= next_sent_) continue;
     const SegmentState& s = window_[i];
     if (s.times_sent == 0 || s.sacked) continue;
     if (s.lost && !s.retx_after_loss) continue;
-    ++count;
+    ++scanned;
   }
-  return count;
+  assert(scanned == static_cast<std::uint32_t>(pipe_) &&
+         "incremental pipe aggregate out of sync with window state");
+#endif
+  return static_cast<std::uint32_t>(pipe_);
 }
 
 std::uint32_t Scoreboard::flow_control_limit(std::uint32_t window) const {

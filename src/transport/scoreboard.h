@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/packet.h"
@@ -42,6 +44,14 @@ struct AckUpdate {
 /// Memory is a sliding window: state below the cumulative ACK is discarded,
 /// so the footprint is bounded by the flow-control window even for very
 /// long flows (the paper's Fig. 13 background flows are 100 MB).
+///
+/// Aggregates the senders poll per ACK — pipe(), the existence of a
+/// loss needing retransmission, the presence of any SACKed segment — are
+/// maintained incrementally as segment state changes, so the per-ACK send
+/// loop (which re-reads pipe() after every transmission) costs O(1) per
+/// query instead of a window scan. All segment-state mutations go through
+/// this class; the only external mutation, mutable_state(), is used for
+/// the rtt_sampled flag, which no aggregate depends on.
 class Scoreboard {
  public:
   explicit Scoreboard(std::uint32_t total_segments);
@@ -56,8 +66,18 @@ class Scoreboard {
   /// Record a transmission of `seq` at time `now` with wire uid `uid`.
   void on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now, bool proactive);
 
-  /// Apply an arriving cumulative + selective acknowledgement.
-  AckUpdate apply_ack(std::uint32_t cum_ack, const std::vector<net::SackBlock>& sacks);
+  /// Apply an arriving cumulative + selective acknowledgement. The span
+  /// overload is the core; net::SackList (via its span conversion),
+  /// std::vector, and braced block lists all route to it. The
+  /// initializer_list overload exists because a span cannot be formed from
+  /// a braced list until C++26; list arguments prefer it, so `{}` stays
+  /// unambiguous.
+  AckUpdate apply_ack(std::uint32_t cum_ack, std::span<const net::SackBlock> sacks);
+  AckUpdate apply_ack(std::uint32_t cum_ack,
+                      std::initializer_list<net::SackBlock> sacks) {
+    return apply_ack(
+        cum_ack, std::span<const net::SackBlock>{sacks.begin(), sacks.size()});
+  }
 
   /// SACK-based loss detection (simplified RFC 6675 / FACK rule): an
   /// un-SACKed segment is deemed lost once at least `dup_threshold`
@@ -71,6 +91,12 @@ class Scoreboard {
   /// Lowest segment deemed lost whose loss-triggered retransmission has not
   /// happened yet.
   std::optional<std::uint32_t> next_lost_needing_retx() const;
+
+  /// True while any sent segment in the window is deemed lost and not yet
+  /// SACKed. O(1): lets per-ACK repair scans (UDT-style round-robin
+  /// retransmission in the paced schemes) skip the window walk entirely
+  /// once every loss has been repaired or absorbed.
+  bool any_lost_unsacked() const { return lost_unsacked_ > 0; }
 
   /// Count of segments considered in flight (sent, not cum-acked, not
   /// SACKed, and not deemed lost-without-retransmission).
@@ -97,11 +123,52 @@ class Scoreboard {
  private:
   void trim();
 
+  /// Add (`delta` = +1) or remove (`delta` = -1) `s`'s contribution to the
+  /// incremental aggregates. Every mutation of a window entry is bracketed
+  /// by an account(-1) / account(+1) pair.
+  ///
+  /// The pipe predicate drops the range checks the scan performed:
+  /// times_sent > 0 implies seq < next_sent_ (on_sent advances next_sent_
+  /// past every transmission), and window membership implies
+  /// seq >= cum_ack_ (trim() discards below the cumulative ACK and
+  /// decrements aggregates for each entry it pops).
+  void account(const SegmentState& s, std::uint32_t seq, int delta) {
+    const int d = delta;
+    if (s.times_sent > 0 && !s.sacked && !(s.lost && !s.retx_after_loss)) {
+      pipe_ += d;
+    }
+    if (s.lost && !s.retx_after_loss && !s.sacked && s.times_sent > 0) {
+      lost_pending_ += d;
+      // Scan hint only tightens on entry; removals leave it conservative
+      // (low), which is safe: the next scan starts at or below the true
+      // minimum and advances it.
+      if (d > 0 && seq < lost_floor_) lost_floor_ = seq;
+    }
+    if (s.lost && !s.sacked && s.times_sent > 0) lost_unsacked_ += d;
+    if (s.sacked) {
+      sacked_in_window_ += d;
+      // Conservative (high) top hint for the loss-detection scan.
+      if (d > 0 && seq >= highest_sacked_) highest_sacked_ = seq + 1;
+    }
+  }
+
   std::uint32_t total_;
   std::uint32_t cum_ack_ = 0;
   std::uint32_t next_sent_ = 0;     ///< next never-sent index
   std::uint32_t window_base_ = 0;   ///< seq of window_[0]
   std::deque<SegmentState> window_;
+
+  // Incremental aggregates over window_ (see account()).
+  int pipe_ = 0;             ///< segments matching the pipe() predicate
+  int lost_pending_ = 0;     ///< segments matching next_lost_needing_retx()
+  int lost_unsacked_ = 0;    ///< lost, sent, not-yet-SACKed segments
+  int sacked_in_window_ = 0; ///< SACKed segments still in the window
+  /// Scan hints (caches, not invariants): lost_floor_ is a lower bound on
+  /// the lowest lost-pending seq; highest_sacked_ an upper bound (one
+  /// past) on the highest SACKed seq. Both only bound the scans — results
+  /// are unchanged.
+  mutable std::uint32_t lost_floor_ = 0;
+  std::uint32_t highest_sacked_ = 0;
 };
 
 }  // namespace halfback::transport

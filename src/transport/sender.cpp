@@ -27,8 +27,12 @@ SenderBase::SenderBase(sim::Simulator& simulator, net::Node& local_node,
   record_.scheme = std::move(scheme_name);
   record_.flow_bytes = flow_bytes;
   record_.total_segments = scoreboard_.total_segments();
-  rto_timer_.bind(simulator_, [this] { on_rto(); });
-  syn_timer_.bind(simulator_, [this] { on_syn_timeout(); });
+  // rto_timer_ is bound by Sender<Policy>'s constructor: its callback runs
+  // the scheme's statically-dispatched on_timeout, which this base cannot
+  // name. Nothing can arm it before that constructor body runs.
+  syn_timer_.bind(simulator_,
+                  sim::FunctionRef<void()>::from<&SenderBase::on_syn_timeout>(
+                      *this));
 }
 
 // Timer members cancel themselves on destruction.
@@ -80,41 +84,8 @@ void SenderBase::on_syn_timeout() {
   send_syn();
 }
 
-void SenderBase::on_packet(const net::Packet& packet) {
-  if (record_.completed) return;
-  switch (packet.type) {
-    case net::PacketType::syn_ack:
-      handle_syn_ack(packet);
-      break;
-    case net::PacketType::ack: {
-      if (!established_) return;  // data ACK before handshake completes: ignore
-      ++record_.acks_received;
-      take_rtt_sample(packet);
-      AckUpdate update = scoreboard_.apply_ack(packet.cum_ack, packet.sacks);
-      HALFBACK_AUDIT_HOOK(simulator_.auditor(),
-                          on_ack_applied(scoreboard_, record_.flow, packet, update));
-      if (hub_ != nullptr) {
-        hub_->transport().acks_received->increment();
-        hub_->transport().scoreboard_acked->add(update.newly_cum_acked);
-        hub_->transport().scoreboard_sacked->add(update.newly_sacked.size());
-        tape_->record(simulator_.now(), telemetry::TapeEventKind::ack_received,
-                      packet.cum_ack);
-      }
-      if (update.advanced()) {
-        rtt_.reset_backoff();
-        if (!scoreboard_.complete()) arm_rto();
-      }
-      maybe_complete();
-      if (!record_.completed) handle_ack(packet, update);
-      break;
-    }
-    default:
-      break;
-  }
-}
-
-void SenderBase::handle_syn_ack(const net::Packet& /*packet*/) {
-  if (established_) return;  // duplicate SYN-ACK
+bool SenderBase::begin_established() {
+  if (established_) return false;  // duplicate SYN-ACK
   established_ = true;
   syn_timer_.cancel();
   record_.established_time = simulator_.now();
@@ -132,7 +103,27 @@ void SenderBase::handle_syn_ack(const net::Packet& /*packet*/) {
     // on_established(); the same-timestamp span then replaces "transfer".
     tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::transfer);
   }
-  on_established();
+  return true;
+}
+
+AckUpdate SenderBase::apply_ack(const net::Packet& packet) {
+  ++record_.acks_received;
+  take_rtt_sample(packet);
+  AckUpdate update = scoreboard_.apply_ack(packet.cum_ack, packet.sacks);
+  HALFBACK_AUDIT_HOOK(simulator_.auditor(),
+                      on_ack_applied(scoreboard_, record_.flow, packet, update));
+  if (hub_ != nullptr) {
+    hub_->transport().acks_received->increment();
+    hub_->transport().scoreboard_acked->add(update.newly_cum_acked);
+    hub_->transport().scoreboard_sacked->add(update.newly_sacked.size());
+    tape_->record(simulator_.now(), telemetry::TapeEventKind::ack_received,
+                  packet.cum_ack);
+  }
+  if (update.advanced()) {
+    rtt_.reset_backoff();
+    if (!scoreboard_.complete()) arm_rto();
+  }
+  return update;
 }
 
 void SenderBase::take_rtt_sample(const net::Packet& ack) {
@@ -159,7 +150,7 @@ void SenderBase::take_rtt_sample(const net::Packet& ack) {
   }
 }
 
-void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
+void SenderBase::transmit_segment(std::uint32_t seq, bool proactive) {
   if (seq >= record_.total_segments) {
     throw std::logic_error{"send_segment beyond flow length"};
   }
@@ -215,13 +206,12 @@ void SenderBase::send_segment(std::uint32_t seq, bool proactive) {
     }
   }
   node_.send(std::move(p));
-  after_transmit(seq, proactive);
 }
 
 void SenderBase::arm_rto() { rto_timer_.schedule_after(rtt_.rto()); }
 
-void SenderBase::on_rto() {
-  if (record_.completed) return;
+bool SenderBase::note_timeout() {
+  if (record_.completed) return false;
   ++record_.timeouts;
   rtt_.backoff();
   if (hub_ != nullptr) {
@@ -229,7 +219,7 @@ void SenderBase::on_rto() {
     tape_->record(simulator_.now(), telemetry::TapeEventKind::rto_fired,
                   record_.timeouts);
   }
-  on_timeout();
+  return true;
 }
 
 void SenderBase::cancel_rto() { rto_timer_.cancel(); }
@@ -240,8 +230,8 @@ sim::Time SenderBase::smoothed_rtt() const {
   return sim::Time::milliseconds(100);
 }
 
-void SenderBase::maybe_complete() {
-  if (record_.completed || !scoreboard_.complete()) return;
+bool SenderBase::finish_transfer() {
+  if (record_.completed || !scoreboard_.complete()) return false;
   record_.completed = true;
   record_.completion_time = simulator_.now();
   cancel_rto();
@@ -254,7 +244,10 @@ void SenderBase::maybe_complete() {
                   static_cast<std::uint64_t>(fct.ns() < 0 ? 0 : fct.ns()));
     tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::done);
   }
-  on_flow_complete();
+  return true;
+}
+
+void SenderBase::notify_complete() {
   if (on_complete_) on_complete_(record_);
 }
 

@@ -1,14 +1,29 @@
-// Sender base class: handshake, segment transmission, ACK bookkeeping,
-// retransmission timer. Scheme-specific behaviour lives in subclasses.
+// The static sender pipeline: SenderBase (the type-erased seam) +
+// Sender<Policy> (the CRTP template every scheme instantiates).
+//
+// SenderBase owns everything schemes share — handshake with SYN retry,
+// segment transmission with retransmission accounting, Karn-filtered RTT
+// sampling, scoreboard maintenance, RTO arming, completion detection — and
+// exposes exactly one virtual function: on_packet(), the per-packet entry
+// the TransportAgent dispatches through. Scheme policy (handle_ack,
+// on_timeout, after_transmit, ...) is NOT virtual: Sender<Policy>
+// dispatches those hooks statically to the most-derived scheme class, so
+// they devirtualize and inline into the per-ACK path. The only place a
+// scheme is type-erased back to SenderBase is schemes/factory.cpp — the
+// single seam the CLI/bench/exp name-based selection goes through.
+//
+// Per-flow callbacks are sim::FunctionRef (two words, non-owning, never
+// allocates) rather than std::function; per-flow timers are
+// sim::StaticTimer for the same reason.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/bytes.h"
+#include "sim/function_ref.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "telemetry/hub.h"
@@ -72,20 +87,20 @@ struct FlowRecord {
   std::uint32_t all_retx() const { return normal_retx + proactive_retx; }
 };
 
-/// Abstract sender. Subclasses implement the scheme's transmission policy
-/// through three hooks: on_established(), handle_ack(), on_timeout().
+/// The type-erased sender seam.
 ///
-/// The base class provides the services every scheme shares: the three-way
-/// handshake (with SYN retry), segment transmission with retransmission
-/// accounting, Karn-filtered RTT sampling, scoreboard maintenance, RTO
-/// arming, and completion detection.
+/// Everything the TransportAgent, the experiment runners, and the tests
+/// touch goes through this class: start(), on_packet() (the one virtual),
+/// the completion callback, telemetry attachment, and the read-only
+/// accessors. Concrete behaviour lives in Sender<Policy> below; construct
+/// schemes through schemes::make_sender() (or a concrete scheme class
+/// directly when the test knows the type).
 class SenderBase {
  public:
-  using CompletionCallback = std::function<void(const FlowRecord&)>;
+  /// Per-flow completion notification. Non-owning: the callee must outlive
+  /// the flow (the TransportAgent does, by construction).
+  using CompletionRef = sim::FunctionRef<void(const FlowRecord&)>;
 
-  SenderBase(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
-             net::FlowId flow, sim::Bytes flow_bytes, SenderConfig config,
-             std::string scheme_name);
   virtual ~SenderBase();
 
   SenderBase(const SenderBase&) = delete;
@@ -94,10 +109,12 @@ class SenderBase {
   /// Begin the flow: records the start time and sends the SYN.
   void start();
 
-  /// Entry point for SYN-ACK and ACK packets of this flow.
-  void on_packet(const net::Packet& packet);
+  /// Entry point for SYN-ACK and ACK packets of this flow — the single
+  /// virtual dispatch on the per-packet path. Sender<Policy> implements it
+  /// and fans out to the scheme's statically-dispatched hooks.
+  virtual void on_packet(const net::Packet& packet) = 0;
 
-  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_completion_callback(CompletionRef cb) { on_complete_ = cb; }
 
   /// Attach a telemetry hub (nullptr detaches; owned by the caller). Call
   /// before start(): creates this flow's flight-recorder tape and caches
@@ -119,31 +136,11 @@ class SenderBase {
   const std::string& scheme_name() const { return record_.scheme; }
 
  protected:
-  /// Called once when the handshake completes; begin transmitting here.
-  virtual void on_established() = 0;
+  SenderBase(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+             net::FlowId flow, sim::Bytes flow_bytes, SenderConfig config,
+             std::string scheme_name);
 
-  /// Called for each ACK after base bookkeeping (RTT sample, scoreboard
-  /// update, completion check). Not called once the flow has completed.
-  virtual void handle_ack(const net::Packet& ack, const AckUpdate& update) = 0;
-
-  /// Called when the retransmission timeout fires (after backoff and stats
-  /// are recorded). The scheme must perform its recovery and re-arm.
-  virtual void on_timeout() = 0;
-
-  /// Called after every data transmission (Proactive TCP duplicates each
-  /// packet here).
-  virtual void after_transmit(std::uint32_t /*seq*/, bool /*proactive*/) {}
-
-  /// Called once when the flow completes, before the completion callback
-  /// (TCP-Cache stores its path state here).
-  virtual void on_flow_complete() {}
-
-  // --- services for subclasses -------------------------------------------
-
-  /// Transmit segment `seq`. First transmissions, loss-triggered
-  /// retransmissions, and proactive retransmissions are distinguished
-  /// automatically for the statistics.
-  void send_segment(std::uint32_t seq, bool proactive = false);
+  // --- services for Sender<Policy> and the scheme classes ------------------
 
   /// (Re)arm the retransmission timer at the current RTO.
   void arm_rto();
@@ -166,6 +163,39 @@ class SenderBase {
 
   sim::Bytes flow_bytes() const { return record_.flow_bytes; }
   std::uint32_t total_segments() const { return record_.total_segments; }
+  bool established() const { return established_; }
+
+  // --- pieces of the packet path assembled by Sender<Policy> ---------------
+  // These are the hook-free halves of the old virtual-dispatch methods: the
+  // template stitches them together with the statically-dispatched scheme
+  // hooks in exactly the pre-refactor order.
+
+  /// Transmit segment `seq` (everything except the after_transmit hook,
+  /// which Sender<Policy>::send_segment appends). First transmissions,
+  /// loss-triggered retransmissions, and proactive retransmissions are
+  /// distinguished automatically for the statistics.
+  void transmit_segment(std::uint32_t seq, bool proactive);
+
+  /// SYN-ACK bookkeeping (duplicate filtering, handshake RTT sample,
+  /// telemetry). Returns true when the handshake just completed and the
+  /// scheme's on_established() must run.
+  bool begin_established();
+
+  /// Per-ACK bookkeeping: stats, Karn RTT sample, scoreboard update, audit
+  /// hook, backoff reset, RTO re-arm.
+  AckUpdate apply_ack(const net::Packet& packet);
+
+  /// Per-RTO bookkeeping (backoff + stats). Returns false when the flow is
+  /// already complete and the scheme's on_timeout() must not run.
+  bool note_timeout();
+
+  /// Completion detection minus the on_flow_complete hook: returns true
+  /// when the flow just completed (timers cancelled, record stamped) and
+  /// the hook plus notify_complete() must run.
+  bool finish_transfer();
+
+  /// Fire the owner's completion callback (after on_flow_complete).
+  void notify_complete();
 
   sim::Simulator& simulator_;
   net::Node& node_;
@@ -174,27 +204,97 @@ class SenderBase {
   RttEstimator rtt_;
   SenderConfig config_;
   FlowRecord record_;
+  /// Retransmission timer; bound by Sender<Policy>'s constructor (the
+  /// callback targets the template's statically-dispatched on_rto).
+  sim::StaticTimer rto_timer_;
 
  private:
   void send_syn();
   void on_syn_timeout();
-  void on_rto();
-  void handle_syn_ack(const net::Packet& packet);
   void take_rtt_sample(const net::Packet& ack);
-  void maybe_complete();
   std::uint64_t next_uid() { return (record_.flow << 24) + (++uid_counter_); }
 
-  CompletionCallback on_complete_;
+  CompletionRef on_complete_;
   telemetry::Hub* hub_ = nullptr;    ///< not owned; nullptr = telemetry off
   telemetry::Tape* tape_ = nullptr;  ///< this flow's tape, owned by the hub
-  // Embedded reusable timers: bound once at construction, re-armed in place
-  // for the flow's whole life. Their destructors cancel any pending arm.
-  sim::Timer rto_timer_;
-  sim::Timer syn_timer_;
+  sim::StaticTimer syn_timer_;
   sim::Time syn_last_sent_;
   int syn_tries_ = 0;
   bool established_ = false;
   std::uint64_t uid_counter_ = 0;
+};
+
+/// The static pipeline: CRTP base instantiated once per scheme, with
+/// `Policy` the most-derived scheme class. The scheme provides its policy
+/// as plain (non-virtual) public methods:
+///
+///   void on_established();                               // required
+///   void handle_ack(const net::Packet&, const AckUpdate&);  // required
+///   void on_timeout();                                   // required
+///   void after_transmit(std::uint32_t seq, bool proactive);  // optional
+///   void on_flow_complete();                             // optional
+///
+/// self() calls devirtualize: on_packet() inlines the scheme's ACK policy,
+/// on_rto() inlines its recovery, send_segment() inlines its
+/// after_transmit. Adding a scheme means writing a policy class and one
+/// factory case — never touching this dispatch.
+template <class Policy>
+class Sender : public SenderBase {
+ public:
+  void on_packet(const net::Packet& packet) final {
+    if (record_.completed) return;
+    switch (packet.type) {
+      case net::PacketType::syn_ack:
+        if (begin_established()) self().on_established();
+        break;
+      case net::PacketType::ack: {
+        if (!established()) return;  // data ACK before handshake: ignore
+        const AckUpdate update = apply_ack(packet);
+        maybe_complete();
+        if (!record_.completed) self().handle_ack(packet, update);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Default (empty) optional hooks; a scheme defining its own shadows these.
+  void after_transmit(std::uint32_t /*seq*/, bool /*proactive*/) {}
+  void on_flow_complete() {}
+
+ protected:
+  Sender(sim::Simulator& simulator, net::Node& local_node, net::NodeId peer,
+         net::FlowId flow, sim::Bytes flow_bytes, SenderConfig config,
+         std::string scheme_name)
+      : SenderBase{simulator,  local_node, peer, flow,
+                   flow_bytes, config,     std::move(scheme_name)} {
+    rto_timer_.bind(simulator_,
+                    sim::FunctionRef<void()>::from<&Sender::on_rto>(*this));
+  }
+
+  Policy& self() { return static_cast<Policy&>(*this); }
+  const Policy& self() const { return static_cast<const Policy&>(*this); }
+
+  /// Transmit segment `seq`, then run the scheme's after_transmit hook.
+  void send_segment(std::uint32_t seq, bool proactive = false) {
+    transmit_segment(seq, proactive);
+    self().after_transmit(seq, proactive);
+  }
+
+  /// Completion check: on the transition, runs the scheme's
+  /// on_flow_complete() and then the owner's completion callback.
+  void maybe_complete() {
+    if (!finish_transfer()) return;
+    self().on_flow_complete();
+    notify_complete();
+  }
+
+ private:
+  void on_rto() {
+    if (!note_timeout()) return;
+    self().on_timeout();
+  }
 };
 
 /// Number of segments needed to carry `bytes` of application data.

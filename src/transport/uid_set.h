@@ -1,0 +1,94 @@
+// Flat open-addressing membership set for wire uids.
+//
+// The delivery boundary inserts one key per accepted packet, so the dedup
+// structure is on the per-packet hot path. std::unordered_set allocates a
+// node per element; this set keeps keys inline in a power-of-two slot
+// array with linear probing — no allocation per insert, one cache line
+// touched per probe. Determinism: membership answers are identical to any
+// set, and iteration order is never observed.
+//
+// lint: hot-path — per-packet code; no per-packet allocation or type erasure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace halfback::transport {
+
+/// Insert-only set of 64-bit keys. Key 0 is handled out of band so the
+/// slot array can use 0 as the empty marker.
+class UidSet {
+ public:
+  UidSet() = default;
+
+  /// Pre-size for `n` expected keys (amortized growth otherwise).
+  void reserve(std::size_t n) {
+    std::size_t want = 2;
+    while (want < 2 * n + 1) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Insert `key`; returns true if it was not present before.
+  bool insert(std::uint64_t key) {
+    if (key == 0) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      return fresh;
+    }
+    // Grow at 50% load: probes stay short even in the worst case.
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+      rehash(slots_.empty() ? 64 : slots_.size() * 2);
+    }
+    std::size_t i = mix(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const {
+    if (key == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    std::size_t i = mix(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+
+ private:
+  /// splitmix64 finalizer: full-avalanche mix so sequential uids spread
+  /// across the table instead of clustering into one probe chain.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (std::uint64_t key : old) {
+      if (key == 0) continue;
+      std::size_t i = mix(key) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+}  // namespace halfback::transport

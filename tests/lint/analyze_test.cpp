@@ -159,6 +159,69 @@ TEST(HotPathReachRule, SuppressionAtTheEvidenceSiteSilences) {
   EXPECT_TRUE(findings.empty()) << describe(findings);
 }
 
+TEST(HotPathReachRule, SenderPipelineEntriesAreRootsAndVirtualDispatchTrips) {
+  const auto findings = analyze_fixture("virtualhot");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  // on_packet -> hook_->deliver(): a virtual call on the per-packet path.
+  EXPECT_EQ(findings[0].rule, "hot_path_reach");
+  EXPECT_EQ(findings[0].path, "src/transport/pipe.h");
+  EXPECT_NE(findings[0].message.find("virtual call"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("'deliver'"), std::string::npos)
+      << findings[0].message;
+  // on_rto -> rearm_timer(): std::function construction one TU away.
+  EXPECT_EQ(findings[1].path, "src/transport/slow_helper.h");
+  EXPECT_NE(findings[1].message.find("std::function construction"),
+            std::string::npos)
+      << findings[1].message;
+  EXPECT_NE(findings[1].message.find("StaticSender::on_rto -> "
+                                     "halfback::transport::rearm_timer"),
+            std::string::npos)
+      << findings[1].message;
+}
+
+TEST(HotPathReachRule, NonVirtualMemberCallsAreNotFlagged) {
+  // A member call whose name matches no virtual declaration is plain
+  // devirtualized CRTP plumbing — no finding.
+  const auto model = model_of({
+      {"src/transport/crtp.h",
+       "#pragma once\n"
+       "namespace halfback::transport {\n"
+       "struct Policy {\n"
+       "  void on_ack_hook(int n) { count_ += n; }\n"
+       "  int count_ = 0;\n"
+       "};\n"
+       "struct S {\n"
+       "  void on_packet(int n) { policy_.on_ack_hook(n); }\n"
+       "  Policy policy_;\n"
+       "};\n"
+       "}  // namespace halfback::transport\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "hot_path_reach");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(HotPathReachRule, SuppressionTagsTheSanctionedVirtualSeam) {
+  const auto model = model_of({
+      {"src/transport/seam.h",
+       "#pragma once\n"
+       "namespace halfback::transport {\n"
+       "struct Base {\n"
+       "  virtual void on_segment(int seq) = 0;\n"
+       "};\n"
+       "struct Agent {\n"
+       "  void on_packet(int seq) {\n"
+       "    // lint: hot-ok(fixture: the one type-erased seam)\n"
+       "    sender_->on_segment(seq);\n"
+       "  }\n"
+       "  Base* sender_ = nullptr;\n"
+       "};\n"
+       "}  // namespace halfback::transport\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "hot_path_reach");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
 // ---- shard safety -----------------------------------------------------------
 
 TEST(ShardSafetyRule, HiddenGlobalsFixtureTripsBothKinds) {
@@ -325,6 +388,14 @@ TEST(Model, LiveTreeBuildsAndSeesTheHotPathRoots) {
   }
   EXPECT_TRUE(saw_fire_override);
   EXPECT_TRUE(saw_link_send);
+  // The factory seam's one virtual is inventoried for the dispatch check.
+  bool saw_sender_virtual = false;
+  for (const lint::VirtualMethod& vm : model.virtual_methods()) {
+    if (vm.name == "on_packet" && vm.class_name == "SenderBase") {
+      saw_sender_virtual = true;
+    }
+  }
+  EXPECT_TRUE(saw_sender_virtual);
   // The sanctioned observability edges are present and dashed in the dot.
   const std::string dot = model.layer_graph_dot();
   EXPECT_NE(dot.find("style=dashed"), std::string::npos);

@@ -1,0 +1,18 @@
+// Fixture: a static-pipeline hot entry that dispatches through a virtual
+// and one that reaches a std::function construction two calls away. The
+// per-file rules see neither; the reachability proof must flag both.
+#pragma once
+#include "transport/slow_helper.h"
+namespace halfback::transport {
+
+struct DeliveryHook {
+  virtual void deliver(int seq) = 0;
+};
+
+struct StaticSender {
+  void on_packet(int seq) { hook_->deliver(seq); }
+  void on_rto() { rearm_timer(); }
+  DeliveryHook* hook_ = nullptr;
+};
+
+}  // namespace halfback::transport

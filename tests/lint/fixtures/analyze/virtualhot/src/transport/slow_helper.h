@@ -1,0 +1,12 @@
+// Fixture: the helper an on_rto() hot entry reaches; constructing a
+// std::function here erases a callback type on the retransmission path.
+#pragma once
+#include <functional>
+namespace halfback::transport {
+
+inline void rearm_timer() {
+  std::function<void()> cb = [] {};
+  cb();
+}
+
+}  // namespace halfback::transport

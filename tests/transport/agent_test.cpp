@@ -28,11 +28,11 @@ struct AgentFixture {
   }
 
   SenderBase& start(net::FlowId flow, std::uint64_t bytes,
-                    SenderBase::CompletionCallback cb = nullptr) {
+                    SenderBase::CompletionRef cb = {}) {
     auto sender = std::make_unique<TcpSender>(sim, net.node(dumbbell.senders[0]),
                                               dumbbell.receivers[0], flow, bytes,
                                               SenderConfig{}, "tcp");
-    return sender_agent->start_flow(std::move(sender), std::move(cb));
+    return sender_agent->start_flow(std::move(sender), cb);
   }
 };
 
@@ -69,11 +69,13 @@ TEST(TransportAgentTest, ReceiverCreatedOnSyn) {
 TEST(TransportAgentTest, CompletionCallbackAndRecordKeeping) {
   AgentFixture f;
   int callbacks = 0;
-  f.start(1, 10'000, [&](const FlowRecord& r) {
+  // CompletionRef is non-owning: the callable must outlive the flow.
+  auto on_done = [&](const FlowRecord& r) {
     ++callbacks;
     EXPECT_EQ(r.flow, 1u);
     EXPECT_TRUE(r.completed);
-  });
+  };
+  f.start(1, 10'000, SenderBase::CompletionRef{on_done});
   f.sim.run();
   EXPECT_EQ(callbacks, 1);
   ASSERT_EQ(f.sender_agent->completed().size(), 1u);

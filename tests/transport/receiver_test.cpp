@@ -175,10 +175,12 @@ TEST(ReceiverTest, AckEchoesTriggerUid) {
 TEST(ReceiverTest, CompletionCallbackOnAllSegments) {
   ReceiverFixture f;
   bool complete = false;
-  f.receiver->set_completion_callback([&](const Receiver& r) {
+  // CompletionRef is non-owning: hoist the callable to a local lvalue.
+  auto on_done = [&](const Receiver& r) {
     complete = true;
     EXPECT_TRUE(r.stats().complete);
-  });
+  };
+  f.receiver->set_completion_callback(Receiver::CompletionRef{on_done});
   f.deliver_syn(3);
   f.deliver_data(0, 3);
   f.deliver_data(2, 3);
@@ -191,7 +193,8 @@ TEST(ReceiverTest, CompletionCallbackOnAllSegments) {
 TEST(ReceiverTest, CompletionFiresOnce) {
   ReceiverFixture f;
   int completions = 0;
-  f.receiver->set_completion_callback([&](const Receiver&) { ++completions; });
+  auto on_done = [&](const Receiver&) { ++completions; };
+  f.receiver->set_completion_callback(Receiver::CompletionRef{on_done});
   f.deliver_syn(2);
   f.deliver_data(0, 2);
   f.deliver_data(1, 2);

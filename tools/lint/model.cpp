@@ -78,7 +78,8 @@ class FileParser {
              std::vector<FunctionDef>& functions, std::vector<GlobalVar>& globals,
              std::vector<RngConstruction>& rng_sites,
              std::vector<std::string>& rng_member_names,
-             std::vector<std::pair<std::string, RngConstruction>>& member_inits)
+             std::vector<std::pair<std::string, RngConstruction>>& member_inits,
+             std::vector<VirtualMethod>& virtual_methods)
       : f_{file},
         index_{file_index},
         code_{file.code()},
@@ -86,7 +87,8 @@ class FileParser {
         globals_{globals},
         rng_sites_{rng_sites},
         rng_member_names_{rng_member_names},
-        member_inits_{member_inits} {}
+        member_inits_{member_inits},
+        virtual_methods_{virtual_methods} {}
 
   void run() {
     std::size_t i = 0;
@@ -251,6 +253,7 @@ class FileParser {
   std::size_t parse_declaration(std::size_t start) {
     bool saw_const = false;
     bool saw_static = false;
+    bool saw_virtual = false;
     std::string last_ident;
     std::string rng_type;  // nonempty when the decl-specifiers name an RNG
     std::size_t i = start;
@@ -269,6 +272,11 @@ class FileParser {
           continue;
         }
         if (t.text == "operator") return parse_operator(start, i);
+        if (t.text == "virtual") {
+          saw_virtual = true;
+          ++i;
+          continue;
+        }
         if (is_decl_keyword(t.text)) {
           ++i;
           continue;
@@ -276,7 +284,9 @@ class FileParser {
         if (is_rng_type_name(t.text)) rng_type = t.text;
         last_ident = t.text;
         // `name (` → function declarator or paren-init; decide by suffix.
-        if (punct_at(code_, i + 1, "(")) return parse_callable(start, i, saw_const);
+        if (punct_at(code_, i + 1, "(")) {
+          return parse_callable(start, i, saw_virtual);
+        }
         // `Type{args}` temporary at declaration scope is rare; the in-body
         // scan handles the ones that matter.
         ++i;
@@ -290,7 +300,7 @@ class FileParser {
         if (i + 2 < code_.size() &&
             code_[i + 1].kind == TokenKind::identifier &&
             punct_at(code_, i + 2, "(")) {
-          return parse_callable(start, i + 1, saw_const, /*dtor=*/true);
+          return parse_callable(start, i + 1, saw_virtual, /*dtor=*/true);
         }
         ++i;
         continue;
@@ -321,7 +331,7 @@ class FileParser {
   }
 
   std::size_t parse_callable(std::size_t start, std::size_t name_idx,
-                             bool /*saw_const*/, bool dtor = false) {
+                             bool saw_virtual, bool dtor = false) {
     // Walk back over a `Class ::` (possibly nested) qualifier chain.
     std::string class_qual;
     std::size_t back = dtor ? name_idx - 1 : name_idx;  // `~` sits before name
@@ -333,13 +343,15 @@ class FileParser {
       back -= 2;
     }
     std::string name = (dtor ? "~" : "") + code_[name_idx].text;
-    return parse_callable_named(start, name_idx + 1, name, class_qual);
+    return parse_callable_named(start, name_idx + 1, name, class_qual,
+                                saw_virtual);
   }
 
   /// `open_idx` is the index of the parameter-list `(`.
   std::size_t parse_callable_named(std::size_t start, std::size_t open_idx,
                                    const std::string& name,
-                                   const std::string& class_qual) {
+                                   const std::string& class_qual,
+                                   bool saw_virtual = false) {
     const std::size_t params_end = skip_group(code_, open_idx, "(", ")");
     bool has_override = false;
     bool has_noexcept = false;
@@ -368,6 +380,17 @@ class FileParser {
       ++j;
     }
     (void)has_noexcept;
+    // Inventory virtual member declarations (bodies not required, so pure
+    // virtuals count; `override` implies a virtual base). Destructors are
+    // skipped: a member call can never name one.
+    const std::string decl_class =
+        !class_qual.empty() ? last_component(class_qual)
+                            : (in_type_scope() ? scopes_.back().name : "");
+    if ((saw_virtual || has_override) && !decl_class.empty() &&
+        !name.empty() && name[0] != '~') {
+      virtual_methods_.push_back(
+          {name, decl_class, index_, code_[open_idx].line});
+    }
     if (j >= code_.size()) return j;
     if (punct_at(code_, j, ";") || punct_at(code_, j, "=") ||
         punct_at(code_, j, ",") || punct_at(code_, j, ")") ||
@@ -613,6 +636,7 @@ class FileParser {
   std::vector<RngConstruction>& rng_sites_;
   std::vector<std::string>& rng_member_names_;
   std::vector<std::pair<std::string, RngConstruction>>& member_inits_;
+  std::vector<VirtualMethod>& virtual_methods_;
 };
 
 }  // namespace
@@ -695,7 +719,7 @@ void ProjectModel::finalize() {
 void ProjectModel::parse_file(std::size_t index) {
   FileParser parser{files_[index], index,          functions_,
                     globals_,      rng_sites_,     rng_member_names_,
-                    pending_member_inits_};
+                    pending_member_inits_, virtual_methods_};
   parser.run();
 }
 

@@ -11,7 +11,9 @@
 //   * a best-effort call graph (callee names resolved to definitions, with
 //     class-qualifier filtering),
 //   * an inventory of namespace-scope variables and function-local statics,
-//   * every RNG construction site with its argument tokens.
+//   * every RNG construction site with its argument tokens,
+//   * every member function declared virtual (the hot-path rule's
+//     virtual-dispatch check resolves member calls against this table).
 //
 // "Best effort" is a design point, not an apology: the model is built by
 // the same zero-dependency tokenizer as the linter (no libclang), so calls
@@ -54,6 +56,17 @@ struct Evidence {
   EvidenceKind kind;
   int line = 0;
   std::string detail;  ///< the offending token, e.g. "make_unique"
+};
+
+/// A member function declared `virtual` (or `override`, which implies a
+/// virtual base) — declarations count, bodies are not required, so pure
+/// virtuals are inventoried too. Input to the hot-path virtual-dispatch
+/// check: a member call whose name appears here may dispatch virtually.
+struct VirtualMethod {
+  std::string name;        ///< unqualified, e.g. "on_packet"
+  std::string class_name;  ///< declaring class, best effort
+  std::size_t file = 0;    ///< index into files()
+  int line = 0;
 };
 
 /// A call site inside a function body.
@@ -119,6 +132,9 @@ class ProjectModel {
   const std::vector<FunctionDef>& functions() const { return functions_; }
   const std::vector<GlobalVar>& globals() const { return globals_; }
   const std::vector<RngConstruction>& rng_sites() const { return rng_sites_; }
+  const std::vector<VirtualMethod>& virtual_methods() const {
+    return virtual_methods_;
+  }
 
   /// Call graph: call_edges()[f] are indices into functions() that the
   /// body of functions()[f] may call (name-resolved, qualifier-filtered).
@@ -152,6 +168,7 @@ class ProjectModel {
   std::vector<FunctionDef> functions_;
   std::vector<GlobalVar> globals_;
   std::vector<RngConstruction> rng_sites_;
+  std::vector<VirtualMethod> virtual_methods_;
   std::vector<std::vector<std::size_t>> call_edges_;
   /// Ctor-init-list entries (member name -> construction), kept until
   /// finalize() knows which member names are RNG-typed.

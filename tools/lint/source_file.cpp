@@ -17,15 +17,16 @@ bool contains_tag(std::string_view line, std::string_view tag) {
 }  // namespace
 
 SourceFile::SourceFile(std::string logical_path, std::string text)
-    : path_{std::move(logical_path)}, text_{std::move(text)} {
-  std::string_view rest = text_;
+    : path_{std::move(logical_path)},
+      text_{std::make_unique<std::string>(std::move(text))} {
+  std::string_view rest = *text_;
   while (!rest.empty()) {
     const std::size_t nl = rest.find('\n');
     lines_.push_back(rest.substr(0, nl));
     if (nl == std::string_view::npos) break;
     rest.remove_prefix(nl + 1);
   }
-  tokens_ = tokenize(text_);
+  tokens_ = tokenize(*text_);
   code_.reserve(tokens_.size());
   std::copy_if(tokens_.begin(), tokens_.end(), std::back_inserter(code_),
                [](const Token& t) {

@@ -3,6 +3,7 @@
 // docs/static-analysis.md.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,8 +43,13 @@ class SourceFile {
 
  private:
   std::string path_;
-  std::string text_;
-  std::vector<std::string_view> lines_;  ///< views into text_
+  /// Owned behind a pointer so the buffer never moves: `lines_` and the
+  /// token texts are views into it, and a SourceFile is moved when stored
+  /// (ProjectModel keeps them in a vector). A plain std::string would
+  /// relocate its SSO buffer on move and dangle every view for any file
+  /// short enough to fit inline.
+  std::unique_ptr<std::string> text_;
+  std::vector<std::string_view> lines_;  ///< views into *text_
   std::vector<Token> tokens_;            ///< full stream, comments included
   std::vector<Token> code_;              ///< comments and pp directives stripped
 };
