@@ -179,6 +179,7 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
 
   RunResult result;
   result.sim_end = simulator.now();
+  result.events_executed = simulator.events_executed();
   // Walk flows in id (creation) order: iterating the unordered map directly
   // would make result order — and FCT stats under start-time ties — depend
   // on hash layout.

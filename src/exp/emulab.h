@@ -38,6 +38,11 @@ struct RunResult {
   std::uint64_t bottleneck_drops_total = 0;
   double bottleneck_utilization = 0.0;
   sim::Time sim_end;
+  /// Events the simulator dispatched over the whole run. A cell whose
+  /// event count explodes relative to its peers signals a scheme/fault
+  /// pathology (an RTO storm, a send loop that stopped making progress)
+  /// even when the run still finishes — regression tests pin it.
+  std::uint64_t events_executed = 0;
 
   /// Filled when the build compiles audit hooks (HALFBACK_AUDIT): run-trace
   /// hash (same seed + schedules => same hash) and invariant-violation

@@ -34,7 +34,6 @@ void Link::send(Packet p) {
     return;
   }
   if (transmitting_) {
-    // lint: hot-ok(queue discipline is the per-link seam; one indirect call per enqueue)
     queue_->enqueue(std::move(p), simulator_.now());
     return;
   }
@@ -76,7 +75,6 @@ void Link::launch(Packet p, sim::Time pipe_delay) {
 void Link::apply_faults() {
   // Out of line so the fault-free fast path in on_serialization_done stays
   // a single null test. The hook decides; the link executes.
-  // lint: hot-ok(fault hook is opt-in; measured runs install no hook and never reach this)
   FaultDecision decision = fault_hook_->on_transmit(tx_packet_, simulator_.now());
   if (decision.drop) {
     ++stats_.fault_dropped_packets;
@@ -161,7 +159,6 @@ std::function<void(Packet)> Link::receiver() const {
 }
 
 void Link::on_transmission_complete() {
-  // lint: hot-ok(queue discipline is the per-link seam; one indirect call per dequeue)
   if (auto next = queue_->dequeue(simulator_.now())) {
     begin_transmission(std::move(*next));
   } else {

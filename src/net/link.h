@@ -13,6 +13,7 @@
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
+#include "sim/annotations.h"
 #include "sim/bytes.h"
 #include "sim/data_rate.h"
 #include "sim/event_queue.h"
@@ -119,7 +120,7 @@ class Link {
 
   /// Hand a packet to the link. It is queued if the transmitter is busy and
   /// may be dropped by the queue discipline.
-  void send(Packet p);
+  void send(Packet p) HB_EFFECTS(alloc, throw);
 
   sim::DataRate rate() const { return rate_; }
   sim::Time propagation_delay() const { return delay_; }

@@ -9,6 +9,7 @@
 #include "net/node.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
+#include "sim/annotations.h"
 #include "sim/data_rate.h"
 #include "sim/simulator.h"
 
@@ -39,8 +40,10 @@ class Network {
 
   /// Connect two nodes bidirectionally. `forward` configures a->b;
   /// `reverse` configures b->a.
+  // HB_EFFECTS covers the overload set (the two-config overload below
+  // forwards here): wiring allocates links and forks per-link RNG.
   LinkPair connect(NodeId a, NodeId b, const LinkConfig& forward,
-                   const LinkConfig& reverse);
+                   const LinkConfig& reverse) HB_EFFECTS(alloc, rng);
 
   /// Symmetric convenience overload.
   LinkPair connect(NodeId a, NodeId b, const LinkConfig& both) {
@@ -49,7 +52,7 @@ class Network {
 
   /// Populate every node's routing table with shortest-hop routes.
   /// Must be called after the topology is final and before traffic starts.
-  void compute_routes();
+  void compute_routes() HB_EFFECTS(alloc);
 
   Node& node(NodeId id) { return *nodes_.at(id); }
   const Node& node(NodeId id) const { return *nodes_.at(id); }

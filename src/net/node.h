@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/annotations.h"
 
 namespace halfback::net {
 
@@ -41,7 +42,7 @@ class Node {
   void handle(Packet p);
 
   /// Send a locally-originated packet.
-  void send(Packet p) { handle(std::move(p)); }
+  void send(Packet p) HB_EFFECTS(alloc, throw) { handle(std::move(p)); }
 
   bool has_route_to(NodeId dest) const;
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/annotations.h"
 #include "sim/event_queue.h"
 
 namespace halfback::net {
@@ -69,7 +70,8 @@ class PacketPool {
 
   /// Draw a node and bind its dispatch handler. The node's packet field
   /// holds whatever the previous user left; assign it before scheduling.
-  PacketEvent& acquire(PacketEvent::Handler handler, void* context) {
+  PacketEvent& acquire(PacketEvent::Handler handler, void* context)
+      HB_EFFECTS(alloc) {
     ++stats_.acquired;
     ++stats_.outstanding;
     PacketEvent* node;
@@ -90,7 +92,7 @@ class PacketPool {
   }
 
   /// Return a node. It must not be queued in the event queue.
-  void release(PacketEvent& node) {
+  void release(PacketEvent& node) HB_EFFECTS() {
     --stats_.outstanding;
     node.next_free_ = free_head_;
     free_head_ = &node;

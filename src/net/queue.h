@@ -10,6 +10,7 @@
 
 #include "audit/auditor.h"
 #include "net/packet.h"
+#include "sim/annotations.h"
 #include "sim/bytes.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -105,8 +106,8 @@ class DropTailQueue final : public PacketQueue {
   explicit DropTailQueue(sim::Bytes capacity_bytes)
       : capacity_bytes_{capacity_bytes} {}
 
-  bool enqueue(Packet p, sim::Time now) override;
-  std::optional<Packet> dequeue(sim::Time now) override;
+  bool enqueue(Packet p, sim::Time now) override HB_EFFECTS(alloc);
+  std::optional<Packet> dequeue(sim::Time now) override HB_EFFECTS(alloc);
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
   std::uint64_t capacity_bytes() const override { return capacity_bytes_; }
@@ -131,8 +132,8 @@ class CoDelQueue final : public PacketQueue {
 
   explicit CoDelQueue(Config config) : config_{config} {}
 
-  bool enqueue(Packet p, sim::Time now) override;
-  std::optional<Packet> dequeue(sim::Time now) override;
+  bool enqueue(Packet p, sim::Time now) override HB_EFFECTS(alloc);
+  std::optional<Packet> dequeue(sim::Time now) override HB_EFFECTS(alloc);
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
   std::uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
@@ -168,8 +169,8 @@ class PriorityQueue final : public PacketQueue {
   explicit PriorityQueue(sim::Bytes capacity_bytes)
       : band_capacity_bytes_{capacity_bytes} {}
 
-  bool enqueue(Packet p, sim::Time now) override;
-  std::optional<Packet> dequeue(sim::Time now) override;
+  bool enqueue(Packet p, sim::Time now) override HB_EFFECTS(alloc);
+  std::optional<Packet> dequeue(sim::Time now) override HB_EFFECTS(alloc);
   std::uint64_t byte_length() const override { return bytes_[0] + bytes_[1]; }
   std::size_t packet_count() const override {
     return bands_[0].size() + bands_[1].size();
@@ -203,8 +204,8 @@ class RedQueue final : public PacketQueue {
   RedQueue(Config config, sim::Random rng)
       : config_{config}, rng_{std::move(rng)} {}
 
-  bool enqueue(Packet p, sim::Time now) override;
-  std::optional<Packet> dequeue(sim::Time now) override;
+  bool enqueue(Packet p, sim::Time now) override HB_EFFECTS(alloc, rng);
+  std::optional<Packet> dequeue(sim::Time now) override HB_EFFECTS(alloc);
   std::uint64_t byte_length() const override { return bytes_; }
   std::size_t packet_count() const override { return packets_.size(); }
   std::uint64_t capacity_bytes() const override { return config_.capacity_bytes; }

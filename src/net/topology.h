@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/annotations.h"
 
 namespace halfback::net {
 
@@ -40,7 +41,8 @@ struct Dumbbell {
 
 /// Build the dumbbell inside `network` (which should be empty) and install
 /// routes.
-Dumbbell build_dumbbell(Network& network, const DumbbellConfig& config);
+Dumbbell build_dumbbell(Network& network, const DumbbellConfig& config)
+    HB_EFFECTS(alloc, throw, rng);
 
 /// A single wide-area path with an access-link bottleneck: used for the
 /// PlanetLab path ensemble and the home-network profiles. The server sits
@@ -62,7 +64,8 @@ struct AccessPath {
   AccessPathConfig config;
 };
 
-AccessPath build_access_path(Network& network, const AccessPathConfig& config);
+AccessPath build_access_path(Network& network, const AccessPathConfig& config)
+    HB_EFFECTS(alloc, rng);
 
 /// Multi-bottleneck "parking lot" chain (the paper's §7 future work:
 /// "emulation with more complex topologies"): routers R0..Rn in a line,
@@ -94,6 +97,7 @@ struct ParkingLot {
   }
 };
 
-ParkingLot build_parking_lot(Network& network, const ParkingLotConfig& config);
+ParkingLot build_parking_lot(Network& network, const ParkingLotConfig& config)
+    HB_EFFECTS(alloc, throw, rng);
 
 }  // namespace halfback::net

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "net/network.h"
+#include "sim/annotations.h"
 #include "schemes/halfback.h"
 #include "schemes/scheme.h"
 #include "schemes/tcp_cache.h"
@@ -28,7 +29,7 @@ struct SchemeContext {
 std::unique_ptr<transport::SenderBase> make_sender(
     Scheme scheme, SchemeContext& context, sim::Simulator& simulator,
     net::Node& local_node, net::NodeId peer, net::FlowId flow,
-    sim::Bytes flow_bytes);
+    sim::Bytes flow_bytes) HB_EFFECTS(throw);
 
 /// Build the "optimal" reference sender (Fig. 2's upper bound): plain TCP
 /// whose initial window is forced to `burst_window` segments, so the whole
@@ -39,6 +40,6 @@ std::unique_ptr<transport::SenderBase> make_sender(
 std::unique_ptr<transport::SenderBase> make_optimal_sender(
     const SchemeContext& context, sim::Simulator& simulator,
     net::Node& local_node, net::NodeId peer, net::FlowId flow,
-    sim::Bytes flow_bytes, std::uint32_t burst_window);
+    sim::Bytes flow_bytes, std::uint32_t burst_window) HB_EFFECTS();
 
 }  // namespace halfback::schemes

@@ -20,6 +20,8 @@
 // the copies already delivered (their SACKs arrive within the first RTT).
 #pragma once
 
+#include <algorithm>
+
 #include "transport/tcp_sender.h"
 
 namespace halfback::schemes {
@@ -34,6 +36,7 @@ class Rc3Sender final : public transport::TcpSenderImpl<Rc3Sender> {
       : TcpSenderImpl{simulator, local_node, peer, flow, flow_bytes, config, "rc3"} {}
 
   std::uint32_t rlp_copies_sent() const { return rlp_sent_; }
+  bool rlp_abandoned() const { return rlp_abandoned_; }
 
   // Statically dispatched by Sender<Rc3Sender>.
   void on_established() {
@@ -46,6 +49,50 @@ class Rc3Sender final : public transport::TcpSenderImpl<Rc3Sender> {
     for (std::uint32_t seq = window_limit; seq-- > already_sent;) {
       send_rlp_copy(seq);
     }
+  }
+
+  void handle_ack(const net::Packet& ack, const transport::AckUpdate& update) {
+    if (rlp_abandoned_ && update.backfill_acked > 0) {
+      // Post-abandon, strip the congestion-window credit the backfill
+      // earned (see on_timeout below): acknowledgements for segments this
+      // loop never sent still advance the window edge and complete the
+      // flow, they just no longer open cwnd during RTO recovery.
+      transport::AckUpdate damped = update;
+      std::uint32_t strip = update.backfill_acked;
+      const std::uint32_t from_cum = std::min(strip, damped.newly_cum_acked);
+      damped.newly_cum_acked -= from_cum;
+      strip -= from_cum;
+      while (strip > 0 && !damped.newly_sacked.empty()) {
+        damped.newly_sacked.pop_back();
+        --strip;
+      }
+      Tcp::handle_ack(ack, damped);
+      return;
+    }
+    Tcp::handle_ack(ack, update);
+  }
+
+  void on_timeout() {
+    // Graceful degradation mirroring Halfback's ROPR abandon (PR 4): an RTO
+    // means the RLP batch's promise — its SACKs arrive within the first RTT
+    // — has collapsed, and the primary loop falls back to go-back-N
+    // recovery from cwnd = 1. Copies of the batch may still trickle in
+    // afterwards (they sat in a low-priority queue through the loss event);
+    // crediting their delivery to the congestion window would open the
+    // recovering path far faster than slow start intends, on bytes this
+    // control loop never clocked out. Abandon the backfill: keep skipping
+    // segments the copies delivered (the receiver has them), but stop
+    // growing cwnd on their acknowledgements. Runs that never hit an RTO —
+    // every fault-free run — are untouched.
+    if (!rlp_abandoned_) {
+      rlp_abandoned_ = true;
+      if (auto* probes = scheme_probes()) probes->rlp_abandoned->increment();
+      if (tape() != nullptr) {
+        tape()->record(simulator_.now(), telemetry::TapeEventKind::rlp_abandoned,
+                       scoreboard_.cum_ack());
+      }
+    }
+    Tcp::on_timeout();
   }
 
  private:
@@ -72,6 +119,7 @@ class Rc3Sender final : public transport::TcpSenderImpl<Rc3Sender> {
   }
 
   std::uint32_t rlp_sent_ = 0;
+  bool rlp_abandoned_ = false;
 };
 
 }  // namespace halfback::schemes

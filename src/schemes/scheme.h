@@ -7,6 +7,8 @@
 #include <span>
 #include <string>
 
+#include "sim/annotations.h"
+
 namespace halfback::schemes {
 
 enum class Scheme : std::uint8_t {
@@ -36,14 +38,14 @@ struct SchemeInfo {
 };
 
 /// Metadata for every scheme (Table 1's design-space axes).
-std::span<const SchemeInfo> all_schemes();
+std::span<const SchemeInfo> all_schemes() HB_EFFECTS();
 
-const SchemeInfo& info(Scheme scheme);
-const char* name(Scheme scheme);
-std::optional<Scheme> parse_scheme(const std::string& name);
+const SchemeInfo& info(Scheme scheme) HB_EFFECTS(throw);
+const char* name(Scheme scheme) HB_EFFECTS(throw);
+std::optional<Scheme> parse_scheme(const std::string& name) HB_EFFECTS();
 
 /// The paper's main eight-way comparison set (Figs. 10, 12).
-std::span<const Scheme> evaluation_set();
+std::span<const Scheme> evaluation_set() HB_EFFECTS();
 
 /// The six schemes plotted in the PlanetLab figures (Figs. 5-8).
 std::span<const Scheme> planetlab_set();

@@ -56,6 +56,25 @@
 #define HB_NO_THREAD_SAFETY_ANALYSIS \
   HB_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Effect contract, checked by halfback-analyze (docs/static-analysis.md).
+///
+/// Declares the complete set of effects a function may produce, directly
+/// or through anything it calls: `alloc`, `throw`, `clock` (wall-clock
+/// reads — Simulator::now() is virtual time and does not count), `rng`,
+/// `io` (ambient I/O — writing to a caller-supplied stream does not
+/// count), `global_mut`, `block`. `HB_EFFECTS()` with no arguments
+/// declares the function pure in this sense.
+///
+/// The macro expands to nothing for every compiler; the analyzer's
+/// `effects` rule gives it teeth, checking the contract in both
+/// directions — an undeclared-but-reachable effect is a violation (with
+/// the call chain that proves it), and a declared-but-unreachable effect
+/// is stale breadth. Place it after the parameter list, next to where
+/// noexcept would go:
+///
+///   void send(Packet p) HB_EFFECTS(alloc, global_mut);
+#define HB_EFFECTS(...)
+
 namespace halfback {
 
 /// std::mutex with the capability attribute clang's analysis keys on

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::audit {
@@ -105,21 +106,22 @@ class EventQueue {
   // --- intrusive API (the allocation-free fast path) -----------------------
 
   /// Insert `event` at absolute time `at`. The event must not be queued.
-  void schedule_event(Event& event, Time at);
+  void schedule_event(Event& event, Time at) HB_EFFECTS(alloc, throw);
 
   /// Move `event` to absolute time `at`, in place, whether or not it is
   /// currently queued. Equivalent to cancel + schedule (the event receives
   /// a fresh FIFO sequence number) but without touching the heap twice.
-  void reschedule_event(Event& event, Time at);
+  void reschedule_event(Event& event, Time at) HB_EFFECTS(alloc, throw);
 
   /// Remove `event` if queued; no-op otherwise.
-  void cancel_event(Event& event);
+  void cancel_event(Event& event) HB_EFFECTS();
 
   // --- std::function shim --------------------------------------------------
 
   /// Schedule `fn` at absolute time `at` on a recycled slab node.
   // lint: function-ok(the one sanctioned shim; setup/test path, slab-recycled)
-  EventHandle schedule(Time at, std::function<void()> fn);
+  EventHandle schedule(Time at, std::function<void()> fn)
+      HB_EFFECTS(alloc, throw);
 
   // --- queue driving -------------------------------------------------------
 
@@ -133,7 +135,7 @@ class EventQueue {
   Time next_time() const;
 
   /// Pop and run the earliest event; returns its time. Requires !empty().
-  Time run_next();
+  Time run_next() HB_EFFECTS(alloc, throw, rng);
 
   /// Drop all pending events.
   void clear();

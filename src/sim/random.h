@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::sim {
@@ -18,7 +19,7 @@ class Random {
   explicit Random(std::uint64_t seed) : engine_{seed} {}
 
   /// Derive an independent child stream; `salt` distinguishes siblings.
-  Random fork(std::uint64_t salt) {
+  Random fork(std::uint64_t salt) HB_EFFECTS(rng) {
     std::uint64_t child_seed = engine_() ^ (salt * 0x9e3779b97f4a7c15ULL);
     return Random{child_seed};
   }
@@ -63,7 +64,8 @@ class Random {
   }
 
   /// Index into a discrete weight vector proportional to its entries.
-  std::size_t weighted_index(std::span<const double> weights);
+  std::size_t weighted_index(std::span<const double> weights)
+      HB_EFFECTS(throw);
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "audit/auditor.h"
+#include "sim/annotations.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -30,19 +31,21 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  Time now() const { return now_; }
+  Time now() const HB_EFFECTS() { return now_; }
 
   /// Schedule `fn` to run after `delay` (>= 0) from now. This is the
   /// std::function shim over the intrusive event core — fine for tests,
   /// examples, and one-shot setup; hot-path components embed an Event or
   /// sim::Timer and use the schedule_event family below instead.
-  EventHandle schedule(Time delay, std::function<void()> fn) {
+  EventHandle schedule(Time delay, std::function<void()> fn)
+      HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 
   /// Schedule `fn` at absolute time `at` (>= now).
-  EventHandle schedule_at(Time at, std::function<void()> fn) {
+  EventHandle schedule_at(Time at, std::function<void()> fn)
+      HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
     return queue_.schedule(at, std::move(fn));
   }
@@ -50,13 +53,13 @@ class Simulator {
   /// Schedule an intrusive event after `delay` (>= 0) from now. The event
   /// must not already be queued; the caller keeps ownership and must keep
   /// it alive until it fires or is cancelled.
-  void schedule_event(Time delay, Event& event) {
+  void schedule_event(Time delay, Event& event) HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
     queue_.schedule_event(event, now_ + delay);
   }
 
   /// Schedule an intrusive event at absolute time `at` (>= now).
-  void schedule_event_at(Time at, Event& event) {
+  void schedule_event_at(Time at, Event& event) HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
     queue_.schedule_event(event, at);
   }
@@ -64,29 +67,29 @@ class Simulator {
   /// Move an intrusive event to `delay` from now, scheduling it if idle.
   /// Equivalent to cancel + schedule (fresh FIFO tie-break) without
   /// touching the heap twice.
-  void reschedule_event(Time delay, Event& event) {
+  void reschedule_event(Time delay, Event& event) HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, now_ + delay));
     queue_.reschedule_event(event, now_ + delay);
   }
 
   /// Move an intrusive event to absolute time `at`, scheduling it if idle.
-  void reschedule_event_at(Time at, Event& event) {
+  void reschedule_event_at(Time at, Event& event) HB_EFFECTS(alloc, throw) {
     HALFBACK_AUDIT_HOOK(auditor_, on_event_scheduled(now_, at));
     queue_.reschedule_event(event, at);
   }
 
   /// Remove an intrusive event if queued; no-op otherwise.
-  void cancel_event(Event& event) { queue_.cancel_event(event); }
+  void cancel_event(Event& event) HB_EFFECTS() { queue_.cancel_event(event); }
 
   /// Run until the event queue drains or stop() is called.
-  void run();
+  void run() HB_EFFECTS(alloc, throw, rng);
 
   /// Run events up to and including time `deadline`; afterwards
   /// now() == deadline unless the queue drained earlier or stop() fired.
-  void run_until(Time deadline);
+  void run_until(Time deadline) HB_EFFECTS(alloc, throw, rng);
 
   /// Make run()/run_until() return after the current event completes.
-  void stop() { stopped_ = true; }
+  void stop() HB_EFFECTS() { stopped_ = true; }
 
   bool stopped() const { return stopped_; }
 

@@ -49,10 +49,14 @@ class Timer final : public Event {
   bool bound() const { return simulator_ != nullptr; }
 
   /// (Re)arm to fire after `delay` (>= 0) from now.
-  void schedule_after(Time delay) { simulator_->reschedule_event(delay, *this); }
+  void schedule_after(Time delay) HB_EFFECTS(alloc, throw) {
+    simulator_->reschedule_event(delay, *this);
+  }
 
   /// (Re)arm to fire at absolute time `at` (>= now).
-  void schedule_at(Time at) { simulator_->reschedule_event_at(at, *this); }
+  void schedule_at(Time at) HB_EFFECTS(alloc, throw) {
+    simulator_->reschedule_event_at(at, *this);
+  }
 
   /// Disarm; no-op if not pending. Safe to call from inside the callback.
   void cancel() {
@@ -96,10 +100,14 @@ class StaticTimer final : public Event {
   bool bound() const { return simulator_ != nullptr; }
 
   /// (Re)arm to fire after `delay` (>= 0) from now.
-  void schedule_after(Time delay) { simulator_->reschedule_event(delay, *this); }
+  void schedule_after(Time delay) HB_EFFECTS(alloc, throw) {
+    simulator_->reschedule_event(delay, *this);
+  }
 
   /// (Re)arm to fire at absolute time `at` (>= now).
-  void schedule_at(Time at) { simulator_->reschedule_event_at(at, *this); }
+  void schedule_at(Time at) HB_EFFECTS(alloc, throw) {
+    simulator_->reschedule_event_at(at, *this);
+  }
 
   /// Disarm; no-op if not pending. Safe to call from inside the callback.
   void cancel() {

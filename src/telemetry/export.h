@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 #include "stats/ascii_plot.h"
 #include "telemetry/flight_recorder.h"
@@ -32,8 +33,12 @@ std::string json_escape(std::string_view s);
 /// print as integers, everything else with enough digits to round-trip.
 std::string format_double(double v);
 
-void write_metrics_jsonl(std::ostream& out, const MetricRegistry& registry);
-std::string metrics_jsonl(const MetricRegistry& registry);
+// Writes to the caller-supplied stream: deliberately NOT an `io` effect
+// (ambient I/O means touching a stream the caller did not hand over).
+void write_metrics_jsonl(std::ostream& out, const MetricRegistry& registry)
+    HB_EFFECTS(alloc, throw);
+std::string metrics_jsonl(const MetricRegistry& registry)
+    HB_EFFECTS(alloc, throw);
 
 void write_prometheus(std::ostream& out, const MetricRegistry& registry);
 std::string prometheus_text(const MetricRegistry& registry);
@@ -42,7 +47,8 @@ std::string prometheus_text(const MetricRegistry& registry);
 /// clock at snapshot time).
 void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
                         sim::Time end);
-std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end);
+std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end)
+    HB_EFFECTS(alloc, throw);
 
 /// Bridge to stats::ascii_histogram: the histogram's occupied buckets as
 /// bins, edges divided by `scale` (1e6 turns nanoseconds into ms). Inline

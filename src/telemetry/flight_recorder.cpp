@@ -28,6 +28,7 @@ const char* to_string(TapeEventKind kind) {
     case TapeEventKind::karn_discard: return "karn_discard";
     case TapeEventKind::rto_fired: return "rto_fired";
     case TapeEventKind::ropr_abandoned: return "ropr_abandoned";
+    case TapeEventKind::rlp_abandoned: return "rlp_abandoned";
     case TapeEventKind::fault_hit: return "fault_hit";
     case TapeEventKind::queue_drop: return "queue_drop";
     case TapeEventKind::complete: return "complete";

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::telemetry {
@@ -57,6 +58,7 @@ enum class TapeEventKind : std::uint8_t {
   karn_discard,    ///< a = seq (ambiguous echo, sample dropped)
   rto_fired,       ///< a = consecutive backoffs
   ropr_abandoned,  ///< a = backward position at abandonment
+  rlp_abandoned,   ///< a = cum ack when RC3 stopped crediting its backfill
   fault_hit,       ///< a = fault kind (netfault cause), b = flow uid
   queue_drop,      ///< a = seq (link tapes: b = flow id)
   complete,        ///< b = FCT in ns
@@ -89,7 +91,7 @@ struct PhaseSpan {
 class Tape {
  public:
   void record(sim::Time at, TapeEventKind kind, std::uint32_t a = 0,
-              std::uint64_t b = 0) {
+              std::uint64_t b = 0) HB_EFFECTS() {
     TapeEvent& slot = ring_[head_ % capacity_];
     slot.at = at;
     slot.kind = kind;
@@ -101,7 +103,7 @@ class Tape {
   /// Record a phase transition (kept out of the ring; also mirrored into it
   /// as a phase_enter point event for the flat timeline view). Consecutive
   /// duplicate phases collapse.
-  void enter_phase(sim::Time at, FlowPhase phase) {
+  void enter_phase(sim::Time at, FlowPhase phase) HB_EFFECTS(alloc) {
     if (!phases_.empty() && phases_.back().phase == phase) return;
     if (!phases_.empty() && phases_.back().start == at) {
       // The previous phase lasted zero time (e.g. a base-class "transfer"
@@ -170,7 +172,8 @@ class FlightRecorder {
 
   /// The tape for (`track`, `id`), created on first use. `label` is applied
   /// only at creation (later calls may pass empty).
-  Tape& tape(TrackKind track, std::uint64_t id, std::string label = {}) {
+  Tape& tape(TrackKind track, std::uint64_t id, std::string label = {})
+      HB_EFFECTS(alloc) {
     const Key key{static_cast<std::uint8_t>(track), id};
     auto it = index_.find(key);
     if (it != index_.end()) return tapes_[it->second];

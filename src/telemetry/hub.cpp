@@ -69,6 +69,9 @@ Hub::Hub(Config config) : recorder_{config.recorder} {
       Unit::segments);
   scheme_.ropr_abandoned = registry_.counter(
       "scheme.ropr_abandoned", "ROPR passes abandoned by RTO", Unit::events);
+  scheme_.rlp_abandoned = registry_.counter(
+      "scheme.rlp_abandoned", "RC3 backfill credit abandoned by RTO",
+      Unit::events);
   scheme_.ropr_low_water = registry_.gauge(
       "scheme.ropr_low_water",
       "segment index of the most recent ROPR proactive copy", Unit::segments);

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "sim/annotations.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metric.h"
 #include "telemetry/registry.h"
@@ -63,6 +64,7 @@ class Hub {
     Counter* ropr_packets = nullptr;      ///< proactive ROPR copies
     Counter* fallback_packets = nullptr;  ///< sent after fallback entry
     Counter* ropr_abandoned = nullptr;    ///< ROPR cut short by RTO
+    Counter* rlp_abandoned = nullptr;     ///< RC3 backfill trust cut by RTO
     Gauge* ropr_low_water = nullptr;      ///< deepest backward ROPR position
   };
 
@@ -115,7 +117,8 @@ class Hub {
   /// Snapshot per-link queue/drop/utilization gauges from `network` at
   /// `now`. Links are numbered in creation order, so repeated snapshots
   /// update the same instruments and export order is deterministic.
-  void snapshot_network(const net::Network& network, sim::Time now);
+  void snapshot_network(const net::Network& network, sim::Time now)
+      HB_EFFECTS(alloc, throw, block);
 
   /// Fold one injector's per-cause totals into the fault counters. Call
   /// once per injector at end of run.
@@ -126,7 +129,7 @@ class Hub {
   /// shard's worker joins). Both hubs register the same catalog in their
   /// constructors, so export order is unchanged. Flight-recorder tapes are
   /// per-shard artifacts and are not merged.
-  void merge_from(const Hub& other) { registry_.merge_from(other.registry_); }
+  void merge_from(const Hub& other) HB_EFFECTS(alloc, throw, block) { registry_.merge_from(other.registry_); }
 
  private:
   MetricRegistry registry_;

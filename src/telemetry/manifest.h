@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::telemetry {
@@ -40,6 +41,7 @@ std::string hex64(std::uint64_t value);
 void write_manifest_json(std::ostream& out, const RunManifest& manifest,
                          const MetricRegistry* registry);
 std::string manifest_json(const RunManifest& manifest,
-                          const MetricRegistry* registry);
+                          const MetricRegistry* registry)
+    HB_EFFECTS(alloc, throw);
 
 }  // namespace halfback::telemetry

@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/bytes.h"
 #include "sim/time.h"
 
@@ -42,8 +43,8 @@ const char* to_string(Unit unit);
 /// Monotonically increasing count.
 class Counter {
  public:
-  void add(std::uint64_t n) { value_ += n; }
-  void increment() { ++value_; }
+  void add(std::uint64_t n) HB_EFFECTS() { value_ += n; }
+  void increment() HB_EFFECTS() { ++value_; }
   std::uint64_t value() const { return value_; }
 
  private:
@@ -56,7 +57,7 @@ class Counter {
 /// round-trip exactly below 2^53).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
+  void set(double v) HB_EFFECTS() { value_ = v; }
   /// High-water-mark update (e.g. max queue depth).
   void set_max(double v) {
     if (v > value_) value_ = v;
@@ -83,7 +84,7 @@ class Histogram {
   /// Sub-bucket resolution: 2^sub_bucket_bits sub-buckets per octave.
   static constexpr unsigned kDefaultSubBucketBits = 3;
 
-  void record(std::uint64_t v) {
+  void record(std::uint64_t v) HB_EFFECTS(alloc) {
     const std::size_t i = bucket_index(v, sub_bucket_bits_);
     if (i >= counts_.size()) counts_.resize(i + 1, 0);
     ++counts_[i];

@@ -50,13 +50,15 @@ class MetricRegistry {
   /// the registry's lifetime. Throws std::invalid_argument if `name` is
   /// already registered with a different kind.
   Counter* counter(const std::string& name, const std::string& help,
-                   Unit unit = Unit::none) HB_EXCLUDES(mu_);
+                   Unit unit = Unit::none) HB_EXCLUDES(mu_)
+      HB_EFFECTS(alloc, throw, block);
   Gauge* gauge(const std::string& name, const std::string& help,
-               Unit unit = Unit::none) HB_EXCLUDES(mu_);
+               Unit unit = Unit::none) HB_EXCLUDES(mu_)
+      HB_EFFECTS(alloc, throw, block);
   Histogram* histogram(const std::string& name, const std::string& help,
                        Unit unit = Unit::none,
                        unsigned sub_bucket_bits = Histogram::kDefaultSubBucketBits)
-      HB_EXCLUDES(mu_);
+      HB_EXCLUDES(mu_) HB_EFFECTS(alloc, throw, block);
 
   /// Fold another registry's instruments into this one, registering any
   /// names this registry has not seen (in `other`'s registration order, so
@@ -65,7 +67,8 @@ class MetricRegistry {
   /// resolutions must match). Throws std::invalid_argument on a kind or
   /// resolution mismatch. Locks both registries; `other` must outlive the
   /// call but may be concurrently merged elsewhere.
-  void merge_from(const MetricRegistry& other) HB_EXCLUDES(mu_);
+  void merge_from(const MetricRegistry& other) HB_EXCLUDES(mu_)
+      HB_EFFECTS(alloc, throw, block);
 
   // Read accessors are for the export phase, after all workers have joined
   // (the join is the synchronization); they take no lock so exporters can

@@ -94,13 +94,11 @@ void TransportAgent::on_packet(net::Packet packet) {
                 &TransportAgent::on_receiver_complete>(*this));
         it = receivers_.emplace(packet.flow, std::move(receiver)).first;
       }
-      // lint: hot-ok(Receiver::on_packet is non-virtual; name collides with the sender seam)
       it->second->on_packet(packet);
       break;
     }
     case net::PacketType::data: {
       auto it = receivers_.find(packet.flow);
-      // lint: hot-ok(Receiver::on_packet is non-virtual; name collides with the sender seam)
       if (it != receivers_.end()) it->second->on_packet(packet);
       // Data for an unknown flow (SYN lost): drop; the sender's SYN retry
       // will re-create state. Senders only emit data after the handshake,
@@ -110,7 +108,6 @@ void TransportAgent::on_packet(net::Packet packet) {
     case net::PacketType::syn_ack:
     case net::PacketType::ack: {
       auto it = senders_.find(packet.flow);
-      // lint: hot-ok(the factory's one type-erased seam: a single SenderBase virtual per ACK)
       if (it != senders_.end()) it->second.sender->on_packet(packet);
       break;
     }

@@ -10,6 +10,7 @@
 #include "net/network.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "sim/annotations.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
 #include "transport/uid_set.h"
@@ -41,7 +42,8 @@ class TransportAgent {
   /// non-owning FunctionRef: its referent must outlive the flow (capture
   /// state in a long-lived object, not a temporary lambda).
   SenderBase& start_flow(std::unique_ptr<SenderBase> sender,
-                         SenderBase::CompletionRef on_complete = {});
+                         SenderBase::CompletionRef on_complete = {})
+      HB_EFFECTS(alloc, throw);
 
   /// Attach a telemetry hub (nullptr detaches; owned by the caller).
   /// Senders started afterwards get their flight-recorder tape installed
@@ -83,7 +85,7 @@ class TransportAgent {
     SenderBase::CompletionRef on_complete;
   };
 
-  void on_packet(net::Packet packet);
+  void on_packet(net::Packet packet) HB_EFFECTS(alloc);
   void on_sender_complete(const FlowRecord& record);
   void on_receiver_complete(const Receiver& receiver);
 

@@ -56,7 +56,7 @@ class Receiver {
   void set_completion_callback(CompletionRef cb) { on_complete_ = cb; }
 
   /// Entry point for SYN and DATA packets of this flow.
-  void on_packet(const net::Packet& packet);
+  void on_packet(const net::Packet& packet) HB_EFFECTS(alloc, throw);
 
   const Stats& stats() const { return stats_; }
   net::FlowId flow() const { return flow_; }

@@ -1,6 +1,7 @@
 // RFC 6298 round-trip-time estimation and retransmission timeout.
 #pragma once
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::transport {
@@ -26,10 +27,10 @@ class RttEstimator {
   explicit RttEstimator(Config config) : config_{config} {}
 
   /// Feed one Karn-valid RTT sample.
-  void add_sample(sim::Time rtt);
+  void add_sample(sim::Time rtt) HB_EFFECTS();
 
   /// Current retransmission timeout, including any backoff in effect.
-  sim::Time rto() const;
+  sim::Time rto() const HB_EFFECTS();
 
   /// Double the timeout after a retransmission timeout fires.
   void backoff();

@@ -74,9 +74,19 @@ AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
     // can use newly_acked_total() for congestion-window growth.
     for (std::uint32_t seq = cum_ack_; seq < cum_ack; ++seq) {
       const SegmentState* s = state(seq);
-      if (s != nullptr && s->sacked) --update.newly_cum_acked;
+      if (s != nullptr && s->sacked) {
+        --update.newly_cum_acked;
+      } else if (s == nullptr || s->times_sent == 0) {
+        ++update.backfill_acked;  // delivered by an out-of-band copy
+      }
     }
     cum_ack_ = std::min(cum_ack, total_);
+    // The cumulative ACK can overtake next_sent_ when an out-of-band copy
+    // (RC3's low-priority batch) delivered segments this loop never sent.
+    // Those segments need no transmission — advance the new-data cursor past
+    // them, or next_unsent() would hand send_available() a sequence whose
+    // on_sent() is dropped as stale and the send loop would never progress.
+    if (next_sent_ < cum_ack_) next_sent_ = cum_ack_;
     trim();
   }
   update.cum_ack_after = cum_ack_;
@@ -90,6 +100,7 @@ AckUpdate Scoreboard::apply_ack(std::uint32_t cum_ack,
         s.sacked = true;
         account(s, seq, +1);
         update.newly_sacked.push_back(seq);
+        if (s.times_sent == 0) ++update.backfill_acked;
       }
     }
   }

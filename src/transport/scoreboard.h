@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace halfback::transport {
@@ -32,6 +33,11 @@ struct AckUpdate {
   std::uint32_t cum_ack_after = 0;
   std::uint32_t newly_cum_acked = 0;          ///< segments newly covered by cum ack
   std::vector<std::uint32_t> newly_sacked;    ///< segment indices newly SACKed
+  /// Of the segments newly acknowledged above, how many this loop never
+  /// transmitted (times_sent == 0): delivery credit earned by an
+  /// out-of-band copy (RC3's low-priority batch), not by this sender.
+  /// Always 0 for schemes whose every segment goes through on_sent().
+  std::uint32_t backfill_acked = 0;
   bool advanced() const { return cum_ack_after > cum_ack_before; }
   std::uint32_t newly_acked_total() const {
     return newly_cum_acked + static_cast<std::uint32_t>(newly_sacked.size());
@@ -64,7 +70,8 @@ class Scoreboard {
   bool all_sent_once() const { return next_sent_ >= total_; }
 
   /// Record a transmission of `seq` at time `now` with wire uid `uid`.
-  void on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now, bool proactive);
+  void on_sent(std::uint32_t seq, std::uint64_t uid, sim::Time now,
+               bool proactive) HB_EFFECTS(alloc, throw);
 
   /// Apply an arriving cumulative + selective acknowledgement. The span
   /// overload is the core; net::SackList (via its span conversion),
@@ -72,7 +79,9 @@ class Scoreboard {
   /// initializer_list overload exists because a span cannot be formed from
   /// a braced list until C++26; list arguments prefer it, so `{}` stays
   /// unambiguous.
-  AckUpdate apply_ack(std::uint32_t cum_ack, std::span<const net::SackBlock> sacks);
+  AckUpdate apply_ack(std::uint32_t cum_ack,
+                      std::span<const net::SackBlock> sacks)
+      HB_EFFECTS(alloc, throw);
   AckUpdate apply_ack(std::uint32_t cum_ack,
                       std::initializer_list<net::SackBlock> sacks) {
     return apply_ack(

@@ -107,7 +107,7 @@ class SenderBase {
   SenderBase& operator=(const SenderBase&) = delete;
 
   /// Begin the flow: records the start time and sends the SYN.
-  void start();
+  void start() HB_EFFECTS(alloc, throw);
 
   /// Entry point for SYN-ACK and ACK packets of this flow — the single
   /// virtual dispatch on the per-packet path. Sender<Policy> implements it

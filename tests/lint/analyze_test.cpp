@@ -251,8 +251,10 @@ TEST(ShardSafetyRule, UnjustifiedAllowlistEntryIsAFinding) {
       {"src/net/g.h",
        "#pragma once\nnamespace halfback::net {\nint g_x = 0;\n}\n"},
   });
+  lint::AnalyzeInputs inputs;
+  inputs.shard_allowlist = std::move(allowlist);
   const auto findings =
-      lint::analyze_model(model, allowlist, "shard_safety");
+      lint::analyze_model(model, std::move(inputs), "shard_safety");
   ASSERT_EQ(findings.size(), 1u) << describe(findings);
   EXPECT_NE(findings[0].message.find("no justification"), std::string::npos)
       << findings[0].message;
@@ -267,8 +269,10 @@ TEST(ShardSafetyRule, StaleAllowlistEntryIsAFinding) {
   const auto model = model_of({
       {"src/net/g.h", "#pragma once\n"},
   });
+  lint::AnalyzeInputs inputs;
+  inputs.shard_allowlist = std::move(allowlist);
   const auto findings =
-      lint::analyze_model(model, allowlist, "shard_safety");
+      lint::analyze_model(model, std::move(inputs), "shard_safety");
   ASSERT_EQ(findings.size(), 1u) << describe(findings);
   EXPECT_NE(findings[0].message.find("stale"), std::string::npos)
       << findings[0].message;
@@ -342,6 +346,253 @@ TEST(RngTaintRule, MemberInitFromAmbientSourceTrips) {
       << findings[0].message;
 }
 
+// ---- effect contracts -------------------------------------------------------
+
+TEST(EffectsRule, UndeclaredDirectEffectFixtureTrips) {
+  const auto findings = analyze_fixture("effects_undeclared");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "effects");
+  EXPECT_EQ(findings[0].path, "src/sim/pure_claim.h");
+  EXPECT_NE(findings[0].message.find("declares {pure} but 'alloc'"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EffectsRule, TransitiveContractTooNarrowCarriesTheWitnessChain) {
+  const auto findings = analyze_fixture("effects_narrow");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "effects");
+  EXPECT_EQ(findings[0].path, "src/net/sender.h");
+  // The witness names the chain down to the leaf evidence in the other TU.
+  EXPECT_NE(findings[0].message.find(
+                "halfback::net::open_window -> "
+                "halfback::sim::check_window: throw"),
+            std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("src/sim/guard.h:7"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EffectsRule, IndirectDispatchPropagatesConservatively) {
+  // With no sanctioned seam, the virtual call's possible target charges its
+  // alloc to the caller's contract.
+  const auto findings = analyze_fixture("effects_indirect", "effects");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "effects");
+  EXPECT_NE(findings[0].message.find("RingHook::deliver: alloc"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EffectsRule, SanctionedSeamCutsPropagationForBothEngines) {
+  // Green twin of effects_indirect: the hot_seams.txt entry silences the
+  // hot_path_reach dispatch report AND stops the effect engine from
+  // charging the implementor's alloc to the caller — across every rule,
+  // with no stale-seam finding.
+  const auto findings = analyze_fixture("effects_seam");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(EffectsRule, ContractTooWideIsAFinding) {
+  const auto model = model_of({
+      {"src/sim/wide.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "inline int twice(int v) HB_EFFECTS(alloc) { return v * 2; }\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "effects");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("too wide"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EffectsRule, ConflictingDuplicateContractsAreAFinding) {
+  const auto model = model_of({
+      {"src/sim/a.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "void poke() HB_EFFECTS(alloc);\n"
+       "}  // namespace halfback::sim\n"},
+      {"src/sim/b.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "void poke() HB_EFFECTS(throw);\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "effects");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("conflicting"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EffectsRule, UnknownEffectTokenIsAFinding) {
+  const auto model = model_of({
+      {"src/sim/typo.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "inline void quiet() HB_EFFECTS(alloc, blocc) {}\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "effects");
+  // One unknown-token finding, plus "too wide" for alloc (the body is
+  // pure). Same site, so the (path, line, message) sort puts "too wide"
+  // first.
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("too wide"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[1].message.find("unknown effect token 'blocc'"),
+            std::string::npos)
+      << findings[1].message;
+}
+
+TEST(EffectsRule, SuppressionTagSilencesAContractSite) {
+  const auto model = model_of({
+      {"src/sim/tagged.h",
+       "#pragma once\n"
+       "namespace halfback::sim {\n"
+       "// lint: effects-ok(fixture: alloc is setup-only by construction)\n"
+       "inline int* boot() HB_EFFECTS() { return new int{1}; }\n"
+       "}  // namespace halfback::sim\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "effects");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// ---- simulator escape -------------------------------------------------------
+
+TEST(SimEscapeRule, StaticInstanceCachesFixtureTripsBothStorageKinds) {
+  const auto findings = analyze_fixture("escape_static");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "sim_escape");
+  EXPECT_NE(findings[0].message.find("halfback::net::g_primary_sim"),
+            std::string::npos);
+  // The function-local static is qualified by its owning function.
+  EXPECT_NE(findings[1].message.find("last_simulator::cached"),
+            std::string::npos);
+}
+
+TEST(SimEscapeRule, CrossInstanceCaptureFixtureTripsAllThreeRoutes) {
+  const auto findings = analyze_fixture("escape_capture");
+  ASSERT_EQ(findings.size(), 3u) << describe(findings);
+  for (const lint::Finding& f : findings) EXPECT_EQ(f.rule, "sim_escape");
+  EXPECT_NE(findings[0].message.find("takes 2 Simulator parameters"),
+            std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[1].message.find("holds 2 Simulator references"),
+            std::string::npos)
+      << findings[1].message;
+  EXPECT_NE(findings[2].message.find("unclear Simulator provenance"),
+            std::string::npos)
+      << findings[2].message;
+}
+
+TEST(SimEscapeRule, SingleIdentifierProvenanceIsClean) {
+  const auto model = model_of({
+      {"src/net/owner.h",
+       "#pragma once\n"
+       "namespace halfback::net {\n"
+       "class Port {\n"
+       " public:\n"
+       "  explicit Port(sim::Simulator& simulator) : sim_{simulator} {}\n"
+       " private:\n"
+       "  sim::Simulator& sim_;\n"
+       "};\n"
+       "}  // namespace halfback::net\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "sim_escape");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(SimEscapeRule, ConstexprStaticsAreExempt) {
+  const auto model = model_of({
+      {"src/net/table.h",
+       "#pragma once\n"
+       "namespace halfback::net {\n"
+       "inline int pick(int i) {\n"
+       "  static constexpr int kPrimes[2] = {2, 3};\n"
+       "  return kPrimes[i & 1];\n"
+       "}\n"
+       "}  // namespace halfback::net\n"},
+  });
+  const auto findings = lint::analyze_model(model, {}, "sim_escape");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(SimEscapeRule, EscapeAllowlistMatchesAndStaleEntriesReport) {
+  lint::ShardAllowlist escape;
+  std::string error;
+  ASSERT_TRUE(lint::ShardAllowlist::parse(
+      "halfback::net::g_cache src/net/c.h fixture: sanctioned\n"
+      "halfback::net::gone src/net/c.h fixture: matches nothing\n",
+      escape, error))
+      << error;
+  const auto model = model_of({
+      {"src/net/c.h",
+       "#pragma once\n"
+       "namespace halfback::net {\n"
+       "inline sim::Simulator* const g_cache = nullptr;\n"
+       "}  // namespace halfback::net\n"},
+  });
+  lint::AnalyzeInputs inputs;
+  inputs.escape_allowlist = std::move(escape);
+  const auto findings =
+      lint::analyze_model(model, std::move(inputs), "sim_escape");
+  // g_cache is allowlisted away; the unmatched entry is reported stale.
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].path, "tools/lint/escape_allowlist.txt");
+  EXPECT_NE(findings[0].message.find("stale escape allowlist entry"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+// ---- seam inventory ---------------------------------------------------------
+
+TEST(SeamInventory, ParsesEntriesAndFindsByCallerCalleePath) {
+  lint::SeamInventory seams;
+  std::string error;
+  ASSERT_TRUE(lint::SeamInventory::parse(
+      "# comment\n"
+      "halfback::net::Link::send enqueue src/net/link.cpp the queue seam\n",
+      seams, error))
+      << error;
+  ASSERT_EQ(seams.entries.size(), 1u);
+  EXPECT_EQ(seams.entries[0].justification, "the queue seam");
+  EXPECT_EQ(
+      seams.find("halfback::net::Link::send", "enqueue", "src/net/link.cpp"),
+      0u);
+  EXPECT_EQ(seams.find("halfback::net::Link::send", "dequeue",
+                       "src/net/link.cpp"),
+            seams.entries.size());
+}
+
+TEST(SeamInventory, MalformedLineFailsTheParse) {
+  lint::SeamInventory seams;
+  std::string error;
+  EXPECT_FALSE(lint::SeamInventory::parse("just_one_field\n", seams, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SeamInventory, StaleSeamEntryIsAHotPathFinding) {
+  lint::SeamInventory seams;
+  std::string error;
+  ASSERT_TRUE(lint::SeamInventory::parse(
+      "halfback::net::Link::send enqueue src/net/gone.cpp devirtualized\n",
+      seams, error))
+      << error;
+  const auto model = model_of({
+      {"src/net/quiet.h", "#pragma once\n"},
+  });
+  lint::AnalyzeInputs inputs;
+  inputs.seams = std::move(seams);
+  const auto findings =
+      lint::analyze_model(model, std::move(inputs), "hot_path_reach");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].path, "tools/lint/hot_seams.txt");
+  EXPECT_NE(findings[0].message.find("stale seam entry"), std::string::npos)
+      << findings[0].message;
+}
+
 // ---- green fixtures and the live tree --------------------------------------
 
 TEST(CleanFixture, AnalyzesCleanAcrossAllRules) {
@@ -357,7 +608,7 @@ TEST(Registry, EveryModelRuleHasAStableIdAndDescription) {
     EXPECT_TRUE(ids.insert(rule->id()).second)
         << "duplicate rule id " << rule->id();
   }
-  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.size(), 6u);
 }
 
 TEST(ShardAllowlistFile, CheckedInAllowlistIsEmptyByPolicy) {
@@ -399,6 +650,35 @@ TEST(Model, LiveTreeBuildsAndSeesTheHotPathRoots) {
   // The sanctioned observability edges are present and dashed in the dot.
   const std::string dot = model.layer_graph_dot();
   EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Model, LayerGraphDotIsByteDeterministic) {
+  // CI publishes the dot; two builds over the same tree must serialize to
+  // the identical byte sequence (ordered containers end to end — no
+  // pointer-keyed or hash-ordered iteration may leak into the output).
+  const auto first = lint::ProjectModel::build(repo_root());
+  const auto second = lint::ProjectModel::build(repo_root());
+  EXPECT_EQ(first.layer_graph_dot(), second.layer_graph_dot());
+}
+
+TEST(Model, EveryLiveContractBindsToAModeledDefinition) {
+  // A contract whose qualified name matches no definition checks nothing —
+  // legal for pure-virtual interfaces, but the live annotation surface is
+  // all concrete functions, so an unbound contract here means a rename or
+  // a parser regression silently disabled verification.
+  const auto model = lint::ProjectModel::build(repo_root());
+  ASSERT_GE(model.contracts().size(), 40u)
+      << "the HB_EFFECTS annotation surface shrank unexpectedly";
+  std::set<std::string_view> defined;
+  for (const lint::FunctionDef& fn : model.functions()) {
+    defined.insert(fn.qualified);
+  }
+  for (const lint::EffectContract& contract : model.contracts()) {
+    EXPECT_TRUE(defined.contains(contract.qualified))
+        << "contract on '" << contract.qualified << "' ("
+        << model.file(contract.file).path() << ":" << contract.line
+        << ") matches no modeled definition";
+  }
 }
 
 TEST(Tree, LiveTreeAnalyzesCleanAgainstEmptyBaselineAndAllowlist) {

@@ -1,0 +1,22 @@
+// Fixture: an indirect (virtual) call the effect engine must treat
+// conservatively. on_packet() claims purity, but the dispatch can land in
+// RingHook::deliver, which allocates — with no sanctioned seam, the alloc
+// propagates to the caller and the contract is violated.
+#pragma once
+namespace halfback::transport {
+
+struct Hook {
+  virtual void deliver(int seq) = 0;
+};
+
+struct RingHook final : Hook {
+  void deliver(int seq) override { slots_ = new int[8]; slots_[0] = seq; }
+  int* slots_ = nullptr;
+};
+
+struct StaticSender {
+  void on_packet(int seq) HB_EFFECTS() { hook_->deliver(seq); }
+  Hook* hook_ = nullptr;
+};
+
+}  // namespace halfback::transport

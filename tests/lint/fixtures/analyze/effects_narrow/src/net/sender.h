@@ -1,0 +1,14 @@
+// Fixture: a contract that is too narrow transitively. open_window()
+// declares only `alloc`, but the guard it calls in another translation
+// unit throws; the effects rule must carry the call chain down to the
+// throw site in sim/guard.h.
+#pragma once
+#include "sim/guard.h"
+namespace halfback::net {
+
+inline int* open_window(int w) HB_EFFECTS(alloc) {
+  sim::check_window(w);
+  return new int{w};
+}
+
+}  // namespace halfback::net

@@ -1,0 +1,10 @@
+// Fixture: the helper one layer down whose throw the contract above must
+// account for. The violation's witness chain ends at this line.
+#pragma once
+namespace halfback::sim {
+
+inline void check_window(int w) {
+  if (w < 0) throw 1;
+}
+
+}  // namespace halfback::sim

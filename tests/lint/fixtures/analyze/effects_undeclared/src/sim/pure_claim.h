@@ -1,0 +1,8 @@
+// Fixture: a contract that claims purity over a body that allocates. The
+// effects rule must report the undeclared `alloc` with its local witness.
+#pragma once
+namespace halfback::sim {
+
+inline int* make_slot() HB_EFFECTS() { return new int{7}; }
+
+}  // namespace halfback::sim

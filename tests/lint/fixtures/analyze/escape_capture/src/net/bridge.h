@@ -1,0 +1,23 @@
+// Fixture: cross-instance capture. Mirror aliases two simulators at once
+// (the member pair and the constructor signature are each a bridge), and
+// Peer's member is initialized from another object's field rather than a
+// constructor parameter — its provenance cannot be audited.
+#pragma once
+namespace halfback::net {
+
+class Mirror {
+ public:
+  Mirror(sim::Simulator& a, sim::Simulator& b) : primary_{a}, shadow_{b} {}
+
+  sim::Simulator& primary_;
+  sim::Simulator& shadow_;
+};
+
+class Peer {
+ public:
+  explicit Peer(const Mirror& other) : sim_{&other.primary_} {}
+
+  sim::Simulator* sim_;
+};
+
+}  // namespace halfback::net

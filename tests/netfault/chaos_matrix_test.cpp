@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "exp/emulab.h"
@@ -106,6 +107,37 @@ TEST(ChaosMatrixTest, CleanCellMatchesARunWithoutTheChaosLayer) {
   EXPECT_EQ(plain.faults.packets_seen, 0u);  // no injector existed at all
 }
 #endif
+
+TEST(ChaosMatrixTest, Rc3AdversarialCellDoesNotStormTheEventQueue) {
+  // Regression: rc3 under the adversarial composite at seed 42 once ran
+  // ~90M events (a retransmission loop kept rescheduling without
+  // advancing next_sent_ past the scoreboard's delivered prefix). The fix
+  // bounds the cell near its peers — measured 8,259 events after the fix
+  // vs 7,316 for tcp — so a generous ceiling of 100k catches any relapse
+  // by orders of magnitude without pinning exact event counts.
+  const std::vector<ChaosScenario> catalog = chaos_catalog();
+  const auto adversarial =
+      std::find_if(catalog.begin(), catalog.end(), [](const ChaosScenario& s) {
+        return s.name == "adversarial";
+      });
+  ASSERT_NE(adversarial, catalog.end());
+
+  ChaosSweepConfig config = test_config();
+  EmulabRunner::Config runner_config = config.runner;
+  runner_config.seed = 42;
+  runner_config.faults = adversarial->faults;
+  WorkloadPart part;
+  part.scheme = schemes::Scheme::rc3;
+  for (std::size_t i = 0; i < config.flows_per_cell; ++i) {
+    part.schedule.push_back(
+        {config.arrival_spacing * static_cast<double>(i), config.flow_bytes});
+  }
+  const RunResult result = EmulabRunner{runner_config}.run({part});
+  EXPECT_EQ(result.unfinished_count(FlowRole::primary), 0u)
+      << "rc3 flows failed to complete under the adversarial composite";
+  EXPECT_LT(result.events_executed, 100'000u)
+      << "event-count explosion: the rc3 retransmission storm is back";
+}
 
 TEST(ChaosMatrixTest, DifferentSeedsProduceDifferentFaultPatterns) {
   ChaosSweepConfig config = test_config();

@@ -36,6 +36,48 @@ bool ShardAllowlist::parse(const std::string& text, ShardAllowlist& out,
   return true;
 }
 
+bool SeamInventory::parse(const std::string& text, SeamInventory& out,
+                          std::string& error) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields{line};
+    SeamEntry entry;
+    fields >> entry.caller >> entry.callee >> entry.path;
+    if (entry.caller.empty() || entry.callee.empty() || entry.path.empty()) {
+      error = "seam inventory line " + std::to_string(line_no) +
+              ": expected '<caller-qualified> <callee> <path> "
+              "<justification>', got: " +
+              line;
+      return false;
+    }
+    std::getline(fields, entry.justification);
+    const std::size_t start = entry.justification.find_first_not_of(" \t");
+    entry.justification = start == std::string::npos
+                              ? std::string{}
+                              : entry.justification.substr(start);
+    entry.source_line = line_no;
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+std::size_t SeamInventory::find(std::string_view caller,
+                                std::string_view callee,
+                                std::string_view path) const {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].caller == caller && entries[i].callee == callee &&
+        entries[i].path == path) {
+      return i;
+    }
+  }
+  return entries.size();
+}
+
 void ModelRule::report(const ProjectModel& model, std::size_t file, int line,
                        std::string message, std::vector<Finding>& out) const {
   const SourceFile& source = model.file(file);
@@ -44,21 +86,22 @@ void ModelRule::report(const ProjectModel& model, std::size_t file, int line,
   out.push_back({std::string{id()}, source.path(), line, std::move(message)});
 }
 
-std::vector<std::unique_ptr<ModelRule>> all_model_rules(
-    ShardAllowlist allowlist) {
+std::vector<std::unique_ptr<ModelRule>> all_model_rules(AnalyzeInputs inputs) {
   std::vector<std::unique_ptr<ModelRule>> rules;
   rules.push_back(make_layering_rule());
-  rules.push_back(make_hot_path_reach_rule());
-  rules.push_back(make_shard_safety_rule(std::move(allowlist)));
+  rules.push_back(make_hot_path_reach_rule(inputs.seams));
+  rules.push_back(make_shard_safety_rule(std::move(inputs.shard_allowlist)));
   rules.push_back(make_rng_taint_rule());
+  rules.push_back(make_effects_rule(std::move(inputs.seams)));
+  rules.push_back(make_sim_escape_rule(std::move(inputs.escape_allowlist)));
   return rules;
 }
 
 std::vector<Finding> analyze_model(const ProjectModel& model,
-                                   ShardAllowlist allowlist,
+                                   AnalyzeInputs inputs,
                                    std::string_view only_rule) {
   std::vector<Finding> findings;
-  for (const auto& rule : all_model_rules(std::move(allowlist))) {
+  for (const auto& rule : all_model_rules(std::move(inputs))) {
     if (!only_rule.empty() && rule->id() != only_rule) continue;
     std::vector<Finding> rule_findings;
     rule->check(model, rule_findings);
@@ -74,25 +117,49 @@ std::vector<Finding> analyze_model(const ProjectModel& model,
   return findings;
 }
 
-std::vector<Finding> analyze_tree(const std::filesystem::path& root,
-                                  std::string_view only_rule) {
+namespace {
+
+std::string read_text(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot read " + path.string()};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+ShardAllowlist load_allowlist(const std::filesystem::path& path) {
   ShardAllowlist allowlist;
-  const std::filesystem::path allowlist_path =
-      root / "tools" / "lint" / "shard_allowlist.txt";
-  if (std::filesystem::exists(allowlist_path)) {
-    std::ifstream in{allowlist_path, std::ios::binary};
-    if (!in) {
-      throw std::runtime_error{"cannot read " + allowlist_path.string()};
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
+  if (std::filesystem::exists(path)) {
     std::string error;
-    if (!ShardAllowlist::parse(std::move(text).str(), allowlist, error)) {
+    if (!ShardAllowlist::parse(read_text(path), allowlist, error)) {
       throw std::runtime_error{error};
     }
   }
+  return allowlist;
+}
+
+}  // namespace
+
+AnalyzeInputs load_analyze_inputs(const std::filesystem::path& root) {
+  AnalyzeInputs inputs;
+  const std::filesystem::path lint = root / "tools" / "lint";
+  inputs.shard_allowlist = load_allowlist(lint / "shard_allowlist.txt");
+  inputs.escape_allowlist = load_allowlist(lint / "escape_allowlist.txt");
+  const std::filesystem::path seams = lint / "hot_seams.txt";
+  if (std::filesystem::exists(seams)) {
+    std::string error;
+    if (!SeamInventory::parse(read_text(seams), inputs.seams, error)) {
+      throw std::runtime_error{error};
+    }
+  }
+  return inputs;
+}
+
+std::vector<Finding> analyze_tree(const std::filesystem::path& root,
+                                  std::string_view only_rule) {
+  AnalyzeInputs inputs = load_analyze_inputs(root);
   const ProjectModel model = ProjectModel::build(root);
-  return analyze_model(model, std::move(allowlist), only_rule);
+  return analyze_model(model, std::move(inputs), only_rule);
 }
 
 }  // namespace halfback::lint

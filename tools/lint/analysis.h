@@ -38,6 +38,44 @@ struct ShardAllowlist {
                     std::string& error);
 };
 
+/// One sanctioned hot-path indirection: a virtual (or otherwise indirect)
+/// call the static-dispatch contract tolerates, named by caller, callee
+/// and file so the inventory enumerates the complete set of seams.
+struct SeamEntry {
+  std::string caller;  ///< qualified caller, e.g. "halfback::net::Link::send"
+  std::string callee;  ///< unqualified callee name, e.g. "enqueue"
+  std::string path;    ///< repo-relative file holding the call site
+  std::string justification;  ///< required: why this indirection is allowed
+  int source_line = 0;        ///< line in the inventory file (diagnostics)
+};
+
+/// The sanctioned-seam inventory, parsed from tools/lint/hot_seams.txt.
+/// Consumed by BOTH cross-TU engines: hot_path_reach skips (and usage-
+/// tracks) sanctioned virtual calls, and the effect engine stops effect
+/// propagation at the same call sites. An entry no seam matches is itself
+/// a finding, so the file cannot go stale silently.
+struct SeamInventory {
+  std::vector<SeamEntry> entries;
+
+  /// Entry lines read `<caller-qualified> <callee> <path> <justification>`;
+  /// '#' starts a comment. Malformed lines fail the parse.
+  static bool parse(const std::string& text, SeamInventory& out,
+                    std::string& error);
+
+  /// Index of the entry sanctioning `caller` -> `callee` in `path`, or
+  /// entries.size() when no entry matches.
+  std::size_t find(std::string_view caller, std::string_view callee,
+                   std::string_view path) const;
+};
+
+/// Everything analyze_model needs beyond the tree itself: the allowlists
+/// (empty-by-policy for sim_escape) and the sanctioned-seam inventory.
+struct AnalyzeInputs {
+  ShardAllowlist shard_allowlist;
+  ShardAllowlist escape_allowlist;
+  SeamInventory seams;
+};
+
 class ModelRule {
  public:
   virtual ~ModelRule() = default;
@@ -58,24 +96,32 @@ class ModelRule {
 };
 
 std::unique_ptr<ModelRule> make_layering_rule();
-std::unique_ptr<ModelRule> make_hot_path_reach_rule();
+std::unique_ptr<ModelRule> make_hot_path_reach_rule(SeamInventory seams = {});
 std::unique_ptr<ModelRule> make_shard_safety_rule(ShardAllowlist allowlist);
 std::unique_ptr<ModelRule> make_rng_taint_rule();
+std::unique_ptr<ModelRule> make_effects_rule(SeamInventory seams = {});
+std::unique_ptr<ModelRule> make_sim_escape_rule(ShardAllowlist allowlist);
 
-/// All model rules in the order they run and print. The shard-safety rule
-/// is constructed around `allowlist`.
+/// All model rules in the order they run and print. The allowlist-backed
+/// rules are constructed around the corresponding `inputs` fields; the
+/// seam inventory is shared by hot_path_reach and effects.
 std::vector<std::unique_ptr<ModelRule>> all_model_rules(
-    ShardAllowlist allowlist = {});
+    AnalyzeInputs inputs = {});
 
 /// Run every model rule (or just `only_rule`, when nonempty). Findings are
 /// ordered rule-by-rule, each rule's findings sorted by (path, line).
 std::vector<Finding> analyze_model(const ProjectModel& model,
-                                   ShardAllowlist allowlist = {},
+                                   AnalyzeInputs inputs = {},
                                    std::string_view only_rule = {});
 
-/// Build the model for `root` and analyze it. Reads the shard allowlist
-/// from root/tools/lint/shard_allowlist.txt when present. Throws
-/// std::runtime_error on I/O or allowlist parse errors.
+/// Load the allowlists and seam inventory for `root` from tools/lint/
+/// (missing files yield empty inputs). Throws on I/O or parse errors.
+AnalyzeInputs load_analyze_inputs(const std::filesystem::path& root);
+
+/// Build the model for `root` and analyze it. Reads the shard and escape
+/// allowlists and the seam inventory from root/tools/lint/ when present
+/// (shard_allowlist.txt, escape_allowlist.txt, hot_seams.txt). Throws
+/// std::runtime_error on I/O or parse errors.
 std::vector<Finding> analyze_tree(const std::filesystem::path& root,
                                   std::string_view only_rule = {});
 

@@ -8,6 +8,9 @@
 //   --rule <id>                run a single rule family
 //   --list-rules               print the rule table and exit
 //   --dot <file>               also write the layer include graph (Graphviz)
+//   --effects <prefix>         print the inferred effect set of every
+//                              function whose qualified name starts with
+//                              <prefix> and exit (annotation aid)
 //
 // Exit status: 0 clean, 1 findings (or stale baseline), 2 usage or I/O
 // error — same contract as halfback-lint, so CI failures are diagnosable
@@ -21,6 +24,7 @@
 
 #include "analysis.h"
 #include "baseline.h"
+#include "effects.h"
 
 namespace {
 
@@ -33,6 +37,8 @@ struct Options {
   std::string verify_baseline_path;
   std::string only_rule;
   std::string dot_path;
+  std::string effects_prefix;
+  bool dump_effects = false;
   bool list_rules = false;
 };
 
@@ -41,7 +47,8 @@ int usage(std::ostream& out, int code) {
          "                        [--update-baseline <file>] "
          "[--verify-baseline <file>]\n"
          "                        [--rule <id>] [--list-rules] "
-         "[--dot <file>]\n";
+         "[--dot <file>]\n"
+         "                        [--effects <qualified-name-prefix>]\n";
   return code;
 }
 
@@ -67,6 +74,9 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (!value(opts.only_rule)) return false;
     } else if (arg == "--dot") {
       if (!value(opts.dot_path)) return false;
+    } else if (arg == "--effects") {
+      if (!value(opts.effects_prefix)) return false;
+      opts.dump_effects = true;
     } else if (arg == "--list-rules") {
       opts.list_rules = true;
     } else {
@@ -124,26 +134,22 @@ int main(int argc, char** argv) {
   std::vector<Finding> findings;
   std::string dot;
   try {
-    ShardAllowlist allowlist;
-    const auto allowlist_path =
-        opts.root / "tools" / "lint" / "shard_allowlist.txt";
-    if (std::filesystem::exists(allowlist_path)) {
-      std::ifstream in{allowlist_path, std::ios::binary};
-      if (!in) {
-        std::cerr << "halfback-analyze: cannot read " << allowlist_path
-                  << "\n";
-        return 2;
-      }
-      std::ostringstream text;
-      text << in.rdbuf();
-      std::string error;
-      if (!ShardAllowlist::parse(std::move(text).str(), allowlist, error)) {
-        std::cerr << "halfback-analyze: " << error << "\n";
-        return 2;
-      }
-    }
+    AnalyzeInputs inputs = load_analyze_inputs(opts.root);
     const ProjectModel model = ProjectModel::build(opts.root);
-    findings = analyze_model(model, std::move(allowlist), opts.only_rule);
+    if (opts.dump_effects) {
+      // Annotation aid: inferred effect set per matching function, in
+      // symbol-table order (deterministic: directory scan is sorted).
+      const EffectAnalysis analysis{model, inputs.seams};
+      for (std::size_t i = 0; i < model.functions().size(); ++i) {
+        const FunctionDef& fn = model.functions()[i];
+        if (!fn.qualified.starts_with(opts.effects_prefix)) continue;
+        std::cout << fn.qualified << " [" << analysis.of(i).to_string()
+                  << "] " << model.file(fn.file).path() << ":" << fn.line
+                  << "\n";
+      }
+      return 0;
+    }
+    findings = analyze_model(model, std::move(inputs), opts.only_rule);
     if (!opts.dot_path.empty()) dot = model.layer_graph_dot();
   } catch (const std::exception& e) {
     std::cerr << "halfback-analyze: " << e.what() << "\n";

@@ -28,10 +28,13 @@
 // static types, so a member call to a non-virtual method that shares its
 // name with some virtual (or one the compiler devirtualizes) trips it
 // too. The static-pipeline contract is the point: every indirect call
-// surviving on the packet path must carry a `// lint: hot-ok(...)` tag
-// naming why that seam is allowed, so the tags enumerate the complete set
-// of sanctioned indirections (the factory's one SenderBase::on_packet
-// dispatch, the polymorphic queue discipline, the fault hook).
+// surviving on the packet path must appear in tools/lint/hot_seams.txt
+// naming why that seam is allowed, so one inventory enumerates the
+// complete set of sanctioned indirections (the factory's one
+// SenderBase::on_packet dispatch, the polymorphic queue discipline, the
+// fault hook) — and the effect engine (effects.h) honors the same file,
+// cutting effect propagation at exactly the sanctioned call sites. An
+// entry no call site needs anymore is itself a finding.
 //
 // Deliberate blind spots, chosen so the model misses rather than invents:
 //   * std::function / function-pointer calls are invisible edges (the
@@ -109,6 +112,8 @@ struct Reach {
 
 class HotPathReachRule final : public ModelRule {
  public:
+  explicit HotPathReachRule(SeamInventory seams) : seams_{std::move(seams)} {}
+
   std::string_view id() const override { return "hot_path_reach"; }
   std::string_view description() const override {
     return "functions reachable from fire() overrides or Link::send may not "
@@ -132,9 +137,13 @@ class HotPathReachRule final : public ModelRule {
     }
 
     const Reach wire{model, is_wire_root};
+    std::set<std::size_t> seams_used;
     for (std::size_t i : wire.queue) {
       const FunctionDef& fn = functions[i];
       for (const Evidence& ev : fn.evidence) {
+        // The effect kinds (clock/rng/io/...) belong to the effects rule;
+        // this contract stays exactly the original five.
+        if (!is_hot_path_evidence(ev.kind)) continue;
         std::ostringstream msg;
         msg << "hot path: '" << fn.qualified << "' ("
             << chain(functions, wire.parent, i) << ") must not contain "
@@ -142,7 +151,7 @@ class HotPathReachRule final : public ModelRule {
         report(model, fn.file, ev.line, std::move(msg).str(), out);
       }
       report_virtual_calls(model, functions, wire.parent, i, virtual_names,
-                           out);
+                           seams_used, out);
     }
 
     const Reach pipeline{model, is_pipeline_root};
@@ -158,7 +167,20 @@ class HotPathReachRule final : public ModelRule {
         report(model, fn.file, ev.line, std::move(msg).str(), out);
       }
       report_virtual_calls(model, functions, pipeline.parent, i, virtual_names,
-                           out);
+                           seams_used, out);
+    }
+
+    // A seam entry no reachable call site needed is stale: the seam was
+    // devirtualized, moved, or renamed, and keeping the entry would
+    // silently sanction a future indirection that reuses the names.
+    for (std::size_t s = 0; s < seams_.entries.size(); ++s) {
+      if (seams_used.contains(s)) continue;
+      const SeamEntry& entry = seams_.entries[s];
+      out.push_back({std::string{id()}, "tools/lint/hot_seams.txt",
+                     entry.source_line,
+                     "stale seam entry '" + entry.caller + "' -> '" +
+                         entry.callee + "' (" + entry.path +
+                         "): no hot-path call site matches it"});
     }
   }
 
@@ -168,20 +190,31 @@ class HotPathReachRule final : public ModelRule {
                             const std::vector<std::size_t>& parent,
                             std::size_t i,
                             const std::set<std::string_view>& virtual_names,
+                            std::set<std::size_t>& seams_used,
                             std::vector<Finding>& out) const {
     const FunctionDef& fn = functions[i];
+    const std::string& path = model.file(fn.file).path();
     for (const CallSite& call : fn.calls) {
       if (call.qualifier != "<member>") continue;
       if (!virtual_names.contains(call.callee)) continue;
+      const std::size_t seam = seams_.find(fn.qualified, call.callee, path);
+      if (seam < seams_.entries.size()) {
+        // Sanctioned in tools/lint/hot_seams.txt — the one inventory both
+        // this rule and the effect engine honor.
+        seams_used.insert(seam);
+        continue;
+      }
       std::ostringstream msg;
       msg << "hot path: '" << fn.qualified << "' ("
           << chain(functions, parent, i)
           << ") must not dispatch through a virtual call ('" << call.callee
-          << "' is declared virtual; devirtualize or tag the sanctioned "
-             "seam)";
+          << "' is declared virtual; devirtualize or add the sanctioned "
+             "seam to tools/lint/hot_seams.txt)";
       report(model, fn.file, call.line, std::move(msg).str(), out);
     }
   }
+
+  SeamInventory seams_;
 
   static std::string chain(const std::vector<FunctionDef>& functions,
                            const std::vector<std::size_t>& parent,
@@ -201,8 +234,8 @@ class HotPathReachRule final : public ModelRule {
 
 }  // namespace
 
-std::unique_ptr<ModelRule> make_hot_path_reach_rule() {
-  return std::make_unique<HotPathReachRule>();
+std::unique_ptr<ModelRule> make_hot_path_reach_rule(SeamInventory seams) {
+  return std::make_unique<HotPathReachRule>(std::move(seams));
 }
 
 }  // namespace halfback::lint

@@ -44,6 +44,67 @@ bool is_growth_call(std::string_view name) {
   return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
 }
 
+bool is_clock_call(std::string_view name) {
+  static constexpr std::array<std::string_view, 3> kNames{
+      "gettimeofday", "clock_gettime", "timespec_get",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+/// Draw methods of sim::Random (member calls); the construction side is
+/// covered by is_rng_type_name.
+bool is_rng_draw_call(std::string_view name) {
+  static constexpr std::array<std::string_view, 8> kNames{
+      "uniform",     "bernoulli",      "exponential", "lognormal",
+      "pareto",      "log_uniform",    "weighted_index", "fork",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+bool is_io_call(std::string_view name) {
+  static constexpr std::array<std::string_view, 12> kNames{
+      "fopen",  "fclose", "fprintf", "printf", "fputs",  "puts",
+      "fwrite", "fread",  "fscanf",  "scanf",  "getenv", "system",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+/// Ambient-I/O objects and stream types whose mere mention in a body means
+/// the function talks to the process environment. Caller-supplied
+/// `std::ostream&` parameters deliberately do NOT trip this: writing to a
+/// stream the caller chose is the caller's effect, not ambient I/O.
+bool is_io_object(std::string_view name) {
+  static constexpr std::array<std::string_view, 6> kNames{
+      "cout", "cerr", "clog", "ofstream", "ifstream", "fstream",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+bool is_blocking_call(std::string_view name) {
+  static constexpr std::array<std::string_view, 10> kNames{
+      "join",      "wait",        "wait_for", "wait_until", "sleep_for",
+      "sleep_until", "lock",      "sleep",    "usleep",     "nanosleep",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+/// Scoped-lock guard types: constructing one blocks on the mutex.
+bool is_blocking_guard(std::string_view name) {
+  static constexpr std::array<std::string_view, 5> kNames{
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock", "MutexLock",
+  };
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+/// Single-char operators that form a compound assignment with a trailing
+/// `=` (the tokenizer splits `+=` into `+` `=`; only `::` and `->` fuse).
+bool is_compoundable_op(std::string_view punct) {
+  static constexpr std::array<std::string_view, 8> kOps{
+      "+", "-", "*", "/", "%", "|", "&", "^",
+  };
+  return std::find(kOps.begin(), kOps.end(), punct) != kOps.end();
+}
+
 /// Statement keywords an `ident (` sequence must not treat as a call.
 bool is_control_keyword(std::string_view name) {
   static constexpr std::array<std::string_view, 8> kNames{
@@ -74,21 +135,36 @@ std::string last_component(std::string_view qualified) {
 /// leading keywords, functions by the `name (params) qualifiers {` shape.
 class FileParser {
  public:
-  FileParser(const SourceFile& file, std::size_t file_index,
-             std::vector<FunctionDef>& functions, std::vector<GlobalVar>& globals,
-             std::vector<RngConstruction>& rng_sites,
-             std::vector<std::string>& rng_member_names,
-             std::vector<std::pair<std::string, RngConstruction>>& member_inits,
-             std::vector<VirtualMethod>& virtual_methods)
+  struct Tables {
+    std::vector<FunctionDef>& functions;
+    std::vector<GlobalVar>& globals;
+    std::vector<RngConstruction>& rng_sites;
+    std::vector<std::string>& rng_member_names;
+    std::vector<std::pair<std::string, RngConstruction>>& pending_inits;
+    std::vector<VirtualMethod>& virtual_methods;
+    std::vector<EffectContract>& contracts;
+    std::vector<StaticDecl>& static_decls;
+    std::vector<MemberDecl>& member_decls;
+    std::vector<MemberInit>& member_inits;
+    std::vector<std::string>& src_classes;
+  };
+
+  FileParser(const SourceFile& file, std::size_t file_index, Tables tables)
       : f_{file},
         index_{file_index},
         code_{file.code()},
-        functions_{functions},
-        globals_{globals},
-        rng_sites_{rng_sites},
-        rng_member_names_{rng_member_names},
-        member_inits_{member_inits},
-        virtual_methods_{virtual_methods} {}
+        functions_{tables.functions},
+        globals_{tables.globals},
+        rng_sites_{tables.rng_sites},
+        rng_member_names_{tables.rng_member_names},
+        member_inits_{tables.pending_inits},
+        virtual_methods_{tables.virtual_methods},
+        contracts_{tables.contracts},
+        static_decls_{tables.static_decls},
+        member_decls_{tables.member_decls},
+        retained_inits_{tables.member_inits},
+        src_classes_{tables.src_classes},
+        in_src_{file.path().starts_with("src/")} {}
 
   void run() {
     std::size_t i = 0;
@@ -242,6 +318,7 @@ class FileParser {
       ++j;
     }
     if (j < code_.size() && punct_at(code_, j, "{")) {
+      if (in_src_ && !name.empty()) src_classes_.push_back(name);
       scopes_.push_back({Scope::Kind::type, name});
       return j + 1;
     }
@@ -252,9 +329,11 @@ class FileParser {
 
   std::size_t parse_declaration(std::size_t start) {
     bool saw_const = false;
+    bool saw_constexpr = false;
     bool saw_static = false;
     bool saw_virtual = false;
     std::string last_ident;
+    std::size_t last_ident_idx = 0;
     std::string rng_type;  // nonempty when the decl-specifiers name an RNG
     std::size_t i = start;
     while (i < code_.size()) {
@@ -263,6 +342,7 @@ class FileParser {
         if (t.text == "const" || t.text == "constexpr" ||
             t.text == "constinit") {
           saw_const = true;
+          if (t.text != "const") saw_constexpr = true;
           ++i;
           continue;
         }
@@ -283,6 +363,7 @@ class FileParser {
         }
         if (is_rng_type_name(t.text)) rng_type = t.text;
         last_ident = t.text;
+        last_ident_idx = i;
         // `name (` → function declarator or paren-init; decide by suffix.
         if (punct_at(code_, i + 1, "(")) {
           return parse_callable(start, i, saw_virtual);
@@ -307,8 +388,8 @@ class FileParser {
       }
       if (t.punct_is("=") || t.punct_is("{") || t.punct_is(";") ||
           t.punct_is("[")) {
-        return finish_variable(start, i, last_ident, rng_type, saw_const,
-                               saw_static);
+        return finish_variable(start, i, last_ident, last_ident_idx, rng_type,
+                               saw_const, saw_constexpr, saw_static);
       }
       if (t.punct_is("}")) return i;  // malformed / scope close
       ++i;
@@ -353,6 +434,8 @@ class FileParser {
                                    const std::string& class_qual,
                                    bool saw_virtual = false) {
     const std::size_t params_end = skip_group(code_, open_idx, "(", ")");
+    const std::string qualified =
+        scope_prefix() + (class_qual.empty() ? "" : class_qual + "::") + name;
     bool has_override = false;
     bool has_noexcept = false;
     std::size_t j = params_end;
@@ -365,6 +448,25 @@ class FileParser {
       }
       if (t.ident("override")) has_override = true;
       if (t.ident("noexcept")) has_noexcept = true;
+      if (t.ident("HB_EFFECTS") && punct_at(code_, j + 1, "(")) {
+        // The macro expands to nothing for the compiler; the analyzer reads
+        // its argument list as the declared effect contract. Contracts on
+        // declarations and definitions share the qualified-name key, so a
+        // header contract meets its .cpp body in the effects rule.
+        EffectContract contract;
+        contract.qualified = qualified;
+        contract.file = index_;
+        contract.line = t.line;
+        const std::size_t close = skip_group(code_, j + 1, "(", ")");
+        for (std::size_t k = j + 2; k + 1 < close; ++k) {
+          if (code_[k].kind == TokenKind::identifier) {
+            contract.declared.push_back(code_[k].text);
+          }
+        }
+        contracts_.push_back(std::move(contract));
+        j = close;
+        continue;
+      }
       if (t.punct_is("->") || t.punct_is("<")) {
         if (t.punct_is("<")) {
           j = skip_angles(code_, j);
@@ -404,11 +506,16 @@ class FileParser {
     fn.class_name = !class_qual.empty()
                         ? last_component(class_qual)
                         : (in_type_scope() ? scopes_.back().name : "");
-    fn.qualified = scope_prefix() +
-                   (class_qual.empty() ? "" : class_qual + "::") + name;
+    fn.qualified = qualified;
     fn.file = index_;
     fn.line = code_[open_idx].line;
     fn.is_fire_override = (name == "fire") && has_override;
+    for (std::size_t k = open_idx + 1; k + 1 < params_end; ++k) {
+      if (code_[k].ident("Simulator") &&
+          (punct_at(code_, k + 1, "&") || punct_at(code_, k + 1, "*"))) {
+        ++fn.simulator_params;
+      }
+    }
     if (punct_at(code_, j, ":")) j = parse_ctor_init_list(j + 1, fn);
     if (j >= code_.size() || !punct_at(code_, j, "{")) {
       return skip_to_semicolon(j);
@@ -447,6 +554,15 @@ class FileParser {
         init.args.assign(code_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                          code_.begin() + static_cast<std::ptrdiff_t>(end) - 1);
         init.default_constructed = init.args.empty();
+        if (in_src_ && !fn.class_name.empty()) {
+          MemberInit retained;
+          retained.class_name = fn.class_name;
+          retained.member = member;
+          retained.args = init.args;
+          retained.file = index_;
+          retained.line = line;
+          retained_inits_.push_back(std::move(retained));
+        }
         member_inits_.emplace_back(member, std::move(init));
         scan_body(i + 1, end - 1, fn);  // calls inside init args still count
         i = end;
@@ -460,10 +576,23 @@ class FileParser {
     return i;
   }
 
+  /// Space-joined text of the declaration's type tokens: everything in
+  /// [start, stop) except the declared-name token itself.
+  std::string type_text(std::size_t start, std::size_t stop,
+                        std::size_t name_idx) const {
+    std::string out;
+    for (std::size_t k = start; k < stop && k < code_.size(); ++k) {
+      if (k == name_idx) continue;
+      if (!out.empty()) out += ' ';
+      out += code_[k].text;
+    }
+    return out;
+  }
+
   std::size_t finish_variable(std::size_t start, std::size_t stop_idx,
-                              const std::string& name,
+                              const std::string& name, std::size_t name_idx,
                               const std::string& rng_type, bool saw_const,
-                              bool saw_static) {
+                              bool saw_constexpr, bool saw_static) {
     const int line = code_[start].line;
     const bool at_type_scope = in_type_scope();
     if (!name.empty() && !saw_const) {
@@ -475,6 +604,37 @@ class FileParser {
         globals_.push_back(
             {name, scope_prefix() + name, index_, line, /*local=*/false});
       }
+    }
+    if (!name.empty() && !saw_constexpr &&
+        (!at_type_scope || saw_static)) {
+      // Static storage duration, `const` included (a `static const
+      // Simulator*` cache is exactly what sim_escape hunts), `constexpr`
+      // excluded: a constant expression cannot hold a runtime address.
+      StaticDecl decl;
+      decl.name = name;
+      decl.qualified = scope_prefix() + name;
+      decl.type_text = type_text(start, stop_idx, name_idx);
+      decl.file = index_;
+      decl.line = line;
+      decl.is_const = saw_const;
+      static_decls_.push_back(std::move(decl));
+    }
+    if (in_src_ && at_type_scope && !saw_static && !name.empty() &&
+        !scopes_.back().name.empty()) {
+      MemberDecl member;
+      member.class_name = scopes_.back().name;
+      member.name = name;
+      member.type_text = type_text(start, stop_idx, name_idx);
+      for (std::size_t k = start; k < stop_idx; ++k) {
+        if (k == name_idx) continue;
+        if (code_[k].punct_is("*") || code_[k].punct_is("&") ||
+            code_[k].punct_is("&&")) {
+          member.is_ref_or_ptr = true;
+        }
+      }
+      member.file = index_;
+      member.line = line;
+      member_decls_.push_back(std::move(member));
     }
     if (!rng_type.empty() && !name.empty()) {
       if (at_type_scope) rng_member_names_.push_back(name);
@@ -533,7 +693,45 @@ class FileParser {
             {EvidenceKind::function_construct, t.line, "std::function"});
         continue;
       }
-      if (!punct_at(code_, i + 1, "(")) continue;
+      if (is_io_object(t.text)) {
+        fn.evidence.push_back({EvidenceKind::io_call, t.line, t.text});
+        continue;
+      }
+      if (is_blocking_guard(t.text)) {
+        fn.evidence.push_back({EvidenceKind::blocking_call, t.line, t.text});
+        continue;
+      }
+      if (is_rng_type_name(t.text) || t.text == "random_device") {
+        // Construction (or any other mention) of an RNG type: the body
+        // owns a randomness source. Drawing from one is caught below.
+        fn.evidence.push_back({EvidenceKind::rng_call, t.line, t.text});
+        continue;
+      }
+      if (!punct_at(code_, i + 1, "(")) {
+        // Bare identifier followed by an assigning operator: a write
+        // candidate for the global_mut effect (locals filter out when the
+        // engine intersects with the global inventory). The tokenizer
+        // splits compound operators, so `x += v` is `x` `+` `=` and
+        // `x++` is `x` `+` `+`; plain `=` must not match `==`.
+        const bool bare = i == 0 || !(code_[i - 1].punct_is(".") ||
+                                      code_[i - 1].punct_is("->") ||
+                                      code_[i - 1].punct_is("::"));
+        if (bare && i + 1 < code_.size()) {
+          const bool plain_assign =
+              punct_at(code_, i + 1, "=") && !punct_at(code_, i + 2, "=");
+          const bool compound =
+              code_[i + 1].kind == TokenKind::punct &&
+              is_compoundable_op(code_[i + 1].text) &&
+              punct_at(code_, i + 2, "=");
+          const bool incr =
+              (punct_at(code_, i + 1, "+") && punct_at(code_, i + 2, "+")) ||
+              (punct_at(code_, i + 1, "-") && punct_at(code_, i + 2, "-"));
+          if (plain_assign || compound || incr) {
+            fn.writes.push_back({t.text, t.line});
+          }
+        }
+        continue;
+      }
       if (is_control_keyword(t.text)) continue;
       // Local statics inside bodies are found by the keyword, not calls.
       if (t.text == "static") continue;
@@ -560,6 +758,21 @@ class FileParser {
       } else if (is_growth_call(call.callee) && call.qualifier == "<member>") {
         fn.evidence.push_back(
             {EvidenceKind::container_growth, t.line, call.callee});
+      } else if (is_clock_call(call.callee) ||
+                 (call.callee == "now" && call.qualifier.ends_with("_clock"))) {
+        // Wall-clock reads only. Simulator::now() is virtual time and
+        // arrives as a <member> call, so it never matches the _clock form.
+        fn.evidence.push_back({EvidenceKind::clock_call, t.line, call.callee});
+      } else if (is_rng_draw_call(call.callee) &&
+                 call.qualifier == "<member>") {
+        fn.evidence.push_back({EvidenceKind::rng_call, t.line, call.callee});
+      } else if (is_io_call(call.callee)) {
+        fn.evidence.push_back({EvidenceKind::io_call, t.line, call.callee});
+      } else if (is_blocking_call(call.callee) &&
+                 (call.qualifier == "<member>" ||
+                  call.qualifier.ends_with("this_thread"))) {
+        fn.evidence.push_back(
+            {EvidenceKind::blocking_call, t.line, call.callee});
       }
       fn.calls.push_back(std::move(call));
     }
@@ -568,30 +781,53 @@ class FileParser {
   }
 
   void scan_local_statics(std::size_t begin, std::size_t end,
-                          const FunctionDef& fn) {
+                          FunctionDef& fn) {
     for (std::size_t i = begin; i < end && i < code_.size(); ++i) {
       if (!ident_at(code_, i, "static")) continue;
-      if (ident_at(code_, i + 1, "constexpr") || ident_at(code_, i + 1, "const") ||
+      if (ident_at(code_, i + 1, "constexpr") ||
           ident_at(code_, i + 1, "assert") || ident_at(code_, i + 1, "cast")) {
         continue;
       }
       // Find the declared name: last identifier before `=`/`{`/`(`/`;`.
       std::string name;
+      std::size_t name_idx = 0;
       std::size_t j = i + 1;
       bool is_const = false;
+      bool is_constexpr = false;
       while (j < end && !punct_at(code_, j, ";") && !punct_at(code_, j, "=") &&
              !punct_at(code_, j, "{") && !punct_at(code_, j, "(")) {
         if (ident_at(code_, j, "const") || ident_at(code_, j, "constexpr")) {
           is_const = true;
+          if (ident_at(code_, j, "constexpr")) is_constexpr = true;
         }
-        if (code_[j].kind == TokenKind::identifier) name = code_[j].text;
+        if (code_[j].kind == TokenKind::identifier) {
+          name = code_[j].text;
+          name_idx = j;
+        }
         if (punct_at(code_, j, "<")) {
           j = skip_angles(code_, j);
           continue;
         }
         ++j;
       }
-      if (is_const || name.empty()) continue;
+      if (name.empty()) continue;
+      if (!is_constexpr) {
+        // `static const` locals are recorded here (a const pointer cache
+        // still aliases a live object — sim_escape's concern) even though
+        // the mutable-global inventory below excludes them.
+        StaticDecl decl;
+        decl.name = name;
+        decl.qualified = fn.qualified + "::" + name;
+        decl.type_text = type_text(i + 1, j, name_idx);
+        decl.file = index_;
+        decl.line = code_[i].line;
+        decl.is_local_static = true;
+        decl.is_const = is_const;
+        static_decls_.push_back(std::move(decl));
+      }
+      if (is_const) continue;
+      fn.evidence.push_back(
+          {EvidenceKind::global_write, code_[i].line, name});
       globals_.push_back({name, fn.qualified + "::" + name, index_,
                           code_[i].line, /*local=*/true});
     }
@@ -637,6 +873,12 @@ class FileParser {
   std::vector<std::string>& rng_member_names_;
   std::vector<std::pair<std::string, RngConstruction>>& member_inits_;
   std::vector<VirtualMethod>& virtual_methods_;
+  std::vector<EffectContract>& contracts_;
+  std::vector<StaticDecl>& static_decls_;
+  std::vector<MemberDecl>& member_decls_;
+  std::vector<MemberInit>& retained_inits_;
+  std::vector<std::string>& src_classes_;
+  bool in_src_ = false;
 };
 
 }  // namespace
@@ -648,8 +890,26 @@ std::string_view to_string(EvidenceKind kind) {
     case EvidenceKind::container_growth: return "container growth";
     case EvidenceKind::throw_stmt: return "throw";
     case EvidenceKind::function_construct: return "std::function construction";
+    case EvidenceKind::clock_call: return "wall-clock read";
+    case EvidenceKind::rng_call: return "RNG use";
+    case EvidenceKind::io_call: return "ambient I/O";
+    case EvidenceKind::blocking_call: return "blocking call";
+    case EvidenceKind::global_write: return "global write";
   }
   return "?";
+}
+
+bool is_hot_path_evidence(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::naked_new:
+    case EvidenceKind::alloc_call:
+    case EvidenceKind::container_growth:
+    case EvidenceKind::throw_stmt:
+    case EvidenceKind::function_construct:
+      return true;
+    default:
+      return false;
+  }
 }
 
 ProjectModel ProjectModel::build(const std::filesystem::path& root) {
@@ -712,14 +972,20 @@ void ProjectModel::finalize() {
             [](const RngConstruction& a, const RngConstruction& b) {
               return std::tie(a.file, a.line) < std::tie(b.file, b.line);
             });
+  std::sort(src_classes_.begin(), src_classes_.end());
+  src_classes_.erase(std::unique(src_classes_.begin(), src_classes_.end()),
+                     src_classes_.end());
   resolve_includes();
+  build_name_index();
   resolve_calls();
 }
 
 void ProjectModel::parse_file(std::size_t index) {
-  FileParser parser{files_[index], index,          functions_,
-                    globals_,      rng_sites_,     rng_member_names_,
-                    pending_member_inits_, virtual_methods_};
+  FileParser parser{files_[index], index,
+                    {functions_, globals_, rng_sites_, rng_member_names_,
+                     pending_member_inits_, virtual_methods_, contracts_,
+                     static_decls_, member_decls_, member_inits_,
+                     src_classes_}};
   parser.run();
 }
 
@@ -751,34 +1017,45 @@ void ProjectModel::resolve_includes() {
   }
 }
 
-void ProjectModel::resolve_calls() {
-  std::map<std::string_view, std::vector<std::size_t>> by_name;
+void ProjectModel::build_name_index() {
+  by_name_.clear();
   for (std::size_t i = 0; i < functions_.size(); ++i) {
-    by_name[functions_[i].name].push_back(i);
+    by_name_[functions_[i].name].push_back(i);
   }
+}
+
+std::vector<std::size_t> ProjectModel::resolve_call(
+    std::size_t caller, const CallSite& call) const {
+  (void)caller;  // resolution is context-free today; the seam cut is not
+  std::vector<std::size_t> out;
+  const auto it = by_name_.find(call.callee);
+  if (it == by_name_.end()) return out;
+  if (!call.qualifier.empty() && call.qualifier != "<member>") {
+    // Qualified: keep candidates whose enclosing class matches, or
+    // whose qualified name contains the qualifier chain (namespace-
+    // qualified free functions). A qualifier matching no project
+    // symbol (std::, external libs) resolves to nothing rather than
+    // everything.
+    const std::string cls = last_component(call.qualifier);
+    const std::string needle = call.qualifier + "::" + call.callee;
+    for (std::size_t cand : it->second) {
+      if (functions_[cand].class_name == cls ||
+          functions_[cand].qualified.find(needle) != std::string::npos) {
+        out.push_back(cand);
+      }
+    }
+    return out;
+  }
+  out = it->second;
+  return out;
+}
+
+void ProjectModel::resolve_calls() {
   call_edges_.assign(functions_.size(), {});
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     std::set<std::size_t> targets;
     for (const CallSite& call : functions_[i].calls) {
-      const auto it = by_name.find(call.callee);
-      if (it == by_name.end()) continue;
-      if (!call.qualifier.empty() && call.qualifier != "<member>") {
-        // Qualified: keep candidates whose enclosing class matches, or
-        // whose qualified name contains the qualifier chain (namespace-
-        // qualified free functions). A qualifier matching no project
-        // symbol (std::, external libs) resolves to nothing rather than
-        // everything.
-        const std::string cls = last_component(call.qualifier);
-        const std::string needle = call.qualifier + "::" + call.callee;
-        for (std::size_t cand : it->second) {
-          if (functions_[cand].class_name == cls ||
-              functions_[cand].qualified.find(needle) != std::string::npos) {
-            targets.insert(cand);
-          }
-        }
-        continue;
-      }
-      for (std::size_t cand : it->second) targets.insert(cand);
+      for (std::size_t cand : resolve_call(i, call)) targets.insert(cand);
     }
     call_edges_[i].assign(targets.begin(), targets.end());
   }

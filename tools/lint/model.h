@@ -41,16 +41,27 @@ struct IncludeEdge {
   int line = 0;
 };
 
-/// What a function body does that the hot-path contract cares about.
+/// What a function body does that the hot-path and effect contracts care
+/// about. The first five kinds are the original hot-path evidence; the
+/// rest are leaf witnesses for the effect-inference engine (effects.h).
 enum class EvidenceKind {
   naked_new,           ///< `new` expression
   alloc_call,          ///< make_unique/make_shared/malloc/...
   container_growth,    ///< member .push_back/.insert/.resize/...
   throw_stmt,          ///< throw expression
   function_construct,  ///< std::function mentioned in a body
+  clock_call,          ///< wall-clock read (steady_clock::now, gettimeofday)
+  rng_call,            ///< RNG construction or draw (uniform/bernoulli/...)
+  io_call,             ///< ambient I/O (fopen, printf, fstream, getenv)
+  blocking_call,       ///< lock/join/wait/sleep or a scoped-lock guard
+  global_write,        ///< mutable static declared or assigned in the body
 };
 
 std::string_view to_string(EvidenceKind kind);
+
+/// True for the five kinds the hot-path wire contract polices (the effect
+/// kinds added later must not widen that rule's findings).
+bool is_hot_path_evidence(EvidenceKind kind);
 
 struct Evidence {
   EvidenceKind kind;
@@ -76,6 +87,15 @@ struct CallSite {
   int line = 0;
 };
 
+/// A bare identifier the body assigns to (`x = ...`, `x += ...`, `x++`).
+/// Object- or scope-qualified writes are excluded; the effect engine
+/// intersects these names with the namespace-scope global inventory to
+/// derive the global_mut effect, so local shadows filter out there.
+struct WriteSite {
+  std::string name;
+  int line = 0;
+};
+
 /// One function definition (a body was seen, not just a declaration).
 struct FunctionDef {
   std::string name;        ///< unqualified, e.g. "fire"
@@ -84,8 +104,58 @@ struct FunctionDef {
   std::size_t file = 0;    ///< index into files()
   int line = 0;
   bool is_fire_override = false;
+  /// How many parameters are `Simulator&` / `Simulator*`. Two or more on
+  /// one signature is a cross-instance bridge (sim_escape rule).
+  int simulator_params = 0;
   std::vector<CallSite> calls;
+  std::vector<WriteSite> writes;
   std::vector<Evidence> evidence;
+};
+
+/// A declared HB_EFFECTS(...) contract. Contracts attach to declarations
+/// as well as definitions (the macro sits between the parameter list and
+/// the body/semicolon), keyed by the same qualified-name scheme as
+/// FunctionDef::qualified so header contracts meet .cpp bodies.
+struct EffectContract {
+  std::string qualified;              ///< e.g. "halfback::net::Link::send"
+  std::vector<std::string> declared;  ///< effect tokens, e.g. {"alloc","throw"}
+  std::size_t file = 0;
+  int line = 0;
+};
+
+/// A variable with static storage duration recorded with its declared type
+/// tokens (sim_escape rule input). Unlike GlobalVar this includes `const`
+/// variables — a `static const Simulator*` cache is exactly the bug the
+/// escape analysis exists to catch — but still excludes `constexpr`.
+struct StaticDecl {
+  std::string name;
+  std::string qualified;       ///< namespace-qualified, best effort
+  std::string type_text;       ///< declared type tokens, space-joined
+  std::size_t file = 0;
+  int line = 0;
+  bool is_local_static = false;
+  bool is_const = false;
+};
+
+/// A data member declaration inside a class in src/ (sim_escape rule
+/// input: counts Simulator-typed members, flags non-owning handles).
+struct MemberDecl {
+  std::string class_name;
+  std::string name;
+  std::string type_text;  ///< declared type tokens, space-joined
+  bool is_ref_or_ptr = false;
+  std::size_t file = 0;
+  int line = 0;
+};
+
+/// A ctor-init-list entry `member{args...}` retained with its class
+/// context (sim_escape provenance check on Simulator-typed members).
+struct MemberInit {
+  std::string class_name;
+  std::string member;
+  std::vector<Token> args;
+  std::size_t file = 0;
+  int line = 0;
 };
 
 /// Mutable state with static storage duration (shard-safety rule input).
@@ -135,12 +205,27 @@ class ProjectModel {
   const std::vector<VirtualMethod>& virtual_methods() const {
     return virtual_methods_;
   }
+  const std::vector<EffectContract>& contracts() const { return contracts_; }
+  const std::vector<StaticDecl>& static_decls() const { return static_decls_; }
+  const std::vector<MemberDecl>& member_decls() const { return member_decls_; }
+  const std::vector<MemberInit>& member_inits() const { return member_inits_; }
+
+  /// Names of classes/structs defined under src/ (sim_escape uses this to
+  /// decide whether a static's type points into the simulation).
+  const std::vector<std::string>& src_classes() const { return src_classes_; }
 
   /// Call graph: call_edges()[f] are indices into functions() that the
   /// body of functions()[f] may call (name-resolved, qualifier-filtered).
   const std::vector<std::vector<std::size_t>>& call_edges() const {
     return call_edges_;
   }
+
+  /// Resolve one call site of functions()[caller] to candidate definitions
+  /// (the same name-and-qualifier matching that builds call_edges, exposed
+  /// per-callsite so the effect engine can cut propagation at sanctioned
+  /// seams without losing the rest of the body's edges).
+  std::vector<std::size_t> resolve_call(std::size_t caller,
+                                        const CallSite& call) const;
 
   /// The layer a path belongs to: "sim", "net", ... for src/<dir>/...;
   /// "bench", "tests", "examples", "tools" for the top-level dirs; "" when
@@ -161,6 +246,7 @@ class ProjectModel {
   void parse_file(std::size_t index);
   void resolve_includes();
   void resolve_calls();
+  void build_name_index();
 
   std::vector<SourceFile> files_;
   std::map<std::string, std::size_t, std::less<>> path_index_;
@@ -169,7 +255,15 @@ class ProjectModel {
   std::vector<GlobalVar> globals_;
   std::vector<RngConstruction> rng_sites_;
   std::vector<VirtualMethod> virtual_methods_;
+  std::vector<EffectContract> contracts_;
+  std::vector<StaticDecl> static_decls_;
+  std::vector<MemberDecl> member_decls_;
+  std::vector<MemberInit> member_inits_;
+  std::vector<std::string> src_classes_;
   std::vector<std::vector<std::size_t>> call_edges_;
+  /// Definitions by unqualified name (built in finalize(), backs both
+  /// resolve_calls() and the public per-callsite resolve_call()).
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name_;
   /// Ctor-init-list entries (member name -> construction), kept until
   /// finalize() knows which member names are RNG-typed.
   std::vector<std::pair<std::string, RngConstruction>> pending_member_inits_;
