@@ -29,6 +29,15 @@ struct Options {
   int replications = 1;       ///< independent seeds per sweep cell
   std::string csv_dir;        ///< write result tables as CSV here
   std::string telemetry_dir;  ///< write telemetry exports/manifests here
+
+  // Supervision knobs (docs/robustness.md), honored by the sweep benches
+  // that run under the supervised executor (ext_chaos_matrix).
+  bool allow_quarantine = false;   ///< quarantined cells don't fail the run
+  std::uint64_t budget_events = 0; ///< per-cell event budget (0 = default)
+  std::uint64_t storm_window = 0;  ///< storm-detector window (0 = default)
+  double storm_rate = 0.0;         ///< events/sim-second threshold (0 = default)
+  std::uint64_t cell_attempts = 0; ///< attempts per cell (0 = default policy)
+  std::string quarantine_path;     ///< write the quarantine manifest here
 };
 
 /// Parse a strictly numeric, non-negative value for `flag`; exits with a
@@ -53,6 +62,18 @@ inline double parse_seconds(const char* flag, const char* v) {
   if (*v == '\0' || end == nullptr || *end != '\0' || errno != 0 || parsed < 0.0) {
     std::fprintf(stderr, "%s expects a non-negative number of seconds, got \"%s\"\n",
                  flag, v);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+inline double parse_number(const char* flag, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (*v == '\0' || end == nullptr || *end != '\0' || errno != 0 || parsed < 0.0) {
+    std::fprintf(stderr, "%s expects a non-negative number, got \"%s\"\n", flag,
+                 v);
     std::exit(2);
   }
   return parsed;
@@ -83,10 +104,25 @@ inline Options parse_options(int argc, char** argv) {
       opt.csv_dir = v;
     } else if ((v = value("--telemetry="))) {
       opt.telemetry_dir = v;
+    } else if (arg == "--allow-quarantine") {
+      opt.allow_quarantine = true;
+    } else if ((v = value("--budget-events="))) {
+      opt.budget_events = parse_count("--budget-events", v);
+    } else if ((v = value("--storm-window="))) {
+      opt.storm_window = parse_count("--storm-window", v);
+    } else if ((v = value("--storm-rate="))) {
+      opt.storm_rate = parse_number("--storm-rate", v);
+    } else if ((v = value("--cell-attempts="))) {
+      opt.cell_attempts = parse_count("--cell-attempts", v);
+    } else if ((v = value("--quarantine="))) {
+      opt.quarantine_path = v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed=N] [--threads=N] [--pairs=N] "
-          "[--duration=SECONDS] [--reps=N] [--csv=DIR] [--telemetry=DIR]\n",
+          "[--duration=SECONDS] [--reps=N] [--csv=DIR] [--telemetry=DIR]\n"
+          "       [--allow-quarantine] [--budget-events=N] [--storm-window=N]\n"
+          "       [--storm-rate=EVENTS_PER_SIM_SECOND] [--cell-attempts=N]\n"
+          "       [--quarantine=FILE]\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -17,6 +17,7 @@
 #include "stats/table.h"
 #include "telemetry/export.h"
 #include "telemetry/hub.h"
+#include "telemetry/quarantine.h"
 
 using namespace halfback;
 
@@ -40,19 +41,44 @@ int main(int argc, char** argv) {
                : std::span<const schemes::Scheme>{quick_schemes};
   config.verify_determinism = opt.full;
   config.telemetry_dir = opt.telemetry_dir;
+  // Supervision knobs: flags override the stock per-cell budget / retry
+  // policy (docs/robustness.md). The storm-guard CI job uses these to
+  // force a pathological cell into quarantine.
+  if (opt.budget_events != 0) config.cell_budget.max_events = opt.budget_events;
+  if (opt.storm_window != 0) config.cell_budget.storm_window = opt.storm_window;
+  if (opt.storm_rate != 0.0) {
+    config.cell_budget.storm_events_per_sim_second = opt.storm_rate;
+  }
+  if (opt.cell_attempts != 0) {
+    config.retry.max_attempts = static_cast<std::uint32_t>(opt.cell_attempts);
+  }
 
-  const std::vector<exp::ChaosCell> cells = exp::chaos_sweep(config, scheme_set);
+  const exp::ChaosSweepResult sweep = exp::chaos_sweep(config, scheme_set);
+  const std::vector<exp::ChaosCell>& cells = sweep.cells;
+  const telemetry::QuarantineManifest& quarantine = sweep.supervision.manifest;
 
   stats::Table table{{"scenario", "scheme", "unfinished", "mean FCT (ms)",
                       "median FCT (ms)", "timeouts", "retx", "proactive retx",
-                      "fault drops", "corrupt rej", "dup rej", "audit"}};
+                      "fault drops", "corrupt rej", "dup rej", "audit",
+                      "status"}};
   std::size_t unfinished_total = 0;
   std::uint64_t violations_total = 0;
   bool all_deterministic = true;
   for (const exp::ChaosCell& cell : cells) {
-    unfinished_total += cell.unfinished;
-    violations_total += cell.audit_violations;
-    all_deterministic = all_deterministic && cell.deterministic;
+    // Quarantined cells carry the partial state of their last attempt;
+    // they are accounted for by the quarantine manifest, not by the
+    // completed-cell acceptance bars.
+    if (!cell.quarantined) {
+      unfinished_total += cell.unfinished;
+      violations_total += cell.audit_violations;
+      all_deterministic = all_deterministic && cell.deterministic;
+    }
+    std::string status = "ok";
+    if (cell.quarantined) {
+      status = std::string{"QUARANTINED:"} + std::string{to_string(cell.trip)};
+    } else if (cell.attempts > 1) {
+      status = "retried x" + std::to_string(cell.attempts - 1);
+    }
     table.add_row({cell.scenario, bench::display(cell.scheme),
                    std::to_string(cell.unfinished),
                    stats::Table::num(cell.mean_fct_ms, 1),
@@ -63,7 +89,7 @@ int main(int argc, char** argv) {
                    std::to_string(cell.fault_drops),
                    std::to_string(cell.corrupted_rejected),
                    std::to_string(cell.duplicate_rejected),
-                   cell.audit_violations == 0 ? "ok" : "VIOLATION"});
+                   cell.audit_violations == 0 ? "ok" : "VIOLATION", status});
   }
   table.print();
   bench::maybe_write_csv(opt, "ext_chaos_matrix", table);
@@ -123,6 +149,25 @@ int main(int argc, char** argv) {
                 opt.telemetry_dir.c_str());
   }
 
+  // Completeness accounting: every cell is attempted; quarantined cells are
+  // excluded from the acceptance bars above but never silently dropped.
+  std::printf(
+      "\nsupervision: %llu attempted / %llu completed / %llu quarantined, "
+      "%llu retries\n",
+      static_cast<unsigned long long>(quarantine.attempted),
+      static_cast<unsigned long long>(quarantine.completed),
+      static_cast<unsigned long long>(quarantine.quarantined),
+      static_cast<unsigned long long>(quarantine.retries));
+  if (!quarantine.clean()) {
+    std::printf("quarantine manifest:\n%s",
+                telemetry::quarantine_json(quarantine).c_str());
+  }
+  if (!opt.quarantine_path.empty()) {
+    std::ofstream out{opt.quarantine_path};
+    telemetry::write_quarantine_json(out, quarantine);
+    std::printf("wrote %s\n", opt.quarantine_path.c_str());
+  }
+
   std::printf("\n%zu cells, %zu unfinished flows, %llu audit violations%s\n",
               cells.size(), unfinished_total,
               static_cast<unsigned long long>(violations_total),
@@ -130,8 +175,14 @@ int main(int argc, char** argv) {
                   ? (all_deterministic ? ", all cells deterministic"
                                        : ", DETERMINISM FAILURE")
                   : "");
-  const bool ok =
-      unfinished_total == 0 && violations_total == 0 && all_deterministic;
-  if (!ok) std::printf("CHAOS MATRIX FAILED\n");
+  const bool quarantine_ok = quarantine.clean() || opt.allow_quarantine;
+  const bool ok = unfinished_total == 0 && violations_total == 0 &&
+                  all_deterministic && quarantine_ok;
+  if (!ok) {
+    std::printf("CHAOS MATRIX FAILED%s\n",
+                !quarantine_ok ? " (quarantined cells; pass "
+                                 "--allow-quarantine to accept partial results)"
+                               : "");
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,49 @@
+// Deadline-censoring helpers shared by the trial environments.
+//
+// PlanetLabEnv and HomeNetEnv both run one watched short flow against a
+// per-trial timeout. Both must account for an unfinished flow the same
+// way — censor its completion time AT the deadline, so FCT means reflect
+// the stall instead of silently dropping it or under-reporting with
+// whatever instant the queue happened to drain at. This header is that
+// single shared semantics; tests/exp/env_test.cpp pins the two
+// environments to it.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "transport/sender.h"
+
+namespace halfback::exp {
+
+/// Drive `simulator` until the watched flow completes, the event queue
+/// drains, or `deadline` passes. `sender` is re-polled each slice (the
+/// flow may not exist yet — PlanetLab schedules it after a cross-traffic
+/// head start) and may return nullptr until it does. The stop-check
+/// piggybacks on completion via polling in 100 ms slices, cheap relative
+/// to the packet events. Returns true if the flow reported complete.
+inline bool drive_until_complete_or_deadline(
+    sim::Simulator& simulator,
+    const std::function<const transport::SenderBase*()>& sender,
+    sim::Time deadline) {
+  while (simulator.now() < deadline) {
+    simulator.run_until(
+        std::min(deadline, simulator.now() + sim::Time::milliseconds(100)));
+    const transport::SenderBase* watched = sender();
+    if (watched != nullptr && watched->complete()) return true;
+    if (simulator.queue().empty()) break;
+  }
+  const transport::SenderBase* watched = sender();
+  return watched != nullptr && watched->complete();
+}
+
+/// The shared censor-at-deadline accounting for an unfinished trial:
+/// the flow is charged the full deadline, so means reflect the stall.
+inline void censor_record_at(transport::FlowRecord& record, sim::Time deadline) {
+  record.completion_time = deadline;
+  record.completed = false;
+}
+
+}  // namespace halfback::exp

@@ -4,7 +4,6 @@
 #include <optional>
 #include <utility>
 
-#include "exp/parallel.h"
 #include "telemetry/export.h"
 #include "telemetry/hub.h"
 #include "workload/flow_schedule.h"
@@ -97,11 +96,15 @@ std::vector<ChaosScenario> chaos_catalog() {
 namespace {
 
 RunResult run_cell(const ChaosSweepConfig& config, const ChaosScenario& scenario,
-                   schemes::Scheme scheme, telemetry::Hub* hub = nullptr,
+                   schemes::Scheme scheme, std::uint64_t seed,
+                   telemetry::Hub* hub = nullptr,
                    telemetry::RunManifest* manifest_out = nullptr) {
   EmulabRunner::Config runner_config = config.runner;
+  runner_config.seed = seed;
   runner_config.faults = scenario.faults;
   runner_config.telemetry = hub;
+  runner_config.budget = config.cell_budget;
+  runner_config.wall_limit = config.cell_wall_limit;
   EmulabRunner runner{runner_config};
   WorkloadPart part;
   part.scheme = scheme;
@@ -169,19 +172,35 @@ ChaosCell summarize(const ChaosScenario& scenario, schemes::Scheme scheme,
   cell.duplicate_rejected = run.delivery.duplicate_rejected;
   cell.audit_violations = run.audit_violations;
   cell.trace_hash = run.trace_hash;
+  cell.events_executed = run.events_executed;
+  cell.trip = run.budget_report.tripped;
   return cell;
 }
 
 }  // namespace
 
-std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
-                                   std::span<const schemes::Scheme> schemes) {
+ChaosSweepResult chaos_sweep(const ChaosSweepConfig& config,
+                             std::span<const schemes::Scheme> schemes) {
   const std::vector<ChaosScenario> catalog = chaos_catalog();
   const std::size_t scheme_count = schemes.size();
-  std::vector<ChaosCell> cells(catalog.size() * scheme_count);
-  parallel_for(
+  ChaosSweepResult result;
+  result.cells.assign(catalog.size() * scheme_count, ChaosCell{});
+  std::vector<ChaosCell>& cells = result.cells;
+
+  const auto cell_name = [&](std::size_t i) {
+    return catalog[i / scheme_count].name + "/" +
+           std::string{schemes::name(schemes[i % scheme_count])};
+  };
+
+  SupervisorConfig supervisor;
+  supervisor.seed = config.runner.seed;
+  supervisor.retry = config.retry;
+  supervisor.threads = config.threads;
+
+  result.supervision = supervised_for(
       cells.size(),
-      [&](std::size_t i) {
+      [&](const CellAttempt& id) {
+        const std::size_t i = id.index;
         const ChaosScenario& scenario = catalog[i / scheme_count];
         const schemes::Scheme scheme = schemes[i % scheme_count];
         const bool exporting = !config.telemetry_dir.empty();
@@ -190,21 +209,33 @@ std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
         std::optional<telemetry::Hub> hub;
         if (exporting) hub.emplace();
         telemetry::RunManifest manifest;
-        RunResult run = run_cell(config, scenario, scheme,
+        RunResult run = run_cell(config, scenario, scheme, id.seed,
                                  exporting ? &*hub : nullptr,
                                  exporting ? &manifest : nullptr);
+        // Keep the (possibly partial) summary either way: a quarantined
+        // cell's last attempt is the triage evidence.
         cells[i] = summarize(scenario, scheme, run);
+        cells[i].attempts = id.attempt + 1;
+        if (run.budget_report.tripped != sim::BudgetTrip::none) {
+          return AttemptOutcome::from_budget(run.budget_report);
+        }
         if (exporting) {
           export_cell(config.telemetry_dir, scenario, scheme, *hub, manifest,
                       run.sim_end);
         }
         if (config.verify_determinism) {
-          RunResult rerun = run_cell(config, scenario, scheme);
+          RunResult rerun = run_cell(config, scenario, scheme, id.seed);
           cells[i].deterministic = rerun.trace_hash == run.trace_hash;
         }
+        return AttemptOutcome{};
       },
-      config.threads);
-  return cells;
+      supervisor, cell_name);
+
+  for (const telemetry::QuarantineRecord& record :
+       result.supervision.manifest.records) {
+    cells[record.cell_index].quarantined = true;
+  }
+  return result;
 }
 
 }  // namespace halfback::exp

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exp/emulab.h"
+#include "exp/supervisor.h"
 #include "netfault/fault_config.h"
 #include "schemes/scheme.h"
 #include "sim/bytes.h"
@@ -53,7 +54,28 @@ struct ChaosCell {
   /// True when determinism was verified (or not requested); false means a
   /// same-seed re-run produced a different trace hash.
   bool deterministic = true;
+
+  /// Supervision outcome (see exp/supervisor.h). A quarantined cell's
+  /// statistics above are the partial state of its last attempt at the
+  /// budget trip — kept for triage, excluded from "the run finished"
+  /// claims by the quarantined flag.
+  std::uint64_t events_executed = 0;     ///< last attempt's dispatch count
+  std::uint32_t attempts = 1;            ///< attempts consumed (1 + retries)
+  bool quarantined = false;              ///< exhausted its retry budget
+  sim::BudgetTrip trip = sim::BudgetTrip::none;  ///< last attempt's trip
 };
+
+/// The stock per-cell budget: a hard event ceiling plus a storm detector
+/// tuned so healthy catalog cells (~10k events over ~36 sim-seconds) never
+/// fill a detector window, while an event storm (tens of millions of
+/// events crammed into milliseconds of sim time) trips within one window.
+inline sim::RunBudget default_cell_budget() {
+  sim::RunBudget budget;
+  budget.max_events = 50'000'000;
+  budget.storm_window = 250'000;
+  budget.storm_events_per_sim_second = 5e6;
+  return budget;
+}
 
 struct ChaosSweepConfig {
   EmulabRunner::Config runner;
@@ -72,11 +94,34 @@ struct ChaosSweepConfig {
   /// there (the directory must already exist). Purely observational: cell
   /// results and trace hashes are identical with or without it.
   std::string telemetry_dir;
+
+  /// Per-cell run budget. The default is deliberately generous — every
+  /// catalog cell passes with orders of magnitude of headroom — and exists
+  /// to catch the next rc3×adversarial-style storm with a structured
+  /// quarantine instead of a crawling CI job. See docs/robustness.md.
+  sim::RunBudget cell_budget = default_cell_budget();
+  /// Per-cell wall-clock watchdog; zero (default) arms nothing.
+  std::chrono::milliseconds cell_wall_limit{0};
+  /// Retry policy for cells whose budget trips. The default quarantines
+  /// after the first failure (a deterministic cell fails identically on a
+  /// same-seed retry; retries draw fresh seeds, which changes the cell's
+  /// claimed result, so they are opt-in).
+  RetryPolicy retry;
 };
 
-/// Run the full matrix: one cell per (catalog scenario, scheme).
+/// Outcome of a supervised chaos sweep: the per-cell matrix plus the
+/// completeness accounting / quarantine manifest.
+struct ChaosSweepResult {
+  std::vector<ChaosCell> cells;  ///< scenario-major, one per (scenario, scheme)
+  SupervisedReport supervision;
+
+  bool complete() const { return supervision.complete(); }
+};
+
+/// Run the full matrix: one cell per (catalog scenario, scheme), under the
+/// supervised executor (budgets, retry, quarantine — exp/supervisor.h).
 /// Cells are ordered scenario-major, matching chaos_catalog() order.
-std::vector<ChaosCell> chaos_sweep(const ChaosSweepConfig& config,
-                                   std::span<const schemes::Scheme> schemes);
+ChaosSweepResult chaos_sweep(const ChaosSweepConfig& config,
+                             std::span<const schemes::Scheme> schemes);
 
 }  // namespace halfback::exp

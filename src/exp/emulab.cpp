@@ -28,7 +28,12 @@ std::string config_fingerprint(const EmulabRunner::Config& c) {
       << ";rate=" << static_cast<int>(c.halfback_config.rate)
       << ";copies=" << c.halfback_config.copies_per_ack
       << ";burst=" << c.halfback_config.initial_burst_segments
-      << ";drain_ns=" << c.drain.ns() << ";faults=" << c.faults.any()
+      << ";drain_ns=" << c.drain.ns()
+      << ";budget_events=" << c.budget.max_events
+      << ";budget_horizon_ns=" << c.budget.max_sim_time.ns()
+      << ";storm_window=" << c.budget.storm_window
+      << ";storm_rate=" << c.budget.storm_events_per_sim_second
+      << ";faults=" << c.faults.any()
       << ";ge=" << c.faults.gilbert_elliott.p_good_to_bad.value()
       << ";corrupt=" << c.faults.corrupt.probability.value()
       << ";dup=" << c.faults.duplicate.probability.value()
@@ -175,11 +180,30 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
     }
   }
 
-  simulator.run_until(last_arrival + config_.drain);
+  // Budgets: installing an enforcer switches the simulator onto the
+  // budgeted dispatch loop; with neither a budget nor a watchdog the run
+  // stays on the seed's unbudgeted path. The watchdog needs the enforcer
+  // even when no deterministic limit is set — the budgeted loop is what
+  // polls the abort flag and records the wall_clock trip.
+  std::optional<sim::BudgetEnforcer> enforcer;
+  if (config_.budget.any() || config_.wall_limit.count() > 0) {
+    enforcer.emplace(config_.budget);
+    simulator.set_budget(&*enforcer);
+  }
+  {
+    std::optional<sim::WallClockWatchdog> watchdog;
+    if (config_.wall_limit.count() > 0) {
+      watchdog.emplace(simulator, config_.wall_limit);
+    }
+    simulator.run_until(last_arrival + config_.drain);
+    // Scope exit disarms and joins the watchdog: from here on the run is
+    // single-threaded again and fired() is stable.
+  }
 
   RunResult result;
   result.sim_end = simulator.now();
   result.events_executed = simulator.events_executed();
+  if (enforcer.has_value()) result.budget_report = enforcer->report();
   // Walk flows in id (creation) order: iterating the unordered map directly
   // would make result order — and FCT stats under start-time ties — depend
   // on hash layout.

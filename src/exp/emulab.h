@@ -2,6 +2,7 @@
 // dumbbell and collects per-flow results. Shared by Figs. 10-17.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "netfault/fault_config.h"
 #include "netfault/fault_injector.h"
 #include "schemes/factory.h"
+#include "sim/budget.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "telemetry/manifest.h"
@@ -49,6 +51,12 @@ struct RunResult {
   /// count (0 = clean run).
   std::uint64_t trace_hash = 0;
   std::uint64_t audit_violations = 0;
+
+  /// Budget outcome (sim/budget.h). `tripped == BudgetTrip::none` — always
+  /// the case when Config enables no budget — means the run finished
+  /// normally; anything else means the run aborted early and the flow
+  /// results below are the partial state at the trip.
+  sim::BudgetReport budget_report;
 
   /// Transport-boundary rejection counters summed over every host agent.
   /// The rejected fields stay zero unless the run injects faults.
@@ -101,6 +109,16 @@ class EmulabRunner {
     /// `seed` (never from the simulator's live stream, which would perturb
     /// the fault-free baseline). See docs/fault-injection.md.
     netfault::FaultConfig faults;
+    /// Deterministic run budget (sim/budget.h). Default-constructed —
+    /// nothing enabled — leaves the dispatch loop on the unbudgeted seed
+    /// path, bit-identical to runs from before budgets existed. With any
+    /// limit set, a trip aborts the run and RunResult::budget_report says
+    /// why.
+    sim::RunBudget budget;
+    /// Wall-clock watchdog limit; zero (default) arms nothing. Strictly a
+    /// safety net: a run that finishes inside the limit is bit-identical
+    /// to an unwatched run.
+    std::chrono::milliseconds wall_limit{0};
     /// Optional telemetry hub (owned by the caller, one per run). When set,
     /// the run installs it on the simulator, links, and every flow, and
     /// snapshots network gauges at the end. Purely observational: trace

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "exp/censor.h"
 #include "exp/parallel.h"
 #include "schemes/factory.h"
 #include "transport/agent.h"
@@ -64,16 +65,18 @@ std::vector<TrialResult> HomeNetEnv::run(schemes::Scheme scheme,
                                            network.node(ap.server), ap.client,
                                            /*flow=*/1, config_.flow_bytes);
         transport::SenderBase& ref = server_agent.start_flow(std::move(sender));
-        simulator.run_until(config_.per_trial_timeout);
+        // Same deadline-censoring semantics as PlanetLabEnv (exp/censor.h):
+        // stop as soon as the flow completes, and charge an unfinished flow
+        // the full timeout.
+        drive_until_complete_or_deadline(
+            simulator, [&]() -> const transport::SenderBase* { return &ref; },
+            config_.per_trial_timeout);
 
         TrialResult r;
         r.path_rtt = server_rtts_[i];
         r.record = ref.record();
         r.finished = ref.complete();
-        if (!r.finished) {
-          r.record.completion_time = simulator.now();
-          r.record.completed = false;
-        }
+        if (!r.finished) censor_record_at(r.record, config_.per_trial_timeout);
         r.saw_loss = r.record.normal_retx > 0 || r.record.timeouts > 0;
         results[i] = r;
       },

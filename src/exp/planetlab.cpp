@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "audit/invariant_auditor.h"
+#include "exp/censor.h"
 #include "exp/parallel.h"
 #include "schemes/factory.h"
 #include "sim/random.h"
@@ -117,16 +118,13 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
     sender_ptr = &server_agent.start_flow(std::move(sender));
   });
 
-  // Run until the short flow completes (or the trial times out). The
-  // stop-check piggybacks on its completion callback via polling in 100 ms
-  // steps, cheap relative to the packet events.
+  // Run until the short flow completes (or the trial times out); the
+  // censor-at-deadline accounting is the shared semantics in exp/censor.h
+  // (HomeNetEnv uses the identical path).
   const sim::Time deadline = flow_start + config_.per_trial_timeout;
-  while (simulator.now() < deadline) {
-    simulator.run_until(
-        std::min(deadline, simulator.now() + sim::Time::milliseconds(100)));
-    if (sender_ptr != nullptr && sender_ptr->complete()) break;
-    if (simulator.queue().empty()) break;
-  }
+  drive_until_complete_or_deadline(
+      simulator,
+      [&]() -> const transport::SenderBase* { return sender_ptr; }, deadline);
 
   TrialResult result;
   result.path_rtt = path.rtt;
@@ -135,11 +133,7 @@ TrialResult PlanetLabEnv::run_one(schemes::Scheme scheme, const PathSample& path
     result.finished = sender_ptr->complete();
     result.saw_loss = flow_drops > 0 || result.record.normal_retx > 0 ||
                       result.record.timeouts > 0;
-    if (!result.finished) {
-      // Censor at the deadline so means reflect the stall.
-      result.record.completion_time = simulator.now();
-      result.record.completed = false;
-    }
+    if (!result.finished) censor_record_at(result.record, deadline);
   }
 #ifdef HALFBACK_AUDIT
   auditor.finalize(simulator.queue().empty());

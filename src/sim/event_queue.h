@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/annotations.h"
+#include "sim/function_ref.h"
 #include "sim/time.h"
 
 namespace halfback::audit {
@@ -139,6 +140,13 @@ class EventQueue {
 
   /// Drop all pending events.
   void clear();
+
+  /// Visit every pending event in heap (unspecified) order. Read-only
+  /// diagnostics walk — the budget machinery uses it for the post-trip
+  /// pending-event census; callers must not schedule or cancel from `fn`.
+  void for_each_pending(FunctionRef<void(const Event&)> fn) const {
+    for (const HeapSlot& slot : heap_) fn(*slot.event);
+  }
 
   /// Number of shim slab nodes ever allocated (diagnostics: steady-state
   /// shim traffic must not grow this).

@@ -1,14 +1,21 @@
 #include "sim/simulator.h"
 
+#include "sim/budget.h"
 #include "telemetry/hub.h"
 
 namespace halfback::sim {
 
 // The dispatch loops are duplicated so the telemetry null test is hoisted
 // out of the loop entirely: with no hub installed the per-event cost is
-// exactly the seed's.
+// exactly the seed's. The budgeted loop is a third, separate path entered
+// only when an enforcer is installed, so unbudgeted runs keep the seed's
+// per-event cost and event-for-event behavior.
 
 void Simulator::run() {
+  if (budget_ != nullptr) {
+    run_budgeted(Time::infinity());
+    return;
+  }
   stopped_ = false;
   if (telemetry_ != nullptr) {
     while (!stopped_ && !queue_.empty()) {
@@ -27,6 +34,10 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time deadline) {
+  if (budget_ != nullptr) {
+    run_budgeted(deadline);
+    return;
+  }
   stopped_ = false;
   if (telemetry_ != nullptr) {
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
@@ -44,6 +55,39 @@ void Simulator::run_until(Time deadline) {
     ++events_executed_;
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_budgeted(Time deadline) {
+  stopped_ = false;
+  // A tripped budget is sticky: once a run aborted, further driving (e.g.
+  // the next poll slice of a deadline-censored loop) stays aborted.
+  if (budget_->tripped()) {
+    stopped_ = true;
+    return;
+  }
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    if (abort_requested_.load(std::memory_order_relaxed)) {
+      budget_->record_trip(BudgetTrip::wall_clock, *this);
+      stopped_ = true;
+      return;
+    }
+    const Time next = queue_.next_time();
+    const BudgetTrip trip = budget_->before_dispatch(next, events_executed_);
+    if (trip != BudgetTrip::none) {
+      budget_->record_trip(trip, *this);
+      stopped_ = true;
+      return;
+    }
+    if (telemetry_ != nullptr) telemetry_->on_event_dispatched(queue_.size());
+    now_ = next;
+    queue_.run_next();
+    ++events_executed_;
+  }
+  // Mirror run_until()'s clock advance; run() enters with an infinite
+  // deadline, which must not drag the clock to the sentinel.
+  if (!stopped_ && !deadline.is_infinite() && now_ < deadline) {
+    now_ = deadline;
+  }
 }
 
 }  // namespace halfback::sim

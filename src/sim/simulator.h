@@ -1,6 +1,7 @@
 // The simulation driver: owns virtual time and the event queue.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -16,6 +17,8 @@ class Hub;
 }
 
 namespace halfback::sim {
+
+class BudgetEnforcer;
 
 /// A single simulation run.
 ///
@@ -95,6 +98,7 @@ class Simulator {
 
   Random& random() { return random_; }
   EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
 
   /// Number of events executed so far (for diagnostics and benchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -117,7 +121,30 @@ class Simulator {
   void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
   telemetry::Hub* telemetry() const { return telemetry_; }
 
+  /// Install a budget enforcer for this run (nullptr detaches). Owned by
+  /// the caller. With an enforcer installed, run()/run_until() check the
+  /// budget before every dispatch and stop early — recording a
+  /// BudgetReport on the enforcer — when a limit trips; without one the
+  /// dispatch loops are exactly the unbudgeted seed paths.
+  void set_budget(BudgetEnforcer* budget) { budget_ = budget; }
+  BudgetEnforcer* budget() const { return budget_; }
+
+  /// Ask the run to abort at the next event boundary (recorded as
+  /// BudgetTrip::wall_clock when a budget enforcer is installed). The one
+  /// cross-thread entry point: safe to call from a watchdog thread while
+  /// the run executes. Without an enforcer the request is ignored — the
+  /// deterministic loops stay byte-identical to the seed.
+  void request_abort() { abort_requested_ = true; }
+  bool abort_requested() const {
+    return abort_requested_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Dispatch loop used when a budget enforcer is installed: identical to
+  /// the unbudgeted loops plus the per-event budget check and the abort
+  /// flag poll. run() enters it with an infinite deadline.
+  void run_budgeted(Time deadline) HB_EFFECTS(alloc, throw, rng);
+
   Time now_ = Time::zero();
   EventQueue queue_;
   Random random_;
@@ -125,6 +152,8 @@ class Simulator {
   std::uint64_t events_executed_ = 0;
   audit::Auditor* auditor_ = nullptr;
   telemetry::Hub* telemetry_ = nullptr;
+  BudgetEnforcer* budget_ = nullptr;
+  std::atomic<bool> abort_requested_{false};
 };
 
 }  // namespace halfback::sim

@@ -164,7 +164,7 @@ TEST(StaticPipelineEquivalence, EverySchemeEveryScenarioMatchesDynamicGolden) {
   GTEST_SKIP() << "audit hooks compiled out (HALFBACK_AUDIT=OFF)";
 #endif
   const std::vector<schemes::Scheme> all = every_scheme();
-  const std::vector<ChaosCell> cells = chaos_sweep(golden_config(), all);
+  const std::vector<ChaosCell> cells = chaos_sweep(golden_config(), all).cells;
   ASSERT_EQ(cells.size(), chaos_catalog().size() * all.size());
 
   if (std::getenv("HALFBACK_CAPTURE_GOLDEN") != nullptr) {

@@ -35,7 +35,39 @@ TEST(ParseOptions, DefaultsSurviveWhenFlagsAbsent) {
   EXPECT_EQ(opt.replications, 1);
 }
 
+TEST(ParseOptions, ParsesSupervisionFlags) {
+  const Options opt =
+      parse({"--allow-quarantine", "--budget-events=5000", "--storm-window=250",
+             "--storm-rate=1e6", "--cell-attempts=3", "--quarantine=/tmp/q.json"});
+  EXPECT_TRUE(opt.allow_quarantine);
+  EXPECT_EQ(opt.budget_events, 5000u);
+  EXPECT_EQ(opt.storm_window, 250u);
+  EXPECT_DOUBLE_EQ(opt.storm_rate, 1e6);
+  EXPECT_EQ(opt.cell_attempts, 3u);
+  EXPECT_EQ(opt.quarantine_path, "/tmp/q.json");
+}
+
+TEST(ParseOptions, SupervisionDefaultsAreOff) {
+  const Options opt = parse({});
+  EXPECT_FALSE(opt.allow_quarantine);
+  EXPECT_EQ(opt.budget_events, 0u);
+  EXPECT_EQ(opt.storm_window, 0u);
+  EXPECT_DOUBLE_EQ(opt.storm_rate, 0.0);
+  EXPECT_EQ(opt.cell_attempts, 0u);
+  EXPECT_TRUE(opt.quarantine_path.empty());
+}
+
 using ParseOptionsDeath = ::testing::Test;
+
+TEST(ParseOptionsDeath, RejectsNegativeStormRate) {
+  EXPECT_EXIT(parse({"--storm-rate=-5"}), ::testing::ExitedWithCode(2),
+              "--storm-rate expects a non-negative number");
+}
+
+TEST(ParseOptionsDeath, RejectsNonNumericBudgetEvents) {
+  EXPECT_EXIT(parse({"--budget-events=lots"}), ::testing::ExitedWithCode(2),
+              "--budget-events expects a non-negative integer");
+}
 
 TEST(ParseOptionsDeath, RejectsNonNumericThreads) {
   EXPECT_EXIT(parse({"--threads=abc"}), ::testing::ExitedWithCode(2),

@@ -108,6 +108,41 @@ TEST(HomeNetEnvTest, LowBandwidthProfileShrinksTheGain) {
   EXPECT_GT(gain_fast, 0.2);
 }
 
+TEST(DeadlineCensoringTest, BothEnvironmentsChargeUnfinishedTrialsTheFullTimeout) {
+  // Regression for the unified censor-at-deadline semantics (exp/censor.h):
+  // PlanetLabEnv and HomeNetEnv must account for an unfinished flow
+  // identically — completion censored AT the deadline, so a censored trial
+  // contributes exactly the timeout to FCT aggregates, never whatever
+  // instant its queue happened to drain at.
+  const sim::Time timeout = sim::Time::milliseconds(10);
+  const sim::Bytes huge_flow = 50'000'000;  // cannot finish inside 10 ms
+
+  PlanetLabConfig pl;
+  pl.pair_count = 20;
+  pl.flow_bytes = huge_flow;
+  pl.per_trial_timeout = timeout;
+  pl.threads = 2;
+  const auto pl_trials = PlanetLabEnv{pl}.run(schemes::Scheme::tcp);
+
+  HomeNetConfig hn;
+  hn.server_count = 20;
+  hn.flow_bytes = huge_flow;
+  hn.per_trial_timeout = timeout;
+  hn.threads = 2;
+  const auto hn_trials =
+      HomeNetEnv{hn}.run(schemes::Scheme::tcp, home_profiles()[0]);
+
+  ASSERT_EQ(pl_trials.size(), 20u);
+  ASSERT_EQ(hn_trials.size(), 20u);
+  for (const auto* trials : {&pl_trials, &hn_trials}) {
+    for (const TrialResult& t : *trials) {
+      ASSERT_FALSE(t.finished);
+      EXPECT_FALSE(t.record.completed);
+      EXPECT_EQ(t.record.fct(), timeout);
+    }
+  }
+}
+
 TEST(WebRunnerTest, PagesCompleteUnderLightLoad) {
   workload::WebCatalogConfig cc;
   cc.site_count = 10;

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace halfback::exp {
 namespace {
@@ -53,6 +55,33 @@ TEST(ParallelFor, FailureStopsHandingOutNewWork) {
                    /*threads=*/2),
                std::runtime_error);
   EXPECT_LT(executed.load(), 1'000'000u);
+}
+
+TEST(ParallelFor, MultipleFailuresAggregateIntoOneIndexedError) {
+  // Hold every worker at a barrier until all four have claimed a task, then
+  // fail them all: the early stop cannot drain the queue first, so all four
+  // failures must surface — ordered by shard index, each with its message —
+  // instead of whichever one the scheduler happened to log first.
+  std::atomic<int> started{0};
+  try {
+    parallel_for(
+        4,
+        [&](std::size_t i) {
+          ++started;
+          while (started.load() < 4) std::this_thread::yield();
+          throw std::runtime_error{"shard " + std::to_string(i)};
+        },
+        /*threads=*/4);
+    FAIL() << "parallel_for should have thrown";
+  } catch (const AggregateError& e) {
+    ASSERT_EQ(e.failures().size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(e.failures()[k].index, k);
+      EXPECT_EQ(e.failures()[k].message, "shard " + std::to_string(k));
+    }
+    EXPECT_NE(std::string{e.what()}.find("4 parallel_for shards failed"),
+              std::string::npos);
+  }
 }
 
 TEST(ParallelFor, SingleThreadedPathAlsoPropagates) {

@@ -12,6 +12,7 @@
 
 #include "exp/emulab.h"
 #include "schemes/scheme.h"
+#include "telemetry/quarantine.h"
 
 namespace halfback::exp {
 namespace {
@@ -40,10 +41,14 @@ TEST(ChaosCatalogTest, BlackoutOutlastsTheInitialRto) {
 }
 
 TEST(ChaosMatrixTest, EverySchemeSurvivesEveryScenario) {
-  const std::vector<ChaosCell> cells =
+  const ChaosSweepResult sweep =
       chaos_sweep(test_config(), schemes::evaluation_set());
+  const std::vector<ChaosCell>& cells = sweep.cells;
   ASSERT_EQ(cells.size(),
             chaos_catalog().size() * schemes::evaluation_set().size());
+  EXPECT_TRUE(sweep.complete()) << "healthy matrix quarantined a cell";
+  EXPECT_EQ(sweep.supervision.manifest.attempted, cells.size());
+  EXPECT_EQ(sweep.supervision.manifest.completed, cells.size());
   for (const ChaosCell& cell : cells) {
     SCOPED_TRACE(cell.scenario + " / " + schemes::name(cell.scheme));
     EXPECT_EQ(cell.unfinished, 0u) << "flows failed to complete under faults";
@@ -59,7 +64,7 @@ TEST(ChaosMatrixTest, EverySchemeSurvivesEveryScenario) {
 
 TEST(ChaosMatrixTest, FaultCountersAttributeWhatEachScenarioInjects) {
   const std::vector<schemes::Scheme> one{schemes::Scheme::tcp};
-  const std::vector<ChaosCell> cells = chaos_sweep(test_config(), one);
+  const std::vector<ChaosCell> cells = chaos_sweep(test_config(), one).cells;
   for (const ChaosCell& cell : cells) {
     SCOPED_TRACE(cell.scenario);
     if (cell.scenario == "clean") {
@@ -98,7 +103,7 @@ TEST(ChaosMatrixTest, CleanCellMatchesARunWithoutTheChaosLayer) {
   const RunResult plain = runner.run({part});
 
   const std::vector<schemes::Scheme> one{schemes::Scheme::halfback};
-  const std::vector<ChaosCell> cells = chaos_sweep(config, one);
+  const std::vector<ChaosCell> cells = chaos_sweep(config, one).cells;
   ASSERT_FALSE(cells.empty());
   ASSERT_EQ(cells.front().scenario, "clean");
   EXPECT_EQ(cells.front().trace_hash, plain.trace_hash);
@@ -113,8 +118,10 @@ TEST(ChaosMatrixTest, Rc3AdversarialCellDoesNotStormTheEventQueue) {
   // ~90M events (a retransmission loop kept rescheduling without
   // advancing next_sent_ past the scoreboard's delivered prefix). The fix
   // bounds the cell near its peers — measured 8,259 events after the fix
-  // vs 7,316 for tcp — so a generous ceiling of 100k catches any relapse
-  // by orders of magnitude without pinning exact event counts.
+  // vs 7,316 for tcp. The run now executes under the production event
+  // budget (a generous 100k ceiling, orders of magnitude over healthy
+  // counts); a relapse trips the budget and the structured BudgetReport
+  // names the storming timer class instead of a bare count assertion.
   const std::vector<ChaosScenario> catalog = chaos_catalog();
   const auto adversarial =
       std::find_if(catalog.begin(), catalog.end(), [](const ChaosScenario& s) {
@@ -126,6 +133,7 @@ TEST(ChaosMatrixTest, Rc3AdversarialCellDoesNotStormTheEventQueue) {
   EmulabRunner::Config runner_config = config.runner;
   runner_config.seed = 42;
   runner_config.faults = adversarial->faults;
+  runner_config.budget.max_events = 100'000;
   WorkloadPart part;
   part.scheme = schemes::Scheme::rc3;
   for (std::size_t i = 0; i < config.flows_per_cell; ++i) {
@@ -133,10 +141,83 @@ TEST(ChaosMatrixTest, Rc3AdversarialCellDoesNotStormTheEventQueue) {
         {config.arrival_spacing * static_cast<double>(i), config.flow_bytes});
   }
   const RunResult result = EmulabRunner{runner_config}.run({part});
+  EXPECT_EQ(result.budget_report.tripped, sim::BudgetTrip::none)
+      << "event-count explosion: the rc3 retransmission storm is back\n"
+      << result.budget_report.summary();
   EXPECT_EQ(result.unfinished_count(FlowRole::primary), 0u)
       << "rc3 flows failed to complete under the adversarial composite";
-  EXPECT_LT(result.events_executed, 100'000u)
-      << "event-count explosion: the rc3 retransmission storm is back";
+}
+
+TEST(ChaosMatrixTest, ATightBudgetQuarantinesStormCellsDeterministically) {
+  // Synthetic storm: pick an event budget that splits the catalog — the
+  // lighter half of the tcp column fits, the heavier half trips. The
+  // supervised sweep must retry and quarantine the heavy cells, keep the
+  // light cells bit-identical to an unbudgeted sweep, and produce a
+  // byte-identical quarantine manifest whether it runs on 1 worker or 4.
+  const std::vector<schemes::Scheme> one{schemes::Scheme::tcp};
+  ChaosSweepConfig baseline = test_config();
+  baseline.verify_determinism = false;
+  const ChaosSweepResult healthy = chaos_sweep(baseline, one);
+  ASSERT_TRUE(healthy.complete());
+
+  std::vector<std::uint64_t> counts;
+  for (const ChaosCell& cell : healthy.cells) {
+    counts.push_back(cell.events_executed);
+  }
+  std::sort(counts.begin(), counts.end());
+  const std::uint64_t threshold = counts[counts.size() / 2];
+  ASSERT_GT(counts.back(), threshold) << "catalog too uniform to split";
+
+  ChaosSweepConfig tight = baseline;
+  tight.cell_budget.max_events = threshold;
+  tight.retry.max_attempts = 2;
+  const auto run = [&](unsigned threads) {
+    ChaosSweepConfig c = tight;
+    c.threads = threads;
+    return chaos_sweep(c, one);
+  };
+  const ChaosSweepResult serial = run(1);
+  const ChaosSweepResult wide = run(4);
+
+  // Worker count never changes the manifest bytes or the aggregates.
+  EXPECT_EQ(telemetry::quarantine_json(serial.supervision.manifest),
+            telemetry::quarantine_json(wide.supervision.manifest));
+  EXPECT_FALSE(serial.complete());
+  EXPECT_GT(serial.supervision.manifest.quarantined, 0u);
+  EXPECT_LT(serial.supervision.manifest.quarantined, serial.cells.size());
+  EXPECT_EQ(serial.supervision.manifest.attempted, serial.cells.size());
+  EXPECT_EQ(serial.supervision.manifest.completed +
+                serial.supervision.manifest.quarantined,
+            serial.cells.size());
+  // A deterministic storm fails every retry the same way: each quarantined
+  // cell burned all its attempts on an event_count trip.
+  EXPECT_EQ(serial.supervision.manifest.retries,
+            serial.supervision.manifest.quarantined);
+  for (const telemetry::QuarantineRecord& record :
+       serial.supervision.manifest.records) {
+    SCOPED_TRACE(record.cell);
+    EXPECT_EQ(record.reason, "event_count");
+    EXPECT_EQ(record.attempts, 2u);
+    EXPECT_FALSE(record.detail.empty());
+  }
+
+  ASSERT_EQ(serial.cells.size(), healthy.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const ChaosCell& cell = serial.cells[i];
+    SCOPED_TRACE(cell.scenario);
+    if (cell.quarantined) {
+      EXPECT_EQ(cell.trip, sim::BudgetTrip::event_count);
+      EXPECT_EQ(cell.attempts, 2u);
+    } else {
+      // Healthy cells are bit-identical to the unsupervised sweep.
+      EXPECT_EQ(cell.trip, sim::BudgetTrip::none);
+      EXPECT_EQ(cell.attempts, 1u);
+      EXPECT_EQ(cell.events_executed, healthy.cells[i].events_executed);
+#ifdef HALFBACK_AUDIT
+      EXPECT_EQ(cell.trace_hash, healthy.cells[i].trace_hash);
+#endif
+    }
+  }
 }
 
 TEST(ChaosMatrixTest, DifferentSeedsProduceDifferentFaultPatterns) {

@@ -1,0 +1,239 @@
+// Run budgets and the wall-clock watchdog (sim/budget.h).
+//
+// The deterministic checks (event count, sim horizon, storm detector) must
+// trip at the same event on every replay and leave a structured report; the
+// watchdog may only abort, never alter a completed run's results.
+#include "sim/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace halfback::sim {
+namespace {
+
+/// Schedules itself forever, advancing the sim clock by `step` per event
+/// (step == zero models a livelocked timer that never advances time).
+struct TickLoop {
+  Simulator& simulator;
+  Time step;
+  std::function<void()> tick;
+
+  explicit TickLoop(Simulator& s, Time step_in) : simulator{s}, step{step_in} {
+    tick = [this] { simulator.schedule(step, tick); };
+  }
+  void start() { simulator.schedule(step, tick); }
+};
+
+TEST(BudgetTest, EventBudgetTripsWithAStructuredReport) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::milliseconds(1)};
+  loop.start();
+
+  RunBudget budget;
+  budget.max_events = 100;
+  BudgetEnforcer enforcer{budget};
+  simulator.set_budget(&enforcer);
+  simulator.run();
+
+  ASSERT_TRUE(enforcer.tripped());
+  const BudgetReport& report = enforcer.report();
+  EXPECT_EQ(report.tripped, BudgetTrip::event_count);
+  EXPECT_EQ(report.events_executed, 100u);
+  EXPECT_EQ(report.pending_events, 1u);  // the next self-rescheduled tick
+  ASSERT_FALSE(report.top_pending.empty());
+  EXPECT_EQ(report.top_pending.front().count, 1u);
+  EXPECT_FALSE(report.top_pending.front().type_name.empty());
+  EXPECT_NE(report.summary().find("event_count"), std::string::npos);
+}
+
+TEST(BudgetTest, SimHorizonTripsBeforeDispatchingPastIt) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::milliseconds(10)};
+  loop.start();
+
+  RunBudget budget;
+  budget.max_sim_time = Time::seconds(1);
+  BudgetEnforcer enforcer{budget};
+  simulator.set_budget(&enforcer);
+  simulator.run();
+
+  ASSERT_TRUE(enforcer.tripped());
+  EXPECT_EQ(enforcer.report().tripped, BudgetTrip::sim_horizon);
+  // The event past the horizon never ran: the clock stays at or before it.
+  EXPECT_LE(simulator.now(), Time::seconds(1));
+  EXPECT_EQ(enforcer.report().events_executed, simulator.events_executed());
+}
+
+TEST(BudgetTest, StormDetectorTripsOnALivelockedTimerLoop) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::zero()};  // burns events, clock never moves
+  loop.start();
+
+  RunBudget budget;
+  budget.storm_window = 64;
+  budget.storm_events_per_sim_second = 1e6;
+  BudgetEnforcer enforcer{budget};
+  simulator.set_budget(&enforcer);
+  simulator.run();
+
+  ASSERT_TRUE(enforcer.tripped());
+  const BudgetReport& report = enforcer.report();
+  EXPECT_EQ(report.tripped, BudgetTrip::storm);
+  EXPECT_EQ(report.window_span, Time::zero());
+  EXPECT_LT(report.events_executed, 2u * budget.storm_window);
+}
+
+TEST(BudgetTest, StormDetectorPassesAHealthyRun) {
+  Simulator simulator{1};
+  int remaining = 1000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) simulator.schedule(Time::milliseconds(1), tick);
+  };
+  simulator.schedule(Time::milliseconds(1), tick);
+
+  RunBudget budget;
+  budget.storm_window = 100;
+  budget.storm_events_per_sim_second = 1e6;  // healthy rate is 1e3
+  BudgetEnforcer enforcer{budget};
+  simulator.set_budget(&enforcer);
+  simulator.run();
+
+  EXPECT_FALSE(enforcer.tripped());
+  EXPECT_EQ(simulator.events_executed(), 1000u);
+}
+
+TEST(BudgetTest, ATrippedBudgetIsStickyUntilReset) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::milliseconds(1)};
+  loop.start();
+
+  RunBudget budget;
+  budget.max_events = 10;
+  BudgetEnforcer enforcer{budget};
+  simulator.set_budget(&enforcer);
+  simulator.run();
+  ASSERT_TRUE(enforcer.tripped());
+  const std::uint64_t at_trip = simulator.events_executed();
+
+  // A second run() must not dispatch anything while the trip stands.
+  simulator.run();
+  EXPECT_EQ(simulator.events_executed(), at_trip);
+  EXPECT_EQ(enforcer.report().tripped, BudgetTrip::event_count);
+
+  enforcer.reset();
+  EXPECT_FALSE(enforcer.tripped());
+}
+
+TEST(BudgetTest, AGenerousBudgetLeavesACompletedRunIdentical) {
+  const auto drive = [](Simulator& simulator, BudgetEnforcer* enforcer) {
+    if (enforcer != nullptr) simulator.set_budget(enforcer);
+    int remaining = 500;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule(Time::microseconds(250), tick);
+    };
+    simulator.schedule(Time::microseconds(250), tick);
+    simulator.run();
+  };
+
+  Simulator plain{7};
+  drive(plain, nullptr);
+
+  RunBudget budget;
+  budget.max_events = 1'000'000;
+  budget.max_sim_time = Time::seconds(3600);
+  budget.storm_window = 100;
+  budget.storm_events_per_sim_second = 1e9;
+  BudgetEnforcer enforcer{budget};
+  Simulator budgeted{7};
+  drive(budgeted, &enforcer);
+
+  EXPECT_FALSE(enforcer.tripped());
+  EXPECT_EQ(budgeted.events_executed(), plain.events_executed());
+  EXPECT_EQ(budgeted.now(), plain.now());
+}
+
+TEST(BudgetTest, RunUntilUnderBudgetStillHonorsTheDeadline) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::milliseconds(1)};
+  loop.start();
+
+  BudgetEnforcer enforcer{RunBudget{.max_events = 1'000'000}};
+  simulator.set_budget(&enforcer);
+  simulator.run_until(Time::milliseconds(50));
+
+  EXPECT_FALSE(enforcer.tripped());
+  EXPECT_EQ(simulator.now(), Time::milliseconds(50));
+  EXPECT_EQ(simulator.events_executed(), 50u);
+}
+
+TEST(WatchdogTest, FiresAndAbortsARunawayRun) {
+  Simulator simulator{1};
+  TickLoop loop{simulator, Time::nanoseconds(1)};
+  loop.start();
+
+  // No deterministic limit would catch this chain before the heat death of
+  // the test: only the watchdog's abort request ends the run.
+  BudgetEnforcer enforcer{RunBudget{}};
+  simulator.set_budget(&enforcer);
+  WallClockWatchdog watchdog{simulator, std::chrono::milliseconds(20)};
+  simulator.run();
+  watchdog.disarm();
+
+  EXPECT_TRUE(watchdog.fired());
+  ASSERT_TRUE(enforcer.tripped());
+  EXPECT_EQ(enforcer.report().tripped, BudgetTrip::wall_clock);
+  EXPECT_GT(simulator.events_executed(), 0u);
+}
+
+TEST(WatchdogTest, ACompletedRunIsUntouchedByTheWatchdog) {
+  // The tick chain fires during run(), long after setup returns, so its
+  // state lives in a struct scoped to the test, not in lambda locals.
+  struct BoundedTicks {
+    Simulator& simulator;
+    int remaining;
+    std::function<void()> tick;
+    BoundedTicks(Simulator& s, int count) : simulator{s}, remaining{count} {
+      tick = [this] {
+        if (--remaining > 0) simulator.schedule(Time::milliseconds(1), tick);
+      };
+      simulator.schedule(Time::milliseconds(1), tick);
+    }
+  };
+
+  Simulator plain{3};
+  BoundedTicks plain_loop{plain, 200};
+  plain.run();
+
+  Simulator watched{3};
+  BudgetEnforcer enforcer{RunBudget{}};
+  watched.set_budget(&enforcer);
+  BoundedTicks watched_loop{watched, 200};
+  {
+    WallClockWatchdog watchdog{watched, std::chrono::seconds(600)};
+    watched.run();
+    watchdog.disarm();
+    EXPECT_FALSE(watchdog.fired());
+  }
+
+  EXPECT_FALSE(enforcer.tripped());
+  EXPECT_EQ(watched.events_executed(), plain.events_executed());
+  EXPECT_EQ(watched.now(), plain.now());
+}
+
+TEST(WatchdogTest, DisarmIsIdempotentAndTheDestructorDisarms) {
+  Simulator simulator{1};
+  WallClockWatchdog watchdog{simulator, std::chrono::seconds(600)};
+  watchdog.disarm();
+  watchdog.disarm();
+  EXPECT_FALSE(watchdog.fired());
+  EXPECT_FALSE(simulator.abort_requested());
+  // Destructor runs disarm() again on scope exit — must not throw or hang.
+}
+
+}  // namespace
+}  // namespace halfback::sim
