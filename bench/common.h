@@ -29,6 +29,9 @@ struct Options {
   int replications = 1;       ///< independent seeds per sweep cell
   std::string csv_dir;        ///< write result tables as CSV here
   std::string telemetry_dir;  ///< write telemetry exports/manifests here
+  /// Add per-cell FCT tail-percentile columns (p50/p99/p99.9) to sweeps
+  /// that support them (ext_chaos_matrix). Deterministic at any --threads.
+  bool percentiles = false;
 
   // Supervision knobs (docs/robustness.md), honored by the sweep benches
   // that run under the supervised executor (ext_chaos_matrix).
@@ -104,6 +107,8 @@ inline Options parse_options(int argc, char** argv) {
       opt.csv_dir = v;
     } else if ((v = value("--telemetry="))) {
       opt.telemetry_dir = v;
+    } else if (arg == "--percentiles") {
+      opt.percentiles = true;
     } else if (arg == "--allow-quarantine") {
       opt.allow_quarantine = true;
     } else if ((v = value("--budget-events="))) {
@@ -120,6 +125,7 @@ inline Options parse_options(int argc, char** argv) {
       std::printf(
           "usage: %s [--full] [--seed=N] [--threads=N] [--pairs=N] "
           "[--duration=SECONDS] [--reps=N] [--csv=DIR] [--telemetry=DIR]\n"
+          "       [--percentiles]\n"
           "       [--allow-quarantine] [--budget-events=N] [--storm-window=N]\n"
           "       [--storm-rate=EVENTS_PER_SIM_SECOND] [--cell-attempts=N]\n"
           "       [--quarantine=FILE]\n",

@@ -13,6 +13,7 @@
 
 #include "common.h"
 #include "exp/chaos.h"
+#include "sim/dispatch_profiler.h"
 #include "stats/ascii_plot.h"
 #include "stats/table.h"
 #include "telemetry/export.h"
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
                : std::span<const schemes::Scheme>{quick_schemes};
   config.verify_determinism = opt.full;
   config.telemetry_dir = opt.telemetry_dir;
+  config.record_percentiles = opt.percentiles;
   // Supervision knobs: flags override the stock per-cell budget / retry
   // policy (docs/robustness.md). The storm-guard CI job uses these to
   // force a pathological cell into quarantine.
@@ -57,10 +59,16 @@ int main(int argc, char** argv) {
   const std::vector<exp::ChaosCell>& cells = sweep.cells;
   const telemetry::QuarantineManifest& quarantine = sweep.supervision.manifest;
 
-  stats::Table table{{"scenario", "scheme", "unfinished", "mean FCT (ms)",
-                      "median FCT (ms)", "timeouts", "retx", "proactive retx",
-                      "fault drops", "corrupt rej", "dup rej", "audit",
-                      "status"}};
+  std::vector<std::string> headers{
+      "scenario",  "scheme",      "unfinished", "mean FCT (ms)",
+      "median FCT (ms)"};
+  if (opt.percentiles) {
+    headers.insert(headers.end(), {"p50 (ms)", "p99 (ms)", "p99.9 (ms)"});
+  }
+  headers.insert(headers.end(),
+                 {"timeouts", "retx", "proactive retx", "fault drops",
+                  "corrupt rej", "dup rej", "audit", "status"});
+  stats::Table table{std::move(headers)};
   std::size_t unfinished_total = 0;
   std::uint64_t violations_total = 0;
   bool all_deterministic = true;
@@ -79,17 +87,24 @@ int main(int argc, char** argv) {
     } else if (cell.attempts > 1) {
       status = "retried x" + std::to_string(cell.attempts - 1);
     }
-    table.add_row({cell.scenario, bench::display(cell.scheme),
-                   std::to_string(cell.unfinished),
-                   stats::Table::num(cell.mean_fct_ms, 1),
-                   stats::Table::num(cell.median_fct_ms, 1),
-                   stats::Table::num(cell.mean_timeouts, 2),
-                   stats::Table::num(cell.mean_normal_retx, 2),
-                   stats::Table::num(cell.mean_proactive_retx, 2),
-                   std::to_string(cell.fault_drops),
-                   std::to_string(cell.corrupted_rejected),
-                   std::to_string(cell.duplicate_rejected),
-                   cell.audit_violations == 0 ? "ok" : "VIOLATION", status});
+    std::vector<std::string> row{cell.scenario, bench::display(cell.scheme),
+                                 std::to_string(cell.unfinished),
+                                 stats::Table::num(cell.mean_fct_ms, 1),
+                                 stats::Table::num(cell.median_fct_ms, 1)};
+    if (opt.percentiles) {
+      row.insert(row.end(), {stats::Table::num(cell.p50_fct_ms, 1),
+                             stats::Table::num(cell.p99_fct_ms, 1),
+                             stats::Table::num(cell.p999_fct_ms, 1)});
+    }
+    row.insert(row.end(),
+               {stats::Table::num(cell.mean_timeouts, 2),
+                stats::Table::num(cell.mean_normal_retx, 2),
+                stats::Table::num(cell.mean_proactive_retx, 2),
+                std::to_string(cell.fault_drops),
+                std::to_string(cell.corrupted_rejected),
+                std::to_string(cell.duplicate_rejected),
+                cell.audit_violations == 0 ? "ok" : "VIOLATION", status});
+    table.add_row(std::move(row));
   }
   table.print();
   bench::maybe_write_csv(opt, "ext_chaos_matrix", table);
@@ -105,6 +120,11 @@ int main(int argc, char** argv) {
     }
     telemetry::Hub hub;
     runner_config.telemetry = &hub;
+    // Full observability for the showcase: the in-sim cost profiler rides
+    // the instrumented dispatch loop and lands in the manifest's "profile"
+    // table (dispatch counts deterministic, cycle columns not).
+    sim::DispatchProfiler profiler;
+    runner_config.profiler = &profiler;
     exp::EmulabRunner runner{runner_config};
     exp::WorkloadPart part;
     part.scheme = schemes::Scheme::halfback;
@@ -125,12 +145,21 @@ int main(int argc, char** argv) {
             .count();
     const std::string stem = opt.telemetry_dir + "/showcase-halfback";
     {
+      // Full-hub overload: tape events plus nested B/E span events (pid 3).
       std::ofstream out{stem + ".trace.json"};
-      telemetry::write_chrome_trace(out, hub.recorder(), run.sim_end);
+      telemetry::write_chrome_trace(out, hub, run.sim_end);
     }
     {
       std::ofstream out{stem + ".metrics.jsonl"};
       telemetry::write_metrics_jsonl(out, hub.registry());
+    }
+    {
+      std::ofstream out{stem + ".spans.jsonl"};
+      telemetry::write_spans_jsonl(out, hub.spans(), run.sim_end);
+    }
+    {
+      std::ofstream out{stem + ".series.jsonl"};
+      telemetry::write_timeseries_jsonl(out, hub);
     }
     {
       std::ofstream out{stem + ".manifest.json"};

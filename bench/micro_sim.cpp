@@ -11,6 +11,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include "net/topology.h"
 #include "transport/receiver.h"
 #include "schemes/factory.h"
+#include "sim/dispatch_profiler.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "telemetry/hub.h"
@@ -224,13 +226,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// had; BENCH_micro_sim.json records that number as the baseline.) Returns
 /// timer fires/second of wall time (best of `reps` to damp scheduler
 /// noise).
-double measure_events_per_sec(int reps, telemetry::Hub* hub = nullptr) {
+double measure_events_per_sec(int reps, telemetry::Hub* hub = nullptr,
+                              sim::DispatchProfiler* profiler = nullptr,
+                              std::uint64_t fires = 1'000'000) {
   constexpr int kTimers = 512;
-  constexpr std::uint64_t kFires = 1'000'000;
+  const std::uint64_t kFires = fires;
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     sim::Simulator simulator{1};
     if (hub != nullptr) simulator.set_telemetry(hub);
+    if (profiler != nullptr) simulator.set_profiler(profiler);
     std::uint64_t fired = 0;
     std::vector<std::unique_ptr<sim::Timer>> timers;
     timers.reserve(kTimers);
@@ -238,7 +243,7 @@ double measure_events_per_sec(int reps, telemetry::Hub* hub = nullptr) {
       timers.push_back(std::make_unique<sim::Timer>());
       sim::Timer* timer = timers.back().get();
       const auto period = sim::Time::microseconds(1 + i % 97);
-      timer->bind(simulator, [&fired, timer, period] {
+      timer->bind(simulator, [&fired, timer, period, kFires] {
         if (++fired < kFires) timer->schedule_after(period);
       });
     }
@@ -410,12 +415,47 @@ int run_json_mode(const char* path) {
 /// scheduler noise; interleaving reps would be better statistics, but
 /// best-of already discards the slow tail.
 int run_telemetry_json_mode(const char* path) {
-  const double disabled = measure_events_per_sec(/*reps=*/5);
+  // "full": hub plus the in-sim cost profiler, i.e. the instrumented
+  // dispatch loop with a per-event type probe and sampled cycle
+  // attribution — the everything-on observability configuration. Spans
+  // and windowed series are owned by the same hub; this loop has no flows
+  // or links, so their cost shows up in the chaos/emulab gates instead,
+  // where it is a null test plus indexed stores per packet.
+  //
+  // The three configurations are measured interleaved, one short rep each
+  // per round, and the gate compares the per-config *maximum* rate across
+  // all rounds. Scheduler noise is one-sided — contention only ever slows
+  // a measurement down — so the max is each config's cleanest window, and
+  // spreading many short rounds over tens of seconds means every config
+  // sees storm-free windows even on a busy host. A real regression slows
+  // the clean windows too, so it still trips the gate. Sequential
+  // per-config blocks would instead charge machine-speed drift to
+  // whichever config ran last (the budget is 3%; container run-to-run
+  // noise alone exceeds that).
+  constexpr int kRounds = 25;
+  constexpr std::uint64_t kRoundFires = 200'000;
   telemetry::Hub hub;
-  const double enabled = measure_events_per_sec(/*reps=*/5, &hub);
+  telemetry::Hub full_hub;
+  sim::DispatchProfiler profiler;
+  measure_events_per_sec(/*reps=*/1);  // warm caches and the allocator
+  double disabled = 0.0;
+  double enabled = 0.0;
+  double full = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    disabled = std::max(
+        disabled, measure_events_per_sec(/*reps=*/1, nullptr, nullptr,
+                                         kRoundFires));
+    enabled = std::max(
+        enabled, measure_events_per_sec(/*reps=*/1, &hub, nullptr,
+                                        kRoundFires));
+    full = std::max(full, measure_events_per_sec(/*reps=*/1, &full_hub,
+                                                 &profiler, kRoundFires));
+  }
   const double overhead =
       disabled > 0.0 ? (disabled - enabled) / disabled : 0.0;
-  const bool pass = overhead <= 0.03;
+  const double overhead_full =
+      disabled > 0.0 ? (disabled - full) / disabled : 0.0;
+  const bool pass = overhead <= 0.03 && overhead_full <= 0.03;
   std::FILE* out = std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "micro_sim: cannot open %s for writing\n", path);
@@ -425,16 +465,21 @@ int run_telemetry_json_mode(const char* path) {
                "{\n"
                "  \"events_per_sec_disabled\": %.0f,\n"
                "  \"events_per_sec_enabled\": %.0f,\n"
+               "  \"events_per_sec_full\": %.0f,\n"
                "  \"overhead_fraction\": %.4f,\n"
+               "  \"overhead_fraction_full\": %.4f,\n"
                "  \"budget_fraction\": 0.03,\n"
                "  \"pass\": %s\n"
                "}\n",
-               disabled, enabled, overhead, pass ? "true" : "false");
+               disabled, enabled, full, overhead, overhead_full,
+               pass ? "true" : "false");
   if (out != stdout) {
     std::fclose(out);
     std::printf(
-        "telemetry overhead: disabled=%.0f enabled=%.0f events/s (%.2f%%) %s\n",
-        disabled, enabled, overhead * 100.0, pass ? "PASS" : "FAIL");
+        "telemetry overhead: disabled=%.0f enabled=%.0f full=%.0f events/s "
+        "(%.2f%% / %.2f%% with profiler) %s\n",
+        disabled, enabled, full, overhead * 100.0, overhead_full * 100.0,
+        pass ? "PASS" : "FAIL");
   }
   return pass ? 0 : 1;
 }

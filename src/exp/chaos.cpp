@@ -136,8 +136,18 @@ void export_cell(const std::string& dir, const ChaosScenario& scenario,
     telemetry::write_metrics_jsonl(out, hub.registry());
   }
   {
+    // The full-hub overload: the tape events plus the causal span log as
+    // nested B/E duration events on pid 3.
     std::ofstream out{stem + ".trace.json"};
-    telemetry::write_chrome_trace(out, hub.recorder(), end);
+    telemetry::write_chrome_trace(out, hub, end);
+  }
+  {
+    std::ofstream out{stem + ".spans.jsonl"};
+    telemetry::write_spans_jsonl(out, hub.spans(), end);
+  }
+  {
+    std::ofstream out{stem + ".series.jsonl"};
+    telemetry::write_timeseries_jsonl(out, hub);
   }
   {
     std::ofstream out{stem + ".manifest.json"};
@@ -204,18 +214,28 @@ ChaosSweepResult chaos_sweep(const ChaosSweepConfig& config,
         const ChaosScenario& scenario = catalog[i / scheme_count];
         const schemes::Scheme scheme = schemes[i % scheme_count];
         const bool exporting = !config.telemetry_dir.empty();
+        const bool need_hub = exporting || config.record_percentiles;
         // One hub per cell, alive only for the cell: the sweep shards cells
         // across threads and the hub is not thread-safe.
         std::optional<telemetry::Hub> hub;
-        if (exporting) hub.emplace();
+        if (need_hub) hub.emplace();
         telemetry::RunManifest manifest;
         RunResult run = run_cell(config, scenario, scheme, id.seed,
-                                 exporting ? &*hub : nullptr,
+                                 need_hub ? &*hub : nullptr,
                                  exporting ? &manifest : nullptr);
         // Keep the (possibly partial) summary either way: a quarantined
         // cell's last attempt is the triage evidence.
         cells[i] = summarize(scenario, scheme, run);
         cells[i].attempts = id.attempt + 1;
+        if (config.record_percentiles) {
+          const telemetry::Histogram& fct = *hub->transport().fct;
+          cells[i].p50_fct_ms =
+              static_cast<double>(fct.value_at_quantile(0.5)) / 1e6;
+          cells[i].p99_fct_ms =
+              static_cast<double>(fct.value_at_quantile(0.99)) / 1e6;
+          cells[i].p999_fct_ms =
+              static_cast<double>(fct.value_at_quantile(0.999)) / 1e6;
+        }
         if (run.budget_report.tripped != sim::BudgetTrip::none) {
           return AttemptOutcome::from_budget(run.budget_report);
         }

@@ -43,6 +43,12 @@ struct ChaosCell {
   std::size_t unfinished = 0;          ///< 0 = every flow completed
   double mean_fct_ms = 0.0;    // lint: unit-ok(statistics edge: report column in ms)
   double median_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
+  /// FCT tail percentiles from the cell hub's transport.fct_ns histogram
+  /// (exact bucket-walk interpolation; see Histogram::value_at_quantile).
+  /// Zero unless ChaosSweepConfig::record_percentiles is set.
+  double p50_fct_ms = 0.0;   // lint: unit-ok(statistics edge: report column in ms)
+  double p99_fct_ms = 0.0;   // lint: unit-ok(statistics edge: report column in ms)
+  double p999_fct_ms = 0.0;  // lint: unit-ok(statistics edge: report column in ms)
   double mean_timeouts = 0.0;
   double mean_normal_retx = 0.0;
   double mean_proactive_retx = 0.0;
@@ -94,6 +100,11 @@ struct ChaosSweepConfig {
   /// there (the directory must already exist). Purely observational: cell
   /// results and trace hashes are identical with or without it.
   std::string telemetry_dir;
+  /// Fill each cell's p50/p99/p99.9 FCT columns from a per-cell telemetry
+  /// hub's FCT histogram. Purely observational (the hub never perturbs the
+  /// run), and deterministic: jobs=1 and jobs=N sweeps produce identical
+  /// percentile columns.
+  bool record_percentiles = false;
 
   /// Per-cell run budget. The default is deliberately generous — every
   /// catalog cell passes with orders of magnitude of headroom — and exists

@@ -190,6 +190,9 @@ RunResult EmulabRunner::run(const std::vector<WorkloadPart>& parts) {
     enforcer.emplace(config_.budget);
     simulator.set_budget(&*enforcer);
   }
+  // The profiler rides the same instrumented loop as the budget enforcer;
+  // with neither installed the run stays on the seed's plain path.
+  if (config_.profiler != nullptr) simulator.set_profiler(config_.profiler);
   {
     std::optional<sim::WallClockWatchdog> watchdog;
     if (config_.wall_limit.count() > 0) {
@@ -274,6 +277,12 @@ telemetry::RunManifest EmulabRunner::manifest(const RunResult& result,
     const telemetry::MetricRegistry& registry = config_.telemetry->registry();
     if (const auto* e = registry.find("sim.events_dispatched")) {
       m.events_dispatched = registry.counter_at(*e).value();
+    }
+  }
+  if (config_.profiler != nullptr) {
+    for (const sim::DispatchProfiler::Row& row : config_.profiler->rows()) {
+      m.profile.push_back(telemetry::RunManifest::ProfileRow{
+          row.type_name, row.count, row.cycles});
     }
   }
   return m;

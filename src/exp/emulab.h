@@ -14,6 +14,7 @@
 #include "netfault/fault_injector.h"
 #include "schemes/factory.h"
 #include "sim/budget.h"
+#include "sim/dispatch_profiler.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "telemetry/manifest.h"
@@ -124,6 +125,14 @@ class EmulabRunner {
     /// snapshots network gauges at the end. Purely observational: trace
     /// hashes are identical with or without it (docs/telemetry.md).
     telemetry::Hub* telemetry = nullptr;
+
+    /// Optional in-sim cost profiler (owned by the caller). When set, the
+    /// simulator runs its instrumented dispatch loop and attributes a
+    /// cycle count to every event type; manifest() exports the table.
+    /// Event-for-event identical to an unprofiled run — dispatch counts
+    /// are deterministic, only the cycle columns vary. Not part of the
+    /// config fingerprint.
+    sim::DispatchProfiler* profiler = nullptr;
   };
 
   explicit EmulabRunner(Config config) : config_{std::move(config)} {}

@@ -34,6 +34,8 @@ void Link::send(Packet p) {
     return;
   }
   if (transmitting_) {
+    // The queue raises the series' queue-depth peak itself (it knows its
+    // resident count without a virtual packet_count() call).
     queue_->enqueue(std::move(p), simulator_.now());
     return;
   }
@@ -81,6 +83,7 @@ void Link::apply_faults() {
     HALFBACK_AUDIT_HOOK(simulator_.auditor(),
                         on_link_fault_dropped(*this, tx_packet_));
     record_fault(telemetry::FaultKind::drop);
+    if (series_ != nullptr) series_->tally_drop(simulator_.now());
     return;
   }
   if (decision.corrupt && !tx_packet_.corrupted) {
@@ -134,6 +137,10 @@ void Link::deliver(PacketEvent& node) {
   pool_->release(node);
   ++stats_.delivered_packets;
   stats_.delivered_bytes += p.size_bytes;
+  if (series_ != nullptr) {
+    series_->tally_packets(simulator_.now(), 1);
+    series_->tally_bytes(simulator_.now(), p.size_bytes);
+  }
   HALFBACK_AUDIT_HOOK(simulator_.auditor(), on_link_delivered(*this, p));
   if (receiver_) {
     receiver_(std::move(p));

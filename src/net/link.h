@@ -118,6 +118,15 @@ class Link {
   void set_tape(telemetry::Tape* tape) { tape_ = tape; }
   telemetry::Tape* tape() const { return tape_; }
 
+  /// Attach this link's windowed time-series (nullptr detaches; owned by
+  /// the telemetry Hub, which hands the same series to the egress queue for
+  /// drop tallies). Deliveries and queue-depth peaks land in the tumbling
+  /// window of their instant; each tally is a bounds check plus indexed
+  /// adds, so the per-packet cost with no series attached stays one null
+  /// test.
+  void set_series(telemetry::WindowSeries* series) { series_ = series; }
+  telemetry::WindowSeries* series() const { return series_; }
+
   /// Hand a packet to the link. It is queued if the transmitter is busy and
   /// may be dropped by the queue discipline.
   void send(Packet p) HB_EFFECTS(alloc, throw);
@@ -175,6 +184,7 @@ class Link {
   std::function<bool(const Packet&)> packet_filter_;  // lint: function-ok(test-only hook)
   FaultHook* fault_hook_ = nullptr;  ///< not owned; nullptr = fault-free fast path
   telemetry::Tape* tape_ = nullptr;  ///< not owned; nullptr = no recording
+  telemetry::WindowSeries* series_ = nullptr;  ///< not owned; nullptr = none
   bool transmitting_ = false;
   LinkStats stats_;
 

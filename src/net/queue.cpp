@@ -4,12 +4,14 @@
 
 namespace halfback::net {
 
-void PacketQueue::record_enqueue(const Packet& p) {
+void PacketQueue::record_enqueue(const Packet& p, sim::Time now,
+                                 std::size_t resident_packets) {
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += p.size_bytes;
   stats_.max_backlog_bytes =
       std::max(stats_.max_backlog_bytes, sim::Bytes{byte_length()});
   HALFBACK_AUDIT_HOOK(auditor_, on_queue_enqueued(*this, p));
+  if (series_ != nullptr) series_->raise_queue_peak(now, resident_packets);
 }
 
 void PacketQueue::record_drop(const Packet& p, sim::Time now,
@@ -20,6 +22,7 @@ void PacketQueue::record_drop(const Packet& p, sim::Time now,
   if (tape_ != nullptr) {
     tape_->record(now, telemetry::TapeEventKind::queue_drop, p.seq, p.flow);
   }
+  if (series_ != nullptr) series_->tally_drop(now);
   if (drop_callback_) drop_callback_(p);
 }
 
@@ -37,7 +40,7 @@ bool DropTailQueue::enqueue(Packet p, sim::Time now) {
   bytes_ += p.size_bytes;
   // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(std::move(p));
-  record_enqueue(packets_.back());
+  record_enqueue(packets_.back(), now, packets_.size());
   return true;
 }
 
@@ -59,7 +62,8 @@ bool PriorityQueue::enqueue(Packet p, sim::Time now) {
   bytes_[band] += p.size_bytes;
   // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   bands_[band].push_back(std::move(p));
-  record_enqueue(bands_[band].back());
+  record_enqueue(bands_[band].back(), now,
+                 bands_[0].size() + bands_[1].size());
   return true;
 }
 
@@ -83,7 +87,7 @@ bool CoDelQueue::enqueue(Packet p, sim::Time now) {
   bytes_ += p.size_bytes;
   // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(Entry{now, std::move(p)});
-  record_enqueue(packets_.back().packet);
+  record_enqueue(packets_.back().packet, now, packets_.size());
   return true;
 }
 
@@ -162,7 +166,7 @@ bool RedQueue::enqueue(Packet p, sim::Time now) {
   bytes_ += p.size_bytes;
   // lint: hot-ok(queue owns packet storage; deque growth is amortized and capacity-bounded)
   packets_.push_back(std::move(p));
-  record_enqueue(packets_.back());
+  record_enqueue(packets_.back(), now, packets_.size());
   return true;
 }
 

@@ -15,6 +15,7 @@
 #include "sim/random.h"
 #include "sim/time.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/timeseries.h"
 
 namespace halfback::net {
 
@@ -73,6 +74,12 @@ class PacketQueue {
   void set_tape(telemetry::Tape* tape) { tape_ = tape; }
   telemetry::Tape* tape() const { return tape_; }
 
+  /// Attach this queue's windowed time-series (nullptr detaches; owned by
+  /// the telemetry Hub — the same per-link series the owning Link tallies
+  /// deliveries on). Drops are tallied into the window of their instant.
+  void set_series(telemetry::WindowSeries* series) { series_ = series; }
+  telemetry::WindowSeries* series() const { return series_; }
+
   /// Invoked for every dropped packet (for per-flow loss accounting).
   void set_drop_callback(std::function<void(const Packet&)> cb) {
     drop_callback_ = std::move(cb);
@@ -87,7 +94,11 @@ class PacketQueue {
   /// the stats and the audit hooks see one consistent stream. `record_drop`
   /// distinguishes admission drops (packet never entered the backlog) from
   /// in-queue drops (CoDel discarding a resident packet at dequeue).
-  void record_enqueue(const Packet& p);
+  /// `resident_packets` is the post-admission depth, which the caller knows
+  /// statically — keeping the time-series queue-peak tap off the virtual
+  /// packet_count() so the hot path stays devirtualized.
+  void record_enqueue(const Packet& p, sim::Time now,
+                      std::size_t resident_packets);
   void record_drop(const Packet& p, sim::Time now,
                    audit::DropContext context = audit::DropContext::admission);
   void record_dequeue(const Packet& p);
@@ -97,6 +108,7 @@ class PacketQueue {
   std::function<void(const Packet&)> drop_callback_;
   audit::Auditor* auditor_ = nullptr;
   telemetry::Tape* tape_ = nullptr;  ///< not owned; nullptr = no recording
+  telemetry::WindowSeries* series_ = nullptr;  ///< not owned; nullptr = none
 };
 
 /// Classic FIFO drop-tail queue bounded in bytes — the discipline used at

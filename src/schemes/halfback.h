@@ -164,6 +164,9 @@ class HalfbackSender final : public PacedStartImpl<HalfbackSender> {
           tape()->record(simulator_.now(),
                          telemetry::TapeEventKind::ropr_abandoned, ropr_back_);
         }
+        // Mark the interrupted ROPR span abandoned before fallback closes it,
+        // so the span log distinguishes a cut-short repair from a finished one.
+        abandon_phase_span();
         enter_phase(telemetry::FlowPhase::fallback);
       }
     }

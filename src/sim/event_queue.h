@@ -135,6 +135,12 @@ class EventQueue {
   /// Time of the earliest event. Requires !empty().
   Time next_time() const;
 
+  /// The earliest event, without removing it. Requires !empty(). Read-only
+  /// peek for the instrumented dispatch loop: the profiler captures the
+  /// event's dynamic type here, before run_next() hands the event to a
+  /// fire() that may destroy or reschedule it.
+  const Event& peek_next() const HB_EFFECTS() { return *heap_[0].event; }
+
   /// Pop and run the earliest event; returns its time. Requires !empty().
   Time run_next() HB_EFFECTS(alloc, throw, rng);
 

@@ -19,6 +19,7 @@ class Hub;
 namespace halfback::sim {
 
 class BudgetEnforcer;
+class DispatchProfiler;
 
 /// A single simulation run.
 ///
@@ -129,6 +130,14 @@ class Simulator {
   void set_budget(BudgetEnforcer* budget) { budget_ = budget; }
   BudgetEnforcer* budget() const { return budget_; }
 
+  /// Install a dispatch profiler for this run (nullptr detaches). Owned by
+  /// the caller. Like the budget enforcer, installation selects the
+  /// instrumented dispatch loop; without one the loops are exactly the
+  /// unprofiled seed paths. The profiler only observes (per-type counts
+  /// and cycles), so trace hashes stay bit-identical.
+  void set_profiler(DispatchProfiler* profiler) { profiler_ = profiler; }
+  DispatchProfiler* profiler() const { return profiler_; }
+
   /// Ask the run to abort at the next event boundary (recorded as
   /// BudgetTrip::wall_clock when a budget enforcer is installed). The one
   /// cross-thread entry point: safe to call from a watchdog thread while
@@ -140,10 +149,11 @@ class Simulator {
   }
 
  private:
-  /// Dispatch loop used when a budget enforcer is installed: identical to
-  /// the unbudgeted loops plus the per-event budget check and the abort
-  /// flag poll. run() enters it with an infinite deadline.
-  void run_budgeted(Time deadline) HB_EFFECTS(alloc, throw, rng);
+  /// Dispatch loop used when a budget enforcer or a dispatch profiler is
+  /// installed: identical to the plain loops plus the per-event budget
+  /// check, the abort flag poll, and the profiler tap — each guarded by
+  /// its own null test. run() enters it with an infinite deadline.
+  void run_instrumented(Time deadline) HB_EFFECTS(alloc, throw, rng);
 
   Time now_ = Time::zero();
   EventQueue queue_;
@@ -153,6 +163,7 @@ class Simulator {
   audit::Auditor* auditor_ = nullptr;
   telemetry::Hub* telemetry_ = nullptr;
   BudgetEnforcer* budget_ = nullptr;
+  DispatchProfiler* profiler_ = nullptr;
   std::atomic<bool> abort_requested_{false};
 };
 

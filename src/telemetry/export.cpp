@@ -22,8 +22,10 @@ std::string micros(std::int64_t ns) {
 void write_histogram_fields(std::ostream& out, const Histogram& h) {
   out << "\"count\":" << h.count() << ",\"sum\":" << h.sum()
       << ",\"min\":" << h.min() << ",\"max\":" << h.max()
-      << ",\"p50\":" << h.quantile_upper_bound(0.5)
-      << ",\"p99\":" << h.quantile_upper_bound(0.99)
+      << ",\"p50\":" << h.value_at_quantile(0.5)
+      << ",\"p90\":" << h.value_at_quantile(0.9)
+      << ",\"p99\":" << h.value_at_quantile(0.99)
+      << ",\"p999\":" << h.value_at_quantile(0.999)
       << ",\"sub_bucket_bits\":" << h.sub_bucket_bits() << ",\"buckets\":[";
   bool first = true;
   for (std::size_t i = 0; i < h.bucket_count(); ++i) {
@@ -149,8 +151,12 @@ std::string prometheus_text(const MetricRegistry& registry) {
   return out.str();
 }
 
-void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
-                        sim::Time end) {
+namespace {
+
+/// Everything except the closing "]}" — shared by the recorder-only and
+/// full-hub overloads so the recorder prefix stays byte-identical.
+void write_trace_tape_events(std::ostream& out, const FlightRecorder& recorder,
+                             sim::Time end) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"flows\"}}";
@@ -190,12 +196,176 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
           << ",\"b\":" << ev.b << "}}";
     }
   }
+}
+
+/// One nested B/E pair, clamped to [lo, hi].
+void write_span_pair(std::ostream& out, int tid, const Span& s, sim::Time lo,
+                     sim::Time hi) {
+  sim::Time b = s.begin < lo ? lo : s.begin;
+  sim::Time e = s.open ? hi : s.end;
+  if (e > hi) e = hi;
+  if (e < b) e = b;
+  out << ",\n{\"ph\":\"B\",\"pid\":3,\"tid\":" << tid
+      << ",\"cat\":\"span\",\"name\":\"" << to_string(s.kind)
+      << "\",\"ts\":" << micros(b.ns()) << ",\"args\":{\"span\":" << s.id
+      << ",\"parent\":" << s.parent
+      << (s.abandoned ? ",\"abandoned\":true" : "") << "}}";
+  out << ",\n{\"ph\":\"E\",\"pid\":3,\"tid\":" << tid
+      << ",\"cat\":\"span\",\"name\":\"" << to_string(s.kind)
+      << "\",\"ts\":" << micros(e.ns()) << "}";
+}
+
+/// Span log as pid-3 duration events: per flow, one thread for the phase
+/// tree (the flow root's B/E bracketing its sequential phase children) and
+/// one for RTO-recovery episodes, so every thread's B/E events nest.
+void write_trace_span_events(std::ostream& out, const SpanRecorder& spans,
+                             sim::Time end) {
+  out << ",\n{\"ph\":\"M\",\"pid\":3,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"spans\"}}";
+  // Flows in first-appearance order; span ids are open-ordered, so this is
+  // deterministic.
+  std::vector<std::uint64_t> flows;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::uint64_t flow = spans.at(i).flow;
+    bool seen = false;
+    for (const std::uint64_t f : flows) {
+      if (f == flow) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) flows.push_back(flow);
+  }
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const std::uint64_t flow = flows[f];
+    const int tid_phase = static_cast<int>(2 * f + 1);
+    const int tid_rto = static_cast<int>(2 * f + 2);
+    out << ",\n{\"ph\":\"M\",\"pid\":3,\"tid\":" << tid_phase
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"flow "
+        << flow << "\"}}";
+
+    // Phase thread: the flow root wraps its children.
+    const Span* root = nullptr;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const Span& s = spans.at(i);
+      if (s.flow == flow && s.kind == SpanKind::flow) {
+        root = &s;
+        break;
+      }
+    }
+    const sim::Time lo = root != nullptr ? root->begin : sim::Time::zero();
+    const sim::Time hi =
+        root == nullptr || root->open
+            ? end
+            : (root->end > end ? end : root->end);
+    if (root != nullptr) {
+      out << ",\n{\"ph\":\"B\",\"pid\":3,\"tid\":" << tid_phase
+          << ",\"cat\":\"span\",\"name\":\"" << to_string(root->kind)
+          << "\",\"ts\":" << micros(lo.ns()) << ",\"args\":{\"span\":"
+          << root->id << ",\"parent\":" << root->parent << "}}";
+    }
+    bool any_rto = false;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const Span& s = spans.at(i);
+      if (s.flow != flow) continue;
+      if (s.kind == SpanKind::flow) continue;
+      if (s.kind == SpanKind::rto_recovery) {
+        any_rto = true;
+        continue;
+      }
+      write_span_pair(out, tid_phase, s, lo, hi);
+    }
+    if (root != nullptr) {
+      out << ",\n{\"ph\":\"E\",\"pid\":3,\"tid\":" << tid_phase
+          << ",\"cat\":\"span\",\"name\":\"" << to_string(root->kind)
+          << "\",\"ts\":" << micros(hi.ns()) << "}";
+    }
+
+    // RTO thread: episodes are sequential (one open at a time per flow).
+    if (any_rto) {
+      out << ",\n{\"ph\":\"M\",\"pid\":3,\"tid\":" << tid_rto
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"flow " << flow
+          << " rto\"}}";
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Span& s = spans.at(i);
+        if (s.flow != flow || s.kind != SpanKind::rto_recovery) continue;
+        write_span_pair(out, tid_rto, s, lo, end);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
+                        sim::Time end) {
+  write_trace_tape_events(out, recorder, end);
   out << "\n]}\n";
 }
 
 std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end) {
   std::ostringstream out;
   write_chrome_trace(out, recorder, end);
+  return out.str();
+}
+
+void write_chrome_trace(std::ostream& out, const Hub& hub, sim::Time end) {
+  write_trace_tape_events(out, hub.recorder(), end);
+  write_trace_span_events(out, hub.spans(), end);
+  out << "\n]}\n";
+}
+
+std::string chrome_trace_json(const Hub& hub, sim::Time end) {
+  std::ostringstream out;
+  write_chrome_trace(out, hub, end);
+  return out.str();
+}
+
+void write_spans_jsonl(std::ostream& out, const SpanRecorder& spans,
+                       sim::Time end) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans.at(i);
+    const sim::Time stop = s.open ? end : s.end;
+    out << "{\"span\":" << s.id << ",\"parent\":" << s.parent
+        << ",\"flow\":" << s.flow << ",\"kind\":\"" << to_string(s.kind)
+        << "\",\"begin_ns\":" << (s.begin.ns() < 0 ? 0 : s.begin.ns())
+        << ",\"end_ns\":" << (stop.ns() < 0 ? 0 : stop.ns())
+        << ",\"open\":" << (s.open ? "true" : "false")
+        << ",\"abandoned\":" << (s.abandoned ? "true" : "false") << "}\n";
+  }
+  out << "{\"span_count\":" << spans.size()
+      << ",\"dropped\":" << spans.dropped() << "}\n";
+}
+
+std::string spans_jsonl(const SpanRecorder& spans, sim::Time end) {
+  std::ostringstream out;
+  write_spans_jsonl(out, spans, end);
+  return out.str();
+}
+
+void write_timeseries_jsonl(std::ostream& out, const Hub& hub) {
+  for (std::size_t i = 0; i < hub.series_count(); ++i) {
+    const WindowSeries& s = hub.series_at(i);
+    out << "{\"series\":\"" << json_escape(s.name())
+        << "\",\"window_ns\":" << s.width().ns()
+        << ",\"dropped\":" << s.dropped() << ",\"windows\":[";
+    bool first = true;
+    for (std::size_t w = 0; w < s.window_count(); ++w) {
+      const WindowSample& sample = s.window(w);
+      if (!sample.touched()) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '[' << w << ',' << sample.bytes << ',' << sample.packets << ','
+          << sample.drops << ',' << sample.retx << ',' << sample.dups << ','
+          << sample.queue_peak << ',' << sample.inflight_peak << ']';
+    }
+    out << "]}\n";
+  }
+}
+
+std::string timeseries_jsonl(const Hub& hub) {
+  std::ostringstream out;
+  write_timeseries_jsonl(out, hub);
   return out.str();
 }
 

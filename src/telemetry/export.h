@@ -21,7 +21,9 @@
 #include "sim/time.h"
 #include "stats/ascii_plot.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/hub.h"
 #include "telemetry/registry.h"
+#include "telemetry/span.h"
 
 namespace halfback::telemetry {
 
@@ -49,6 +51,32 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& recorder,
                         sim::Time end);
 std::string chrome_trace_json(const FlightRecorder& recorder, sim::Time end)
     HB_EFFECTS(alloc, throw);
+
+/// Full-hub Chrome trace: the recorder output above, byte-identical, plus
+/// the causal span log as nested B/E duration events on pid 3 — one thread
+/// per flow for the phase tree (flow root wrapping handshake / pacing /
+/// blast / ropr / fallback children) and a second thread per flow for its
+/// RTO-recovery episodes, so each thread's B/E events nest strictly.
+/// Spans still open at export close at `end`; children clamp to their
+/// parent's bounds.
+void write_chrome_trace(std::ostream& out, const Hub& hub, sim::Time end);
+std::string chrome_trace_json(const Hub& hub, sim::Time end)
+    HB_EFFECTS(alloc, throw);
+
+/// Span log as JSONL: one object per span in recorded (id) order, plus a
+/// trailing summary line with the span count and overflow drops. Open
+/// spans report `"open":true` with their end clamped to `end`.
+void write_spans_jsonl(std::ostream& out, const SpanRecorder& spans,
+                       sim::Time end) HB_EFFECTS(alloc, throw);
+std::string spans_jsonl(const SpanRecorder& spans, sim::Time end)
+    HB_EFFECTS(alloc, throw);
+
+/// Windowed time-series as JSONL: one object per series in creation order;
+/// each touched window renders as [index, bytes, packets, drops, retx,
+/// dups, queue_peak, inflight_peak].
+void write_timeseries_jsonl(std::ostream& out, const Hub& hub)
+    HB_EFFECTS(alloc, throw);
+std::string timeseries_jsonl(const Hub& hub) HB_EFFECTS(alloc, throw);
 
 /// Bridge to stats::ascii_histogram: the histogram's occupied buckets as
 /// bins, edges divided by `scale` (1e6 turns nanoseconds into ms). Inline

@@ -9,7 +9,11 @@
 
 namespace halfback::telemetry {
 
-Hub::Hub(Config config) : recorder_{config.recorder} {
+Hub::Hub(Config config)
+    : recorder_{config.recorder},
+      spans_{config.span_capacity},
+      series_window_{config.series_window},
+      series_max_windows_{config.series_max_windows} {
   // Registration order here IS the export order; append new metrics at the
   // end of their section so existing golden exports keep their prefix.
   sim_.events_dispatched = registry_.counter(
@@ -100,6 +104,9 @@ void Hub::instrument_network(net::Network& network) {
                                 "link " + std::to_string(i));
     links[i]->set_tape(&tape);
     links[i]->queue().set_tape(&tape);
+    WindowSeries& link_series = series("link." + std::to_string(i));
+    links[i]->set_series(&link_series);
+    links[i]->queue().set_series(&link_series);
   }
 }
 

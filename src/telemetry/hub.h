@@ -15,11 +15,16 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/annotations.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metric.h"
 #include "telemetry/registry.h"
+#include "telemetry/span.h"
+#include "telemetry/timeseries.h"
 
 namespace halfback::net {
 class Network;
@@ -81,6 +86,13 @@ class Hub {
 
   struct Config {
     FlightRecorder::Config recorder;
+    /// Span store size (spans past it are counted, not recorded).
+    std::size_t span_capacity = SpanRecorder::kDefaultCapacity;
+    /// Tumbling-window width for the time-series layer.
+    sim::Time series_window = sim::Time::milliseconds(10);
+    /// Windows per series; activity past the last window is counted as
+    /// dropped, never recorded.
+    std::size_t series_max_windows = WindowSeries::kDefaultMaxWindows;
   };
 
   /// Registers the whole metric catalog (see docs/telemetry.md) so probe
@@ -101,11 +113,33 @@ class Hub {
   SchemeProbes& scheme() { return scheme_; }
   FaultProbes& fault() { return fault_; }
 
-  /// Event-dispatch hook, called by the simulator loop per executed event.
-  /// Inline and allocation-free: one increment plus a high-water compare.
-  void on_event_dispatched(std::size_t heap_size) {
-    sim_.events_dispatched->increment();
-    sim_.event_queue_peak->set_max(static_cast<double>(heap_size));
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+
+  /// Create-or-get the named windowed time-series (setup path: senders and
+  /// instrument_network fetch their series pointer once, then record
+  /// through it behind a null check). Creation order = export order, the
+  /// same discipline MetricRegistry uses for instruments.
+  WindowSeries& series(const std::string& name) {
+    for (const auto& s : series_) {
+      if (s->name() == name) return *s;
+    }
+    series_.push_back(std::make_unique<WindowSeries>(
+        name, series_window_, series_max_windows_));
+    return *series_.back();
+  }
+  std::size_t series_count() const { return series_.size(); }
+  const WindowSeries& series_at(std::size_t i) const { return *series_[i]; }
+
+  /// Batched event-dispatch hook: the simulator's dispatch loops track
+  /// the count and the integer heap peak locally and flush once when a
+  /// run slice exits, keeping the per-event telemetry cost to an integer
+  /// compare. Final metric values equal per-event updates; only a hub
+  /// read from *inside* a running callback would notice the deferral,
+  /// and these two are end-of-run metrics.
+  void on_run_slice_done(std::uint64_t dispatched, std::size_t heap_peak) {
+    sim_.events_dispatched->add(dispatched);
+    sim_.event_queue_peak->set_max(static_cast<double>(heap_peak));
   }
 
   /// Install this hub on `network`: set the simulator's telemetry pointer
@@ -127,13 +161,26 @@ class Hub {
   /// Fold another hub's instruments into this one (sharded-engine reduce
   /// step: each shard runs with its own Hub, the parent merges after the
   /// shard's worker joins). Both hubs register the same catalog in their
-  /// constructors, so export order is unchanged. Flight-recorder tapes are
-  /// per-shard artifacts and are not merged.
-  void merge_from(const Hub& other) HB_EFFECTS(alloc, throw, block) { registry_.merge_from(other.registry_); }
+  /// constructors, so export order is unchanged. Spans append in the other
+  /// shard's recorded order (ids re-based) and series merge by name in the
+  /// other shard's creation order, so a fixed shard-merge order yields
+  /// byte-identical merged output at any worker count. Flight-recorder
+  /// tapes are per-shard artifacts and are not merged.
+  void merge_from(const Hub& other) HB_EFFECTS(alloc, throw, block) {
+    registry_.merge_from(other.registry_);
+    spans_.merge_from(other.spans_);
+    for (const auto& s : other.series_) {
+      series(s->name()).merge_from(*s);
+    }
+  }
 
  private:
   MetricRegistry registry_;
   FlightRecorder recorder_;
+  SpanRecorder spans_;
+  std::vector<std::unique_ptr<WindowSeries>> series_;
+  sim::Time series_window_;
+  std::size_t series_max_windows_;
   SimProbes sim_;
   TransportProbes transport_;
   SchemeProbes scheme_;

@@ -35,6 +35,18 @@ void write_manifest_json(std::ostream& out, const RunManifest& manifest,
       << manifest.sim_end.ns() << ",\"events_dispatched\":"
       << manifest.events_dispatched << ",\"wall_time_seconds\":"
       << format_double(manifest.wall_time_seconds);
+  if (!manifest.profile.empty()) {
+    out << ",\"profile\":[";
+    bool first = true;
+    for (const RunManifest::ProfileRow& row : manifest.profile) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"type\":\"" << json_escape(row.event_type)
+          << "\",\"count\":" << row.count << ",\"cycles\":" << row.cycles
+          << '}';
+    }
+    out << ']';
+  }
   if (registry != nullptr) {
     out << ",\"metrics\":[";
     std::ostringstream lines;

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/annotations.h"
 #include "sim/time.h"
@@ -20,6 +21,16 @@ namespace halfback::telemetry {
 class MetricRegistry;
 
 struct RunManifest {
+  /// One in-sim cost-profiler row (see sim::DispatchProfiler): cycle
+  /// attribution for one event type. `count` is deterministic; `cycles`
+  /// is wall-clock-adjacent and varies run to run, like wall_time_seconds.
+  struct ProfileRow {
+    std::string event_type;     ///< demangled event class name
+    std::uint64_t count = 0;    ///< dispatches of this type (exact)
+    std::uint64_t cycles = 0;   ///< sampled cycle ticks inside fire()
+                                ///< (1 in DispatchProfiler::kSamplePeriod)
+  };
+
   std::string experiment;        ///< e.g. "emulab", "planetlab", "chaos:rc-2"
   std::string scheme;            ///< scheme under test, if one
   std::uint64_t seed = 0;
@@ -28,6 +39,9 @@ struct RunManifest {
   sim::Time sim_end;                ///< simulated clock at snapshot
   std::uint64_t events_dispatched = 0;
   double wall_time_seconds = 0.0;   ///< stamped outside src/ (see above)
+  /// Dispatch-profiler table; empty when no profiler was installed (the
+  /// manifest then omits its "profile" key entirely).
+  std::vector<ProfileRow> profile;
 };
 
 /// FNV-1a 64-bit over `text`; the manifest's config digest.

@@ -123,6 +123,15 @@ class Histogram {
   /// bucket where the cumulative count first reaches p * count().
   std::uint64_t quantile_upper_bound(double p) const;
 
+  /// Exact bucket-walk quantile: walk the cumulative distribution to the
+  /// target rank q * count(), then interpolate linearly between the winning
+  /// bucket's edges by the rank's position inside it. The result is clamped
+  /// to the recorded [min(), max()] so sparse histograms report the exact
+  /// extremes at q = 0 and q = 1 instead of bucket edges. This is the
+  /// percentile the exporters and `hbreport` print (p50/p90/p99/p99.9);
+  /// quantile_upper_bound() remains the conservative upper estimate.
+  std::uint64_t value_at_quantile(double q) const;
+
   /// Fold another histogram's population into this one, bucket by bucket.
   /// Exact (not an approximation) because bucket edges are a pure function
   /// of the resolution — the caller (MetricRegistry::merge_from) guarantees

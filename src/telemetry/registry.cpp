@@ -53,6 +53,33 @@ std::uint64_t Histogram::quantile_upper_bound(double p) const {
   return bucket_upper(counts_.size() - 1, sub_bucket_bits_);
 }
 
+std::uint64_t Histogram::value_at_quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const std::uint64_t lower = bucket_lower(i, sub_bucket_bits_);
+      const std::uint64_t upper = bucket_upper(i, sub_bucket_bits_);
+      const double inside =
+          (target - static_cast<double>(before)) /
+          static_cast<double>(counts_[i]);
+      std::uint64_t v =
+          lower + static_cast<std::uint64_t>(
+                      inside * static_cast<double>(upper - lower));
+      if (v < min()) v = min();
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
 MetricRegistry::Entry* MetricRegistry::find_mutable(const std::string& name) {
   for (Entry& e : entries_) {
     if (e.name == name) return &e;

@@ -1,0 +1,34 @@
+#include "telemetry/span.h"
+
+namespace halfback::telemetry {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::flow: return "flow";
+    case SpanKind::handshake: return "handshake";
+    case SpanKind::pacing: return "pacing";
+    case SpanKind::blast: return "blast";
+    case SpanKind::ropr_repair: return "ropr_repair";
+    case SpanKind::fallback: return "fallback";
+    case SpanKind::rto_recovery: return "rto_recovery";
+  }
+  return "?";
+}
+
+void SpanRecorder::merge_from(const SpanRecorder& other) {
+  if (&other == this) return;
+  const std::uint32_t base = static_cast<std::uint32_t>(used_);
+  if (used_ + other.used_ > spans_.size()) {
+    spans_.resize(used_ + other.used_);
+  }
+  for (std::size_t i = 0; i < other.used_; ++i) {
+    Span s = other.spans_[i];
+    s.id += base;
+    if (s.parent != 0) s.parent += base;
+    spans_[used_] = s;
+    ++used_;
+  }
+  dropped_ += other.dropped_;
+}
+
+}  // namespace halfback::telemetry

@@ -1,0 +1,38 @@
+#include "telemetry/timeseries.h"
+
+#include <stdexcept>
+
+namespace halfback::telemetry {
+
+void WindowSeries::merge_from(const WindowSeries& other) {
+  if (&other == this) return;
+  if (other.width_ != width_) {
+    throw std::invalid_argument{"series '" + name_ +
+                                "': window widths differ; cannot merge"};
+  }
+  const std::size_t shared =
+      other.used_ < windows_.size() ? other.used_ : windows_.size();
+  for (std::size_t i = 0; i < shared; ++i) {
+    const WindowSample& from = other.windows_[i];
+    WindowSample& into = windows_[i];
+    into.bytes += from.bytes;
+    into.packets += from.packets;
+    into.drops += from.drops;
+    into.retx += from.retx;
+    into.dups += from.dups;
+    if (from.queue_peak > into.queue_peak) into.queue_peak = from.queue_peak;
+    if (from.inflight_peak > into.inflight_peak) {
+      into.inflight_peak = from.inflight_peak;
+    }
+  }
+  if (shared > used_) used_ = shared;
+  dropped_ += other.dropped_;
+  // Windows the other shard recorded past this series' capacity stay
+  // dropped — both sides were constructed with the same limits in any
+  // sane sharded setup, so shared == other.used_ in practice.
+  if (other.used_ > windows_.size()) {
+    dropped_ += other.used_ - windows_.size();
+  }
+}
+
+}  // namespace halfback::telemetry

@@ -44,8 +44,14 @@ void SenderBase::start() {
     hub_->transport().flows_started->increment();
     tape_->record(simulator_.now(), telemetry::TapeEventKind::flow_start, 0,
                   record_.flow_bytes.count());
-    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::handshake);
   }
+  if (spans_ != nullptr) {
+    // Root span of this flow's causal tree; phase and RTO-recovery spans
+    // parent under it.
+    span_flow_ = spans_->open_span(record_.flow, telemetry::SpanKind::flow, 0,
+                                   simulator_.now());
+  }
+  enter_phase(telemetry::FlowPhase::handshake);
   send_syn();
 }
 
@@ -99,10 +105,10 @@ bool SenderBase::begin_established() {
     if (syn_tries_ == 1) hub_->transport().handshake_rtt->record_time(sample);
     tape_->record(simulator_.now(), telemetry::TapeEventKind::established, 0,
                   static_cast<std::uint64_t>(sample.ns() < 0 ? 0 : sample.ns()));
-    // Schemes with finer structure (paced start, ROPR) refine this from
-    // on_established(); the same-timestamp span then replaces "transfer".
-    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::transfer);
   }
+  // Schemes with finer structure (paced start, ROPR) refine this from
+  // on_established(); the same-timestamp span then replaces "transfer".
+  enter_phase(telemetry::FlowPhase::transfer);
   return true;
 }
 
@@ -119,7 +125,25 @@ AckUpdate SenderBase::apply_ack(const net::Packet& packet) {
     tape_->record(simulator_.now(), telemetry::TapeEventKind::ack_received,
                   packet.cum_ack);
   }
+  if (class_series_ != nullptr) {
+    // Goodput credit: every segment newly reported received — cum-ack
+    // progress plus fresh SACKs (newly_cum_acked already excludes segments
+    // credited at SACK time) — in payload bytes. An ack carrying no new
+    // information at all is the duplicate worth counting.
+    const std::uint64_t credited = update.newly_acked_total();
+    if (credited > 0) {
+      class_series_->tally_bytes(simulator_.now(),
+                                 credited * net::kSegmentPayloadBytes);
+    } else {
+      class_series_->tally_dup(simulator_.now());
+    }
+  }
   if (update.advanced()) {
+    if (spans_ != nullptr && span_rto_ != 0) {
+      // Cumulative progress ends the RTO-recovery episode.
+      spans_->close_span(span_rto_, simulator_.now());
+      span_rto_ = 0;
+    }
     rtt_.reset_backoff();
     if (!scoreboard_.complete()) arm_rto();
   }
@@ -205,6 +229,13 @@ void SenderBase::transmit_segment(std::uint32_t seq, bool proactive) {
                     seq);
     }
   }
+  if (class_series_ != nullptr) {
+    class_series_->tally_packets(simulator_.now(), 1);
+    if (retx) class_series_->tally_retx(simulator_.now());
+    class_series_->raise_inflight_peak(
+        simulator_.now(), static_cast<std::uint64_t>(scoreboard_.pipe()) *
+                              net::kSegmentPayloadBytes);
+  }
   node_.send(std::move(p));
 }
 
@@ -218,6 +249,13 @@ bool SenderBase::note_timeout() {
     hub_->transport().rto_fired->increment();
     tape_->record(simulator_.now(), telemetry::TapeEventKind::rto_fired,
                   record_.timeouts);
+  }
+  if (spans_ != nullptr && span_rto_ == 0) {
+    // One recovery episode per outage: back-to-back RTOs with no
+    // intervening cumulative progress extend the same span.
+    span_rto_ = spans_->open_span(record_.flow,
+                                  telemetry::SpanKind::rto_recovery,
+                                  span_flow_, simulator_.now());
   }
   return true;
 }
@@ -242,7 +280,16 @@ bool SenderBase::finish_transfer() {
     hub_->transport().fct->record_time(fct);
     tape_->record(simulator_.now(), telemetry::TapeEventKind::complete, 0,
                   static_cast<std::uint64_t>(fct.ns() < 0 ? 0 : fct.ns()));
-    tape_->enter_phase(simulator_.now(), telemetry::FlowPhase::done);
+  }
+  if (spans_ != nullptr && span_rto_ != 0) {
+    // Completion resolves a recovery episode still in flight.
+    spans_->close_span(span_rto_, simulator_.now());
+    span_rto_ = 0;
+  }
+  enter_phase(telemetry::FlowPhase::done);
+  if (spans_ != nullptr && span_flow_ != 0) {
+    spans_->close_span(span_flow_, simulator_.now());
+    span_flow_ = 0;
   }
   return true;
 }

@@ -127,6 +127,11 @@ class SenderBase {
                 : &hub->recorder().tape(
                       telemetry::TrackKind::flow, record_.flow,
                       record_.scheme + " flow " + std::to_string(record_.flow));
+    spans_ = hub == nullptr ? nullptr : &hub->spans();
+    // Per-flow-class windowed series, keyed by scheme name so every flow of
+    // a scheme tallies into the same tumbling windows.
+    class_series_ =
+        hub == nullptr ? nullptr : &hub->series("class." + record_.scheme);
   }
 
   const FlowRecord& record() const { return record_; }
@@ -156,9 +161,30 @@ class SenderBase {
   telemetry::Hub::SchemeProbes* scheme_probes() {
     return hub_ == nullptr ? nullptr : &hub_->scheme();
   }
-  /// Record a phase transition on this flow's tape (no-op without one).
+  /// Record a phase transition on this flow's tape AND in the causal span
+  /// log: the current phase span (if any) closes and — except for `done` —
+  /// a new one opens as a child of the root flow span. No-op without
+  /// telemetry. Allocation-free: spans land in the recorder's preallocated
+  /// store.
   void enter_phase(telemetry::FlowPhase phase) {
     if (tape_ != nullptr) tape_->enter_phase(simulator_.now(), phase);
+    if (spans_ == nullptr) return;
+    if (span_phase_ != 0) {
+      spans_->close_span(span_phase_, simulator_.now());
+      span_phase_ = 0;
+    }
+    if (phase != telemetry::FlowPhase::done) {
+      span_phase_ = spans_->open_span(record_.flow, span_kind_for(phase),
+                                      span_flow_, simulator_.now());
+    }
+  }
+
+  /// Flag the current phase span abandoned (ROPR cut short by an RTO)
+  /// without closing it; the following enter_phase() closes it as usual.
+  void abandon_phase_span() {
+    if (spans_ != nullptr && span_phase_ != 0) {
+      spans_->abandon_span(span_phase_);
+    }
   }
 
   sim::Bytes flow_bytes() const { return record_.flow_bytes; }
@@ -214,9 +240,33 @@ class SenderBase {
   void take_rtt_sample(const net::Packet& ack);
   std::uint64_t next_uid() { return (record_.flow << 24) + (++uid_counter_); }
 
+  /// Phase -> span-kind mapping for enter_phase(). `done` never reaches
+  /// this (it only closes the current span).
+  static telemetry::SpanKind span_kind_for(telemetry::FlowPhase phase) {
+    switch (phase) {
+      case telemetry::FlowPhase::handshake:
+        return telemetry::SpanKind::handshake;
+      case telemetry::FlowPhase::pacing:
+        return telemetry::SpanKind::pacing;
+      case telemetry::FlowPhase::ropr:
+        return telemetry::SpanKind::ropr_repair;
+      case telemetry::FlowPhase::fallback:
+        return telemetry::SpanKind::fallback;
+      case telemetry::FlowPhase::transfer:
+      case telemetry::FlowPhase::done:
+        break;
+    }
+    return telemetry::SpanKind::blast;
+  }
+
   CompletionRef on_complete_;
   telemetry::Hub* hub_ = nullptr;    ///< not owned; nullptr = telemetry off
   telemetry::Tape* tape_ = nullptr;  ///< this flow's tape, owned by the hub
+  telemetry::SpanRecorder* spans_ = nullptr;  ///< hub's span log; may be null
+  telemetry::WindowSeries* class_series_ = nullptr;  ///< per-scheme series
+  std::uint32_t span_flow_ = 0;   ///< root flow span id (0 = none)
+  std::uint32_t span_phase_ = 0;  ///< current phase span id (0 = none)
+  std::uint32_t span_rto_ = 0;    ///< open RTO-recovery span id (0 = none)
   sim::StaticTimer syn_timer_;
   sim::Time syn_last_sent_;
   int syn_tries_ = 0;

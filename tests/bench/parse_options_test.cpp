@@ -35,6 +35,18 @@ TEST(ParseOptions, DefaultsSurviveWhenFlagsAbsent) {
   EXPECT_EQ(opt.replications, 1);
 }
 
+TEST(ParseOptions, ParsesPercentilesAndTelemetryFlags) {
+  const Options opt = parse({"--percentiles", "--telemetry=/tmp/telem"});
+  EXPECT_TRUE(opt.percentiles);
+  EXPECT_EQ(opt.telemetry_dir, "/tmp/telem");
+}
+
+TEST(ParseOptions, PercentilesDefaultOff) {
+  const Options opt = parse({});
+  EXPECT_FALSE(opt.percentiles);
+  EXPECT_TRUE(opt.telemetry_dir.empty());
+}
+
 TEST(ParseOptions, ParsesSupervisionFlags) {
   const Options opt =
       parse({"--allow-quarantine", "--budget-events=5000", "--storm-window=250",

@@ -358,6 +358,20 @@ TEST(EffectsRule, UndeclaredDirectEffectFixtureTrips) {
       << findings[0].message;
 }
 
+TEST(EffectsRule, AllocatingTelemetryTapFixtureTrips) {
+  // The span/series record-path discipline: a telemetry tap reached from
+  // the dispatch path must be pure stores on preallocated storage. This
+  // fixture's tap claims HB_EFFECTS() but grows a vector on overflow —
+  // the analyzer must catch the false claim.
+  const auto findings = analyze_fixture("tapalloc", "effects");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "effects");
+  EXPECT_EQ(findings[0].path, "src/telemetry/tap.h");
+  EXPECT_NE(findings[0].message.find("declares {pure} but 'alloc'"),
+            std::string::npos)
+      << findings[0].message;
+}
+
 TEST(EffectsRule, TransitiveContractTooNarrowCarriesTheWitnessChain) {
   const auto findings = analyze_fixture("effects_narrow");
   ASSERT_EQ(findings.size(), 1u) << describe(findings);

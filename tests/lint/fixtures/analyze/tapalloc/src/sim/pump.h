@@ -1,0 +1,15 @@
+// Fixture: the dispatch-path caller. fire() reaches the tap, so the tap's
+// false HB_EFFECTS() claim sits on the hot path — the contract violation
+// in src/telemetry/tap.h is what keeps this legal-looking call honest.
+#pragma once
+#include "telemetry/tap.h"
+namespace halfback::sim {
+
+struct PumpEvent {
+  halfback::telemetry::GrowingTap* tap_ = nullptr;
+  void fire() {
+    if (tap_ != nullptr) tap_->record(1);
+  }
+};
+
+}  // namespace halfback::sim

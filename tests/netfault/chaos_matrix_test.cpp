@@ -62,6 +62,37 @@ TEST(ChaosMatrixTest, EverySchemeSurvivesEveryScenario) {
   }
 }
 
+TEST(ChaosMatrixTest, PercentileColumnsAreIdenticalAtAnyWorkerCount) {
+  // The --percentiles satellite contract: the per-cell FCT tail columns
+  // come from a per-cell hub, so the sweep's thread count must not change
+  // a single value. jobs=1 vs jobs=4 over the same matrix.
+  const std::vector<schemes::Scheme> pair{schemes::Scheme::tcp,
+                                          schemes::Scheme::halfback};
+  ChaosSweepConfig config;
+  config.runner.seed = 3;
+  config.record_percentiles = true;
+  config.threads = 1;
+  const std::vector<ChaosCell> serial = chaos_sweep(config, pair).cells;
+  config.threads = 4;
+  const std::vector<ChaosCell> parallel = chaos_sweep(config, pair).cells;
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].scenario + " / " +
+                 schemes::name(serial[i].scheme));
+    // Bit-equality, not near-equality: same seed, same per-cell hub.
+    EXPECT_EQ(serial[i].p50_fct_ms, parallel[i].p50_fct_ms);
+    EXPECT_EQ(serial[i].p99_fct_ms, parallel[i].p99_fct_ms);
+    EXPECT_EQ(serial[i].p999_fct_ms, parallel[i].p999_fct_ms);
+    // Percentiles are ordered and bracket the median the summary computed.
+    EXPECT_LE(serial[i].p50_fct_ms, serial[i].p99_fct_ms);
+    EXPECT_LE(serial[i].p99_fct_ms, serial[i].p999_fct_ms);
+    if (serial[i].p50_fct_ms > 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero) << "percentile columns never filled";
+}
+
 TEST(ChaosMatrixTest, FaultCountersAttributeWhatEachScenarioInjects) {
   const std::vector<schemes::Scheme> one{schemes::Scheme::tcp};
   const std::vector<ChaosCell> cells = chaos_sweep(test_config(), one).cells;

@@ -1,0 +1,167 @@
+// hbreport's reader, driven in-process. The round-trip tests feed it
+// strings produced by the real exporters (telemetry/export.h) so the
+// reader and writers cannot drift apart silently.
+#include "report_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+#include "telemetry/span.h"
+
+namespace halfback::report {
+namespace {
+
+TEST(ParseJson, HandlesTheExportersVocabulary) {
+  std::string error;
+  const std::optional<JsonValue> v = parse_json(
+      R"({"name":"transport.fct_ns","count":3,"neg":-1.5,"exp":2e3,)"
+      R"("flag":true,"none":null,"buckets":[[1,2,3]],"s":"a\"b\\c	"})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->string_or("name", ""), "transport.fct_ns");
+  EXPECT_EQ(v->number_or("count", 0.0), 3.0);
+  EXPECT_EQ(v->number_or("neg", 0.0), -1.5);
+  EXPECT_EQ(v->number_or("exp", 0.0), 2000.0);
+  EXPECT_TRUE(v->bool_or("flag", false));
+  const JsonValue* buckets = v->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->items.size(), 1u);
+  EXPECT_EQ(buckets->items[0].items[1].number_value, 2.0);
+  EXPECT_EQ(v->string_or("s", ""), "a\"b\\c\t");
+  EXPECT_EQ(v->number_or("missing", 42.0), 42.0);
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{\"a\":").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("{'a':1}").has_value());
+  std::string error;
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LoadMetrics, RoundTripsTheRealExporter) {
+  telemetry::MetricRegistry registry;
+  telemetry::Counter* flows = registry.counter(
+      "transport.flows_completed", "flows fully acked",
+      telemetry::Unit::flows);
+  flows->add(8);
+  telemetry::Histogram* fct = registry.histogram(
+      "transport.fct_ns", "flow completion times",
+      telemetry::Unit::nanoseconds);
+  for (int i = 1; i <= 100; ++i) fct->record(i * 1'000'000);  // 1..100 ms
+
+  std::ostringstream out;
+  telemetry::write_metrics_jsonl(out, registry);
+  std::istringstream in{out.str()};
+  const MetricsDigest digest = load_metrics(in);
+
+  EXPECT_TRUE(digest.errors.empty());
+  ASSERT_EQ(digest.histograms.size(), 1u);
+  const HistogramDigest& h = digest.histograms[0];
+  EXPECT_EQ(h.name, "transport.fct_ns");
+  EXPECT_EQ(h.count, 100u);
+  // The digest carries the exporter's exact value_at_quantile results.
+  EXPECT_EQ(h.p50, static_cast<double>(fct->value_at_quantile(0.5)));
+  EXPECT_EQ(h.p999, static_cast<double>(fct->value_at_quantile(0.999)));
+  ASSERT_EQ(digest.scalars.size(), 1u);
+  EXPECT_EQ(digest.scalars[0].first, "transport.flows_completed");
+  EXPECT_EQ(digest.scalars[0].second, 8.0);
+}
+
+TEST(LoadSpans, RoundTripsTheRealExporter) {
+  telemetry::SpanRecorder spans;
+  const std::uint32_t root = spans.open_span(
+      5, telemetry::SpanKind::flow, 0, sim::Time::milliseconds(1));
+  const std::uint32_t hs = spans.open_span(
+      5, telemetry::SpanKind::handshake, root, sim::Time::milliseconds(1));
+  spans.close_span(hs, sim::Time::milliseconds(3));
+  // root stays open: the exporter clamps, the reader keeps the flag.
+
+  std::ostringstream out;
+  telemetry::write_spans_jsonl(out, spans, sim::Time::milliseconds(10));
+  std::istringstream in{out.str()};
+  const SpanLog log = load_spans(in);
+
+  EXPECT_TRUE(log.errors.empty());
+  EXPECT_EQ(log.dropped, 0u);
+  ASSERT_EQ(log.spans.size(), 2u);
+  EXPECT_EQ(log.spans[0].kind, "flow");
+  EXPECT_TRUE(log.spans[0].open);
+  EXPECT_EQ(log.spans[0].end_ns, 10'000'000);  // clamped to export end
+  EXPECT_EQ(log.spans[1].kind, "handshake");
+  EXPECT_EQ(log.spans[1].parent, log.spans[0].id);
+  EXPECT_EQ(log.spans[1].begin_ns, 1'000'000);
+  EXPECT_EQ(log.spans[1].end_ns, 3'000'000);
+}
+
+TEST(PercentileTable, ConvertsNanosecondHistogramsToMilliseconds) {
+  HistogramDigest fct;
+  fct.name = "transport.fct_ns";
+  fct.count = 100;
+  fct.p50 = 5e6;
+  fct.p90 = 9e6;
+  fct.p99 = 20e6;
+  fct.p999 = 80e6;
+  fct.max = 100e6;
+  HistogramDigest not_latency;
+  not_latency.name = "transport.window_segments";  // no _ns suffix: skipped
+  const std::string text =
+      percentile_table({fct, not_latency}).to_string();
+  EXPECT_NE(text.find("transport.fct_ns"), std::string::npos);
+  EXPECT_NE(text.find("5.000"), std::string::npos);    // p50 ms
+  EXPECT_NE(text.find("80.000"), std::string::npos);   // p99.9 ms
+  EXPECT_EQ(text.find("window_segments"), std::string::npos);
+}
+
+TEST(PhaseTable, AttributesTimePerKindAgainstFlowTotal) {
+  std::vector<SpanRow> spans;
+  SpanRow flow;
+  flow.id = 1;
+  flow.kind = "flow";
+  flow.begin_ns = 0;
+  flow.end_ns = 10'000'000;  // 10 ms of flow time
+  SpanRow handshake;
+  handshake.id = 2;
+  handshake.parent = 1;
+  handshake.kind = "handshake";
+  handshake.begin_ns = 0;
+  handshake.end_ns = 2'000'000;
+  SpanRow rto_a;
+  rto_a.kind = "rto_recovery";
+  rto_a.begin_ns = 3'000'000;
+  rto_a.end_ns = 4'000'000;
+  SpanRow rto_b;
+  rto_b.kind = "rto_recovery";
+  rto_b.begin_ns = 6'000'000;
+  rto_b.end_ns = 8'000'000;
+  spans = {flow, handshake, rto_a, rto_b};
+
+  const std::string text = phase_table(spans).to_string();
+  EXPECT_NE(text.find("handshake"), std::string::npos);
+  EXPECT_NE(text.find("20.0%"), std::string::npos);   // 2 of 10 ms
+  EXPECT_NE(text.find("rto_recovery"), std::string::npos);
+  EXPECT_NE(text.find("30.0%"), std::string::npos);   // 3 of 10 ms, 2 episodes
+  // The root is the baseline, not a row: "flow" appears only in the
+  // "share of flow time" header column.
+  EXPECT_EQ(text.find("flow"), text.rfind("flow"));
+}
+
+TEST(LoadSpans, KeepsGoingPastAMalformedLine) {
+  std::istringstream in{
+      "{\"span\":1,\"kind\":\"flow\",\"begin_ns\":0,\"end_ns\":5}\n"
+      "not json\n"
+      "{\"span_count\":1,\"dropped\":3}\n"};
+  const SpanLog log = load_spans(in);
+  ASSERT_EQ(log.spans.size(), 1u);
+  EXPECT_EQ(log.dropped, 3u);
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_NE(log.errors[0].find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace halfback::report

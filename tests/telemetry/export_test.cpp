@@ -25,6 +25,9 @@ using exp::WorkloadPart;
 struct ExportedRun {
   std::string metrics;
   std::string trace;
+  std::string hub_trace;  ///< full-hub overload: tape events + span events
+  std::string spans;
+  std::string series;
   std::string prometheus;
   std::string manifest;
 };
@@ -51,6 +54,9 @@ ExportedRun run_and_export() {
   ExportedRun out;
   out.metrics = metrics_jsonl(hub.registry());
   out.trace = chrome_trace_json(hub.recorder(), run.sim_end);
+  out.hub_trace = chrome_trace_json(hub, run.sim_end);
+  out.spans = spans_jsonl(hub.spans(), run.sim_end);
+  out.series = timeseries_jsonl(hub);
   out.prometheus = prometheus_text(hub.registry());
   out.manifest = manifest_json(runner.manifest(run, "emulab"), &hub.registry());
   return out;
@@ -61,6 +67,9 @@ TEST(ExportDeterminism, SameSeedRunsAreByteIdentical) {
   const ExportedRun second = run_and_export();
   EXPECT_EQ(first.metrics, second.metrics);
   EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.hub_trace, second.hub_trace);
+  EXPECT_EQ(first.spans, second.spans);
+  EXPECT_EQ(first.series, second.series);
   EXPECT_EQ(first.prometheus, second.prometheus);
   EXPECT_EQ(first.manifest, second.manifest);
 }
@@ -153,6 +162,83 @@ TEST(ChromeTrace, TraceFromEmulabRunHasPacingSpans) {
   EXPECT_NE(run.trace.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(run.trace.find("\"name\":\"pacing\""), std::string::npos);
   EXPECT_NE(run.trace.find("\"name\":\"handshake\""), std::string::npos);
+}
+
+TEST(ChromeTrace, HubOverloadNestsSpanEventsAndKeepsTapePrefix) {
+  const ExportedRun run = run_and_export();
+  // The recorder-only overload's output is a byte-exact prefix of the
+  // full-hub overload (minus the closing bracket): adding the span layer
+  // must never disturb the tape events.
+  const std::string closing = "\n]}\n";
+  ASSERT_GE(run.trace.size(), closing.size());
+  const std::string tape_prefix =
+      run.trace.substr(0, run.trace.size() - closing.size());
+  EXPECT_EQ(run.hub_trace.compare(0, tape_prefix.size(), tape_prefix), 0);
+  // The span layer: pid-3 process metadata plus nested B/E duration pairs.
+  EXPECT_NE(run.hub_trace.find("\"args\":{\"name\":\"spans\"}"),
+            std::string::npos);
+  EXPECT_NE(run.hub_trace.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(run.hub_trace.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(run.hub_trace.find("\"name\":\"blast\""), std::string::npos);
+  // B and E counts must match (every span closes at export).
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  for (std::size_t pos = 0;
+       (pos = run.hub_trace.find("\"ph\":\"B\"", pos)) != std::string::npos;
+       ++pos) {
+    ++opens;
+  }
+  for (std::size_t pos = 0;
+       (pos = run.hub_trace.find("\"ph\":\"E\"", pos)) != std::string::npos;
+       ++pos) {
+    ++closes;
+  }
+  EXPECT_EQ(opens, closes);
+  EXPECT_GT(opens, 0u);
+}
+
+TEST(SpansJsonl, OneObjectPerSpanPlusFooter) {
+  SpanRecorder spans;
+  const std::uint32_t root =
+      spans.open_span(9, SpanKind::flow, 0, sim::Time::milliseconds(1));
+  const std::uint32_t hs = spans.open_span(9, SpanKind::handshake, root,
+                                           sim::Time::milliseconds(1));
+  spans.close_span(hs, sim::Time::milliseconds(2));
+
+  const std::string out = spans_jsonl(spans, sim::Time::milliseconds(7));
+  EXPECT_NE(
+      out.find("{\"span\":1,\"parent\":0,\"flow\":9,\"kind\":\"flow\","
+               "\"begin_ns\":1000000,\"end_ns\":7000000,\"open\":true,"
+               "\"abandoned\":false}"),
+      std::string::npos)
+      << out;  // open span clamps its end to the export end
+  EXPECT_NE(
+      out.find("{\"span\":2,\"parent\":1,\"flow\":9,\"kind\":\"handshake\","
+               "\"begin_ns\":1000000,\"end_ns\":2000000,\"open\":false,"
+               "\"abandoned\":false}"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("{\"span_count\":2,\"dropped\":0}"), std::string::npos);
+}
+
+TEST(TimeseriesJsonl, EmitsTouchedWindowsOnlyInCreationOrder) {
+  Hub hub;
+  WindowSeries& link = hub.series("link.0");
+  WindowSeries& cls = hub.series("class.halfback");
+  link.tally_bytes(sim::Time::milliseconds(25), 3000);  // window 2 @10ms width
+  cls.tally_dup(sim::Time::milliseconds(5));            // window 0
+
+  const std::string out = timeseries_jsonl(hub);
+  const std::size_t link_pos = out.find("\"series\":\"link.0\"");
+  const std::size_t cls_pos = out.find("\"series\":\"class.halfback\"");
+  ASSERT_NE(link_pos, std::string::npos) << out;
+  ASSERT_NE(cls_pos, std::string::npos) << out;
+  EXPECT_LT(link_pos, cls_pos);  // creation order == export order
+  // Touched windows only: index 2 for the link, index 0 for the class.
+  EXPECT_NE(out.find("\"windows\":[[2,3000,0,0,0,0,0,0]]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"windows\":[[0,0,0,0,0,1,0,0]]"), std::string::npos)
+      << out;
 }
 
 TEST(ManifestJson, CarriesProvenanceFields) {

@@ -189,6 +189,117 @@ TEST(Hub, FlowTapesCarryPhaseSpansForHalfback) {
   EXPECT_TRUE(saw_pacing);
 }
 
+TEST(HubSpans, HalfbackRunRecordsFlowSpanTrees) {
+  Hub hub;
+  EmulabRunner::Config config = golden_emulab_config();
+  config.telemetry = &hub;
+  EmulabRunner{config}.run(golden_emulab_parts());
+
+  const SpanRecorder& spans = hub.spans();
+  ASSERT_GT(spans.size(), 0u);
+  EXPECT_EQ(spans.dropped(), 0u);
+  // Each of the 6 flows gets a root flow span plus at least handshake,
+  // pacing, and blast children, all parented on the root and closed.
+  std::size_t roots = 0;
+  std::size_t handshakes = 0;
+  std::size_t pacing = 0;
+  std::size_t blast = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans.at(i);
+    EXPECT_FALSE(s.open) << "span " << s.id << " left open";
+    EXPECT_LE(s.begin, s.end);
+    if (s.kind == SpanKind::flow) {
+      EXPECT_EQ(s.parent, 0u);
+      ++roots;
+      continue;
+    }
+    // Child spans point at their flow's root span.
+    ASSERT_NE(s.parent, 0u);
+    EXPECT_EQ(spans.at(s.parent - 1).kind, SpanKind::flow);
+    EXPECT_EQ(spans.at(s.parent - 1).flow, s.flow);
+    if (s.kind == SpanKind::handshake) ++handshakes;
+    if (s.kind == SpanKind::pacing) ++pacing;
+    if (s.kind == SpanKind::blast) ++blast;
+  }
+  EXPECT_EQ(roots, 6u);
+  EXPECT_EQ(handshakes, 6u);
+  EXPECT_EQ(pacing, 6u);
+  // Halfback re-enters the blast phase after recovery episodes, so each
+  // flow contributes at least one blast span (possibly more).
+  EXPECT_GE(blast, 6u);
+}
+
+TEST(HubSeries, HalfbackRunRecordsLinkAndClassSeries) {
+  Hub hub;
+  EmulabRunner::Config config = golden_emulab_config();
+  config.telemetry = &hub;
+  EmulabRunner{config}.run(golden_emulab_parts());
+
+  ASSERT_GT(hub.series_count(), 0u);
+  std::uint64_t link_bytes = 0;
+  std::uint64_t class_bytes = 0;
+  std::uint64_t class_inflight_peak = 0;
+  for (std::size_t i = 0; i < hub.series_count(); ++i) {
+    const WindowSeries& s = hub.series_at(i);
+    const bool is_link = s.name().rfind("link.", 0) == 0;
+    const bool is_class = s.name().rfind("class.", 0) == 0;
+    EXPECT_TRUE(is_link || is_class) << s.name();
+    for (std::size_t w = 0; w < s.window_count(); ++w) {
+      if (is_link) link_bytes += s.window(w).bytes;
+      if (is_class) {
+        class_bytes += s.window(w).bytes;
+        if (s.window(w).inflight_peak > class_inflight_peak) {
+          class_inflight_peak = s.window(w).inflight_peak;
+        }
+      }
+    }
+  }
+  // Links saw every delivered packet; the halfback class series saw the
+  // goodput (6 flows x 100 kB) and a nonzero in-flight high-water mark.
+  EXPECT_GT(link_bytes, 6u * 100'000u);
+  EXPECT_GE(class_bytes, 6u * 100'000u);
+  EXPECT_GT(class_inflight_peak, 0u);
+}
+
+TEST(HubMerge, ShardSpansAndSeriesMergeDeterministically) {
+  // The sharded reduce for the new layers: spans append in shard order
+  // with ids re-based; series fold by name. Two parents merging the same
+  // shards in the same order must export byte-identical artifacts.
+  auto record_shard = [](Hub& shard, std::uint64_t flow, std::int64_t ms) {
+    const std::uint32_t root = shard.spans().open_span(
+        flow, SpanKind::flow, 0, sim::Time::milliseconds(ms));
+    const std::uint32_t hs = shard.spans().open_span(
+        flow, SpanKind::handshake, root, sim::Time::milliseconds(ms));
+    shard.spans().close_span(hs, sim::Time::milliseconds(ms + 1));
+    shard.spans().close_span(root, sim::Time::milliseconds(ms + 5));
+    shard.series("link.0").tally_bytes(sim::Time::milliseconds(ms), 1000);
+    shard.series("class.halfback")
+        .tally_packets(sim::Time::milliseconds(ms), 2);
+  };
+  Hub shard_a, shard_b;
+  record_shard(shard_a, 1, 10);
+  record_shard(shard_b, 2, 20);
+
+  Hub parent_x, parent_y;
+  parent_x.merge_from(shard_a);
+  parent_x.merge_from(shard_b);
+  parent_y.merge_from(shard_a);
+  parent_y.merge_from(shard_b);
+
+  const sim::Time end = sim::Time::milliseconds(100);
+  EXPECT_EQ(spans_jsonl(parent_x.spans(), end),
+            spans_jsonl(parent_y.spans(), end));
+  EXPECT_EQ(timeseries_jsonl(parent_x), timeseries_jsonl(parent_y));
+  // Re-based ids: shard_b's root follows shard_a's two spans.
+  ASSERT_EQ(parent_x.spans().size(), 4u);
+  EXPECT_EQ(parent_x.spans().at(2).id, 3u);
+  EXPECT_EQ(parent_x.spans().at(3).parent, 3u);
+  // Series folded by name, not duplicated.
+  EXPECT_EQ(parent_x.series_count(), 2u);
+  EXPECT_EQ(parent_x.series("link.0").window(1).bytes, 1000u);
+  EXPECT_EQ(parent_x.series("link.0").window(2).bytes, 1000u);
+}
+
 TEST(HubMerge, FoldsShardRegistriesIntoTheParent) {
   // The sharded-engine reduce: each worker records into its own Hub; the
   // parent folds them after join. Tapes stay per-shard by design — only

@@ -155,6 +155,50 @@ TEST(Histogram, QuantileUpperBoundCoversTheValue) {
   EXPECT_LE(p50, p99);
 }
 
+TEST(Histogram, ValueAtQuantileGoldenInUnitRegion) {
+  // Values below the sub-bucket threshold land in width-1 buckets, so the
+  // interpolated estimate is fully determined: pin it.
+  MetricRegistry registry;
+  Histogram* h = registry.histogram("h", "test");
+  for (std::uint64_t v = 1; v <= 10; ++v) h->record(v);
+  EXPECT_EQ(h->value_at_quantile(0.5), 6u);
+  EXPECT_EQ(h->value_at_quantile(0.9), 10u);
+  EXPECT_EQ(h->value_at_quantile(0.99), 10u);
+  EXPECT_EQ(h->value_at_quantile(0.0), 1u);   // q<=0 -> min
+  EXPECT_EQ(h->value_at_quantile(1.0), 10u);  // q>=1 -> max
+}
+
+TEST(Histogram, ValueAtQuantileSingleValueAndEmpty) {
+  MetricRegistry registry;
+  Histogram* h = registry.histogram("h", "test");
+  EXPECT_EQ(h->value_at_quantile(0.5), 0u);  // empty -> 0
+  h->record(7);
+  h->record(7);
+  h->record(7);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h->value_at_quantile(q), 7u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ValueAtQuantileStaysInsideTheConservativeBound) {
+  MetricRegistry registry;
+  Histogram* h = registry.histogram("h", "test");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h->record(v);
+  std::uint64_t prev = 0;
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t v = h->value_at_quantile(q);
+    EXPECT_LE(v, h->quantile_upper_bound(q)) << "q=" << q;
+    EXPECT_GE(v, prev) << "q=" << q;  // monotone in q
+    EXPECT_GE(v, h->min());
+    EXPECT_LE(v, h->max());
+    prev = v;
+  }
+  // The interpolated p50 of 1..1000 must be near 500, tighter than the
+  // bucket-upper bound which may overshoot by a full bucket.
+  EXPECT_GE(h->value_at_quantile(0.5), 480u);
+  EXPECT_LE(h->value_at_quantile(0.5), 520u);
+}
+
 TEST(Histogram, LazyStorageGrowsToHighestBucketOnly) {
   MetricRegistry registry;
   Histogram* h = registry.histogram("h", "test");

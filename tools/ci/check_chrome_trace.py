@@ -9,6 +9,12 @@ Validates the structural contract documented in docs/telemetry.md:
   - duration events (ph "X") have non-negative ts/dur;
   - there is at least one per-flow phase span, and the phase names come
     from the FlowPhase catalog (halfback runs must show "pacing");
+  - nested span events (ph "B"/"E", the causal span log on pid 3) pair up
+    per (pid, tid): every E matches the innermost open B by name, never
+    ends before it begins, and no B is left open — which together prove
+    each child span is contained in its parent's interval;
+  - span names on pid 3 come from the SpanKind catalog, and every span
+    B event carries its args.span id;
   - the manifest (if given) carries the provenance fields with 0x-prefixed
     16-digit hashes.
 
@@ -19,6 +25,8 @@ import json
 import sys
 
 FLOW_PHASES = {"handshake", "pacing", "transfer", "ropr", "fallback", "done"}
+SPAN_KINDS = {"flow", "handshake", "pacing", "blast", "ropr_repair",
+              "fallback", "rto_recovery"}
 
 
 def fail(message):
@@ -37,6 +45,9 @@ def check_trace(path):
 
     phase_spans = 0
     flow_phase_names = set()
+    nested_pairs = 0
+    open_stacks = {}  # (pid, tid) -> [(name, ts), ...]
+    last_ts = {}      # (pid, tid) -> last B/E timestamp seen
     for i, ev in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -46,9 +57,9 @@ def check_trace(path):
             if not isinstance(ev.get(key), kind):
                 fail(f"{where}: missing or mistyped {key!r}: {ev}")
         ph = ev["ph"]
-        if ph not in ("M", "X", "i"):
+        if ph not in ("M", "X", "i", "B", "E"):
             fail(f"{where}: unexpected ph {ph!r}")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "B", "E"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
                 fail(f"{where}: bad ts: {ev}")
@@ -61,7 +72,43 @@ def check_trace(path):
                 if ev["name"] not in FLOW_PHASES:
                     fail(f"{where}: unknown flow phase {ev['name']!r}")
                 flow_phase_names.add(ev["name"])
+        if ph in ("B", "E"):
+            if ev["pid"] == 3 and ev["name"] not in SPAN_KINDS:
+                fail(f"{where}: unknown span kind {ev['name']!r}")
+            key = (ev["pid"], ev["tid"])
+            # Timestamps must not go backwards within a thread: together
+            # with the stack discipline below this proves every child
+            # interval is contained in its parent's.
+            if ev["ts"] < last_ts.get(key, 0):
+                fail(f"{where}: B/E ts goes backwards on (pid {key[0]}, "
+                     f"tid {key[1]}): {ev}")
+            last_ts[key] = ev["ts"]
+            stack = open_stacks.setdefault(key, [])
+            if ph == "B":
+                if ev["pid"] == 3:
+                    args = ev.get("args")
+                    if not isinstance(args, dict) or \
+                            not isinstance(args.get("span"), int):
+                        fail(f"{where}: span B event without args.span: {ev}")
+                stack.append((ev["name"], ev["ts"]))
+            else:
+                if not stack:
+                    fail(f"{where}: E with no open B on "
+                         f"(pid {ev['pid']}, tid {ev['tid']}): {ev}")
+                name, begin_ts = stack.pop()
+                if name != ev["name"]:
+                    fail(f"{where}: E {ev['name']!r} does not match "
+                         f"innermost open B {name!r} — span events must "
+                         f"nest")
+                if ev["ts"] < begin_ts:
+                    fail(f"{where}: E at {ev['ts']} before its B at "
+                         f"{begin_ts}")
+                nested_pairs += 1
 
+    for (pid, tid), stack in open_stacks.items():
+        if stack:
+            fail(f"{path}: (pid {pid}, tid {tid}) ends with unclosed B "
+                 f"events: {[name for name, _ in stack]}")
     if phase_spans == 0:
         fail(f"{path}: no phase spans (ph 'X') at all")
     if "pacing" not in flow_phase_names:
@@ -69,6 +116,7 @@ def check_trace(path):
              f"show the paced start (saw: {sorted(flow_phase_names)})")
     print(f"check_chrome_trace: {path}: OK "
           f"({len(events)} events, {phase_spans} phase spans, "
+          f"{nested_pairs} nested span pairs, "
           f"flow phases: {sorted(flow_phase_names)})")
 
 

@@ -1084,7 +1084,8 @@ bool ProjectModel::is_interface_header(std::string_view to) {
   // the file-level graph stays acyclic. See docs/static-analysis.md.
   return to == "src/audit/auditor.h" || to == "src/telemetry/hub.h" ||
          to == "src/telemetry/flight_recorder.h" ||
-         to == "src/telemetry/metric.h" || to == "src/telemetry/registry.h";
+         to == "src/telemetry/metric.h" || to == "src/telemetry/registry.h" ||
+         to == "src/telemetry/span.h" || to == "src/telemetry/timeseries.h";
 }
 
 std::string ProjectModel::layer_graph_dot() const {

@@ -1,0 +1,112 @@
+// hbreport: render the telemetry JSONL artifacts as tail-latency tables.
+//
+//   hbreport STEM...                    reads STEM.metrics.jsonl and
+//                                       STEM.spans.jsonl (either optional)
+//   hbreport --fct=FILE --phases=FILE   name the artifacts explicitly
+//
+// For each input it prints the per-percentile FCT/RTT table (p50/p90/p99/
+// p99.9, from the histograms the simulation recorded) and the per-phase
+// time-attribution breakdown (from the causal span log). Exit status is
+// nonzero when any named input is missing or malformed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "report_lib.h"
+
+namespace {
+
+using halfback::report::MetricsDigest;
+using halfback::report::SpanLog;
+
+bool report_metrics(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "hbreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const MetricsDigest digest = halfback::report::load_metrics(in);
+  for (const std::string& error : digest.errors) {
+    std::fprintf(stderr, "hbreport: %s: %s\n", path.c_str(), error.c_str());
+  }
+  std::printf("latency percentiles — %s\n", path.c_str());
+  halfback::report::percentile_table(digest.histograms).print();
+  std::printf("\n");
+  return digest.errors.empty();
+}
+
+bool report_phases(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "hbreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const SpanLog log = halfback::report::load_spans(in);
+  for (const std::string& error : log.errors) {
+    std::fprintf(stderr, "hbreport: %s: %s\n", path.c_str(), error.c_str());
+  }
+  std::printf("phase time attribution — %s\n", path.c_str());
+  halfback::report::phase_table(log.spans).print();
+  if (log.dropped != 0) {
+    std::printf("(span recorder dropped %llu spans at capacity)\n",
+                static_cast<unsigned long long>(log.dropped));
+  }
+  std::printf("\n");
+  return log.errors.empty();
+}
+
+bool exists(const std::string& path) {
+  std::ifstream in{path};
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> metrics_files;
+  std::vector<std::string> span_files;
+  std::vector<std::string> stems;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fct=", 0) == 0) {
+      metrics_files.push_back(arg.substr(std::strlen("--fct=")));
+    } else if (arg.rfind("--phases=", 0) == 0) {
+      span_files.push_back(arg.substr(std::strlen("--phases=")));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: hbreport [--fct=metrics.jsonl] [--phases=spans.jsonl] "
+          "[STEM...]\n"
+          "STEM expands to STEM.metrics.jsonl + STEM.spans.jsonl.\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hbreport: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      stems.push_back(arg);
+    }
+  }
+  if (metrics_files.empty() && span_files.empty() && stems.empty()) {
+    std::fprintf(stderr, "hbreport: no inputs (see --help)\n");
+    return 2;
+  }
+  bool ok = true;
+  for (const std::string& stem : stems) {
+    const std::string metrics = stem + ".metrics.jsonl";
+    const std::string spans = stem + ".spans.jsonl";
+    // A stem must resolve to at least one artifact; silently skipping a
+    // typo'd stem would report an empty run as a healthy one.
+    if (!exists(metrics) && !exists(spans)) {
+      std::fprintf(stderr, "hbreport: no artifacts for stem %s\n",
+                   stem.c_str());
+      ok = false;
+      continue;
+    }
+    if (exists(metrics)) ok = report_metrics(metrics) && ok;
+    if (exists(spans)) ok = report_phases(spans) && ok;
+  }
+  for (const std::string& path : metrics_files) ok = report_metrics(path) && ok;
+  for (const std::string& path : span_files) ok = report_phases(path) && ok;
+  return ok ? 0 : 1;
+}

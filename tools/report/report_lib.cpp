@@ -1,0 +1,373 @@
+#include "report_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace halfback::report {
+namespace {
+
+/// Recursive-descent reader over the exporters' JSON subset (which is
+/// plain RFC 8259 minus exotic number forms the exporters never emit).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value();
+    skip_ws();
+    if (v.has_value() && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v.reset();
+    }
+    if (!v.has_value() && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void fail(const std::string& reason) {
+    if (error_.empty()) {
+      error_ = reason + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::object;
+    if (eat('}')) return v;
+    while (true) {
+      skip_ws();
+      std::optional<JsonValue> key = string_value();
+      if (!key.has_value()) return std::nullopt;
+      if (!eat(':')) {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> member = value();
+      if (!member.has_value()) return std::nullopt;
+      v.members.emplace_back(std::move(key->string_value),
+                             std::move(*member));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::array;
+    if (eat(']')) return v;
+    while (true) {
+      std::optional<JsonValue> item = value();
+      if (!item.has_value()) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::string;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string_value += '"'; break;
+        case '\\': v.string_value += '\\'; break;
+        case '/': v.string_value += '/'; break;
+        case 'n': v.string_value += '\n'; break;
+        case 'r': v.string_value += '\r'; break;
+        case 't': v.string_value += '\t'; break;
+        case 'b': v.string_value += '\b'; break;
+        case 'f': v.string_value += '\f'; break;
+        case 'u': {
+          // The exporters only escape control characters, all below
+          // U+0080 — decode the code unit as a single byte.
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const std::string hex{text_.substr(pos_, 4)};
+          v.string_value +=
+              static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::boolean;
+    if (text_.substr(pos_, 4) == "true") {
+      v.bool_value = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      v.bool_value = false;
+      pos_ += 5;
+      return v;
+    }
+    fail("expected boolean");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> null_value() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    fail("expected null");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::number;
+    v.number_value = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+constexpr double kNsPerMs = 1e6;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, member] : members) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::number ? v->number_value : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::string ? v->string_value
+                                                 : std::string{fallback};
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::boolean ? v->bool_value : fallback;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  return Parser{text}.parse(error);
+}
+
+MetricsDigest load_metrics(std::istream& in) {
+  MetricsDigest digest;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    std::optional<JsonValue> v = parse_json(line, &error);
+    if (!v.has_value() || v->kind != JsonValue::Kind::object) {
+      digest.errors.push_back("line " + std::to_string(line_no) + ": " +
+                              (error.empty() ? "not an object" : error));
+      continue;
+    }
+    const std::string kind = v->string_or("kind", "");
+    const std::string name = v->string_or("name", "");
+    if (kind == "histogram") {
+      HistogramDigest h;
+      h.name = name;
+      h.unit = v->string_or("unit", "");
+      h.count = static_cast<std::uint64_t>(v->number_or("count", 0.0));
+      h.sum = v->number_or("sum", 0.0);
+      h.min = v->number_or("min", 0.0);
+      h.max = v->number_or("max", 0.0);
+      h.p50 = v->number_or("p50", 0.0);
+      h.p90 = v->number_or("p90", 0.0);
+      h.p99 = v->number_or("p99", 0.0);
+      h.p999 = v->number_or("p999", 0.0);
+      digest.histograms.push_back(std::move(h));
+    } else if (kind == "counter" || kind == "gauge") {
+      digest.scalars.emplace_back(name, v->number_or("value", 0.0));
+    }
+  }
+  return digest;
+}
+
+SpanLog load_spans(std::istream& in) {
+  SpanLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    std::optional<JsonValue> v = parse_json(line, &error);
+    if (!v.has_value() || v->kind != JsonValue::Kind::object) {
+      log.errors.push_back("line " + std::to_string(line_no) + ": " +
+                           (error.empty() ? "not an object" : error));
+      continue;
+    }
+    if (v->find("span_count") != nullptr) {
+      // Footer line: recorder totals.
+      log.dropped = static_cast<std::uint64_t>(v->number_or("dropped", 0.0));
+      continue;
+    }
+    SpanRow row;
+    row.id = static_cast<std::uint32_t>(v->number_or("span", 0.0));
+    row.parent = static_cast<std::uint32_t>(v->number_or("parent", 0.0));
+    row.flow = static_cast<std::uint64_t>(v->number_or("flow", 0.0));
+    row.kind = v->string_or("kind", "");
+    row.begin_ns = static_cast<std::int64_t>(v->number_or("begin_ns", 0.0));
+    row.end_ns = static_cast<std::int64_t>(v->number_or("end_ns", 0.0));
+    row.open = v->bool_or("open", false);
+    row.abandoned = v->bool_or("abandoned", false);
+    log.spans.push_back(std::move(row));
+  }
+  return log;
+}
+
+stats::Table percentile_table(
+    const std::vector<HistogramDigest>& histograms) {
+  stats::Table table{{"metric", "count", "p50 (ms)", "p90 (ms)", "p99 (ms)",
+                      "p99.9 (ms)", "max (ms)"}};
+  for (const HistogramDigest& h : histograms) {
+    if (!ends_with(h.name, "_ns")) continue;
+    table.add_row({h.name, std::to_string(h.count),
+                   stats::Table::num(h.p50 / kNsPerMs, 3),
+                   stats::Table::num(h.p90 / kNsPerMs, 3),
+                   stats::Table::num(h.p99 / kNsPerMs, 3),
+                   stats::Table::num(h.p999 / kNsPerMs, 3),
+                   stats::Table::num(h.max / kNsPerMs, 3)});
+  }
+  return table;
+}
+
+stats::Table phase_table(const std::vector<SpanRow>& spans) {
+  struct Bucket {
+    std::uint64_t episodes = 0;
+    std::uint64_t abandoned = 0;
+    double total_ns = 0.0;
+  };
+  // std::map: deterministic kind order regardless of input order.
+  std::map<std::string, Bucket> buckets;
+  double flow_total_ns = 0.0;
+  for (const SpanRow& span : spans) {
+    const double duration =
+        static_cast<double>(span.end_ns - span.begin_ns);
+    if (span.kind == "flow") {
+      flow_total_ns += duration;
+      continue;
+    }
+    Bucket& b = buckets[span.kind];
+    b.episodes += 1;
+    if (span.abandoned) b.abandoned += 1;
+    b.total_ns += duration;
+  }
+  stats::Table table{{"phase", "episodes", "abandoned", "total (ms)",
+                      "mean (ms)", "share of flow time"}};
+  for (const auto& [kind, b] : buckets) {
+    const double mean =
+        b.episodes == 0 ? 0.0 : b.total_ns / static_cast<double>(b.episodes);
+    const double share =
+        flow_total_ns <= 0.0 ? 0.0 : b.total_ns / flow_total_ns * 100.0;
+    table.add_row({kind, std::to_string(b.episodes),
+                   std::to_string(b.abandoned),
+                   stats::Table::num(b.total_ns / kNsPerMs, 3),
+                   stats::Table::num(mean / kNsPerMs, 3),
+                   stats::Table::num(share, 1) + "%"});
+  }
+  return table;
+}
+
+}  // namespace halfback::report

@@ -1,0 +1,107 @@
+// hbreport core: turn the telemetry JSONL artifacts (telemetry/export.h)
+// back into human-readable tail-latency tables.
+//
+// The exporters write line-oriented JSON with a small, fixed vocabulary;
+// this library carries its own minimal JSON reader so the report tool
+// builds anywhere the simulator builds, with no third-party dependency.
+// It is deliberately a *reader of our own artifacts*, not a general JSON
+// library: unknown keys are ignored, missing keys get zero defaults, and
+// a malformed line is reported by line number instead of best-guessed.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/table.h"
+
+namespace halfback::report {
+
+/// A parsed JSON value. Objects keep member order (the exporters emit
+/// deterministic key order; keeping it makes round-trip tests readable).
+struct JsonValue {
+  enum class Kind { null_value, boolean, number, string, array, object };
+  Kind kind = Kind::null_value;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                                // array
+  std::vector<std::pair<std::string, JsonValue>> members;      // object
+
+  /// First member named `key`, or nullptr.
+  const JsonValue* find(std::string_view key) const;
+  /// Member `key` as a number, or `fallback` when absent / not a number.
+  double number_or(std::string_view key, double fallback) const;
+  /// Member `key` as a string, or `fallback` when absent / not a string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+  /// Member `key` as a bool, or `fallback` when absent / not a bool.
+  bool bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Parse one JSON document. Returns nullopt (with a one-line reason in
+/// `*error` when given) on malformed input or trailing junk.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+/// One histogram line of a metrics.jsonl artifact, percentiles included
+/// (the exporter computes them via Histogram::value_at_quantile, so the
+/// report shows exactly what the simulation measured).
+struct HistogramDigest {
+  std::string name;
+  std::string unit;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Everything hbreport needs from a metrics.jsonl stream. Counters and
+/// gauges ride along as name/value pairs for the summary footer.
+struct MetricsDigest {
+  std::vector<HistogramDigest> histograms;
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::string> errors;  ///< "line N: reason" per bad line
+};
+
+MetricsDigest load_metrics(std::istream& in);
+
+/// One span line of a spans.jsonl artifact (telemetry/span.h kinds).
+struct SpanRow {
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  std::uint64_t flow = 0;
+  std::string kind;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  bool open = false;
+  bool abandoned = false;
+};
+
+struct SpanLog {
+  std::vector<SpanRow> spans;
+  std::uint64_t dropped = 0;  ///< recorder-capacity overflow, from the footer
+  std::vector<std::string> errors;
+};
+
+SpanLog load_spans(std::istream& in);
+
+/// Tail-latency table: one row per `*_ns` histogram, converted to
+/// milliseconds — count, p50, p90, p99, p99.9, max. The flow-completion
+/// row is what the paper's figures report; RTT rows ride along.
+stats::Table percentile_table(const std::vector<HistogramDigest>& histograms);
+
+/// Per-phase time attribution: one row per span kind — episode count,
+/// total time, mean per episode, and share of the summed flow-span time.
+/// Phase spans partition each flow's lifetime; rto_recovery episodes
+/// overlap the phase they interrupt, so shares can sum past 100%.
+stats::Table phase_table(const std::vector<SpanRow>& spans);
+
+}  // namespace halfback::report
